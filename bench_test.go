@@ -1,0 +1,261 @@
+// Benchmarks regenerating the paper's evaluation (Appendix C) and the
+// ablations DESIGN.md calls out. One bench per table row / figure stage:
+//
+//	Table 1      → BenchmarkTable1_*
+//	App C peering → BenchmarkDirectPeering*
+//	Figure 2     → BenchmarkFigure2_* (per-stage pipeline costs)
+//	Ablations    → BenchmarkAblation*
+//
+// Run: go test -bench=. -benchmem
+package interedge_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"interedge/internal/bench"
+	"interedge/internal/cryptutil"
+	"interedge/internal/enclave"
+	"interedge/internal/psp"
+	"interedge/internal/sn"
+	"interedge/internal/sn/cache"
+	"interedge/internal/wire"
+)
+
+// reportTable1 converts a harness result into benchmark metrics.
+func reportTable1(b *testing.B, c bench.Table1Case) {
+	b.Helper()
+	c.Packets = b.N
+	if c.Packets < 2000 {
+		c.Packets = 2000 // amortize pipe setup
+	}
+	res, err := bench.RunTable1(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.ThroughputPPS, "pps")
+	b.ReportMetric(float64(res.MedianLatency.Nanoseconds())/1000, "median-us")
+	b.ReportMetric(float64(res.P99Latency.Nanoseconds())/1000, "p99-us")
+}
+
+// --- Table 1 -----------------------------------------------------------------
+
+func BenchmarkTable1_NoService_Plain(b *testing.B) {
+	reportTable1(b, bench.DefaultTable1Case("no-service", false))
+}
+
+func BenchmarkTable1_NoService_Enclave(b *testing.B) {
+	reportTable1(b, bench.DefaultTable1Case("no-service", true))
+}
+
+func BenchmarkTable1_NullService_Plain(b *testing.B) {
+	reportTable1(b, bench.DefaultTable1Case("null-service", false))
+}
+
+func BenchmarkTable1_NullService_Enclave(b *testing.B) {
+	reportTable1(b, bench.DefaultTable1Case("null-service", true))
+}
+
+// --- Appendix C direct peering ------------------------------------------------
+
+// BenchmarkDirectPeering measures tunnel key-rotation maintenance at
+// increasing tunnel counts (the paper's full scale, 98k tunnels at a
+// 3-minute interval, runs via cmd/interedge-bench -peering -tunnels 98000).
+func BenchmarkDirectPeering(b *testing.B) {
+	for _, tunnels := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("tunnels-%d", tunnels), func(b *testing.B) {
+			res, err := bench.RunDirectPeering(bench.PeeringConfig{
+				Tunnels:           tunnels,
+				RotateEvery:       3 * time.Minute,
+				SimulatedDuration: 3 * time.Minute,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.CPUFraction, "core-fraction")
+			b.ReportMetric(res.BandwidthBps/1e6, "Mbps")
+			b.ReportMetric(res.RotationsPerSec, "rotations/s")
+		})
+	}
+}
+
+// BenchmarkDirectPeeringRotation is the per-rotation primitive cost
+// (X25519 + HKDF chain + key derivation).
+func BenchmarkDirectPeeringRotation(b *testing.B) {
+	res, err := bench.RunDirectPeering(bench.PeeringConfig{
+		Tunnels:           b.N,
+		RotateEvery:       time.Minute,
+		SimulatedDuration: time.Minute,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.CPUFraction*60*1e6/float64(b.N), "us/rotation")
+}
+
+// --- Figure 2: per-stage pipeline costs ----------------------------------------
+
+// The SN processing pipeline of Figure 2 decomposed: decrypt the ILP
+// header, query the decision cache, re-encrypt for the next hop.
+
+func figure2Pipe(b *testing.B) (*psp.TX, *psp.RX, []byte) {
+	b.Helper()
+	master := cryptutil.NewRandomKey()
+	tx, err := psp.NewTX(master, psp.DirInitiatorToResponder, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx, err := psp.NewRX(master, psp.DirInitiatorToResponder, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx.SetReplayCheck(false)
+	hdr := wire.ILPHeader{Service: wire.SvcNone, Conn: 1}
+	enc, err := hdr.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkt, err := tx.Seal(nil, enc, make([]byte, 1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tx, rx, pkt
+}
+
+func BenchmarkFigure2_DecryptILPHeader(b *testing.B) {
+	_, rx, pkt := figure2Pipe(b)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rx.Open(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2_DecisionCacheQuery(b *testing.B) {
+	c := cache.New(65536)
+	key := wire.FlowKey{Src: wire.MustAddr("fd00::1"), Service: wire.SvcNone, Conn: 1}
+	c.Add(key, cache.Action{Forward: []wire.Addr{wire.MustAddr("fd00::2")}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Lookup(key); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkFigure2_EncryptAndForward(b *testing.B) {
+	tx, _, _ := figure2Pipe(b)
+	hdr := wire.ILPHeader{Service: wire.SvcNone, Conn: 1}
+	enc, _ := hdr.Encode()
+	payload := make([]byte, 1024)
+	buf := make([]byte, 0, psp.SealedSize(len(enc), len(payload)))
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tx.Seal(buf[:0], enc, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2_FullFastPath measures the whole Figure 2 pipeline at
+// once: decrypt → cache query → re-encrypt.
+func BenchmarkFigure2_FullFastPath(b *testing.B) {
+	tx, rx, pkt := figure2Pipe(b)
+	c := cache.New(65536)
+	key := wire.FlowKey{Src: wire.MustAddr("fd00::1"), Service: wire.SvcNone, Conn: 1}
+	c.Add(key, cache.Action{Forward: []wire.Addr{wire.MustAddr("fd00::2")}})
+	buf := make([]byte, 0, len(pkt))
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hdrBytes, payload, err := rx.Open(pkt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := c.Lookup(key); !ok {
+			b.Fatal("miss")
+		}
+		if _, err := tx.Seal(buf[:0], hdrBytes, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ------------------------------------------------------------------
+
+// Module transport: the paper prototype's IPC vs shared-memory rings vs
+// direct invocation ("There are well-known solutions to address these …
+// performance bottlenecks", §6.3).
+func BenchmarkAblationTransport(b *testing.B) {
+	for _, tr := range []sn.Transport{sn.TransportDirect, sn.TransportChan, sn.TransportIPC} {
+		b.Run(tr.String(), func(b *testing.B) {
+			c := bench.DefaultTable1Case("null-service", false)
+			c.Transport = tr
+			reportTable1(b, c)
+		})
+	}
+}
+
+// Decision cache on vs off: with the cache disabled, every no-service
+// packet would be dropped (no module), so the ablation compares the
+// fast-path lookup cost against the full slow path via the null module.
+func BenchmarkAblationCachePath(b *testing.B) {
+	b.Run("fast-path-cache-hit", func(b *testing.B) {
+		reportTable1(b, bench.DefaultTable1Case("no-service", false))
+	})
+	b.Run("slow-path-module", func(b *testing.B) {
+		c := bench.DefaultTable1Case("null-service", false)
+		c.Transport = sn.TransportChan
+		reportTable1(b, c)
+	})
+}
+
+// Enclave boundary crossing cost in isolation.
+func BenchmarkAblationEnclaveCrossing(b *testing.B) {
+	encl, err := enclave.New("bench", "1", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	identity := func(in []byte) ([]byte, error) { return in, nil }
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := encl.Run(payload, identity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Header-only encryption (the PSP model) vs whole-packet encryption: the
+// design choice in §4 that lets the SN avoid re-encrypting payloads.
+func BenchmarkAblationEncryptionScope(b *testing.B) {
+	master := cryptutil.NewRandomKey()
+	hdr := make([]byte, 32)
+	payload := make([]byte, 1024)
+	b.Run("header-only", func(b *testing.B) {
+		tx, _ := psp.NewTX(master, psp.DirInitiatorToResponder, 0)
+		buf := make([]byte, 0, psp.SealedSize(len(hdr), len(payload)))
+		b.SetBytes(1024)
+		for i := 0; i < b.N; i++ {
+			if _, err := tx.Seal(buf[:0], hdr, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("whole-packet", func(b *testing.B) {
+		tx, _ := psp.NewTX(master, psp.DirInitiatorToResponder, 0)
+		whole := make([]byte, len(hdr)+len(payload))
+		buf := make([]byte, 0, psp.SealedSize(len(whole), 0))
+		b.SetBytes(1024)
+		for i := 0; i < b.N; i++ {
+			if _, err := tx.Seal(buf[:0], whole, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,107 @@
+// Command interedge-host is a minimal InterEdge host agent over real UDP:
+// it associates with a first-hop SN and sends echo requests — the
+// cross-process counterpart of the quickstart example.
+//
+//	interedge-host -addr fd00::1 -listen 127.0.0.1:7001 \
+//	    -directory nodes.txt -sn fd00::100 -send "hello" -count 3
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"interedge/internal/handshake"
+	"interedge/internal/host"
+	"interedge/internal/netsim"
+	"interedge/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "fd00::1", "InterEdge address of this host")
+	listen := flag.String("listen", "127.0.0.1:7001", "UDP listen endpoint")
+	directory := flag.String("directory", "", "path to the address-to-UDP directory file")
+	snAddr := flag.String("sn", "fd00::100", "first-hop SN address")
+	message := flag.String("send", "hello, interedge", "payload for echo requests")
+	count := flag.Int("count", 3, "number of echo requests")
+	timeout := flag.Duration("timeout", 3*time.Second, "per-request timeout")
+	flag.Parse()
+
+	dir := netsim.NewUDPDirectory()
+	if *directory != "" {
+		if err := loadDirectory(dir, *directory); err != nil {
+			fail("load directory: %v", err)
+		}
+	}
+	tr, err := netsim.NewUDPTransport(wire.MustAddr(*addr), *listen, dir)
+	if err != nil {
+		fail("bind: %v", err)
+	}
+	id, err := handshake.NewIdentity()
+	if err != nil {
+		fail("identity: %v", err)
+	}
+	h, err := host.New(host.Config{Transport: tr, Identity: id})
+	if err != nil {
+		fail("host: %v", err)
+	}
+	defer h.Close()
+
+	if err := h.Associate(wire.MustAddr(*snAddr)); err != nil {
+		fail("associate with %s: %v", *snAddr, err)
+	}
+	fmt.Printf("associated with SN %s\n", *snAddr)
+
+	conn, err := h.NewConn(wire.SvcEcho)
+	if err != nil {
+		fail("open connection: %v", err)
+	}
+	defer conn.Close()
+	for i := 0; i < *count; i++ {
+		payload := fmt.Sprintf("%s #%d", *message, i+1)
+		start := time.Now()
+		if err := conn.Send(nil, []byte(payload)); err != nil {
+			fail("send: %v", err)
+		}
+		select {
+		case msg := <-conn.Receive():
+			fmt.Printf("echo %d: %q in %v\n", i+1, msg.Payload, time.Since(start).Round(time.Microsecond))
+		case <-time.After(*timeout):
+			fail("echo %d timed out", i+1)
+		}
+	}
+}
+
+func loadDirectory(dir *netsim.UDPDirectory, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return fmt.Errorf("bad directory line: %q", line)
+		}
+		ep, err := net.ResolveUDPAddr("udp", fields[1])
+		if err != nil {
+			return fmt.Errorf("bad endpoint %q: %w", fields[1], err)
+		}
+		dir.Register(wire.MustAddr(fields[0]), ep)
+	}
+	return scanner.Err()
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+// Command interedge-sn runs one InterEdge service node over real UDP, for
+// multi-process deployments. A directory file maps InterEdge addresses to
+// UDP endpoints (the static-routing stand-in for production discovery):
+//
+//	fd00::100 127.0.0.1:7000
+//	fd00::1   127.0.0.1:7001
+//
+// Usage:
+//
+//	interedge-sn -addr fd00::100 -listen 127.0.0.1:7000 \
+//	    -directory nodes.txt -services echo,null
+//
+// The node prints its identity key, registers the requested service
+// modules, and serves until interrupted, printing counters every 10s.
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"interedge/internal/handshake"
+	"interedge/internal/netsim"
+	"interedge/internal/services/echo"
+	"interedge/internal/services/null"
+	"interedge/internal/sn"
+	"interedge/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "fd00::100", "InterEdge address of this SN")
+	listen := flag.String("listen", "127.0.0.1:7000", "UDP listen endpoint")
+	directory := flag.String("directory", "", "path to the address-to-UDP directory file")
+	services := flag.String("services", "echo,null", "comma-separated service modules to register")
+	statsEvery := flag.Duration("stats", 10*time.Second, "counter print interval (0 disables)")
+	flag.Parse()
+
+	dir := netsim.NewUDPDirectory()
+	if *directory != "" {
+		if err := loadDirectory(dir, *directory); err != nil {
+			fail("load directory: %v", err)
+		}
+	}
+	tr, err := netsim.NewUDPTransport(wire.MustAddr(*addr), *listen, dir)
+	if err != nil {
+		fail("bind: %v", err)
+	}
+	id, err := handshake.NewIdentity()
+	if err != nil {
+		fail("identity: %v", err)
+	}
+	node, err := sn.New(sn.Config{
+		Transport: tr,
+		Identity:  id,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fail("start SN: %v", err)
+	}
+	defer node.Close()
+
+	for _, svc := range strings.Split(*services, ",") {
+		switch strings.TrimSpace(svc) {
+		case "echo":
+			err = node.Register(echo.New())
+		case "null":
+			err = node.Register(null.New())
+		case "":
+		default:
+			fail("unknown service %q (this binary bundles: echo, null)", svc)
+		}
+		if err != nil {
+			fail("register %s: %v", svc, err)
+		}
+	}
+
+	fmt.Printf("interedge-sn %s listening on %s\n", *addr, *listen)
+	fmt.Printf("identity: %s\n", hex.EncodeToString(id.PublicKey()))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var tick <-chan time.Time
+	if *statsEvery > 0 {
+		t := time.NewTicker(*statsEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\nshutting down")
+			return
+		case <-tick:
+			c := node.Counters()
+			fmt.Printf("rx=%d fast=%d slow=%d fwd=%d drops(rule=%d queue=%d nomod=%d)\n",
+				c.RxPackets, c.FastPathHits, c.SlowPathSent, c.Forwarded,
+				c.RuleDrops, c.SlowPathDrops, c.NoModuleDrops)
+		}
+	}
+}
+
+func loadDirectory(dir *netsim.UDPDirectory, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return fmt.Errorf("bad directory line: %q", line)
+		}
+		ep, err := net.ResolveUDPAddr("udp", fields[1])
+		if err != nil {
+			return fmt.Errorf("bad endpoint %q: %w", fields[1], err)
+		}
+		dir.Register(wire.MustAddr(fields[0]), ep)
+	}
+	return scanner.Err()
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,31 @@
+// Package interedge is a Go reproduction of "An Architecture For Edge
+// Networking Services" (Brown et al., ACM SIGCOMM 2024): the InterEdge —
+// an interconnected, neutral architecture for edge networking services.
+//
+// The implementation lives under internal/ and is organized by subsystem:
+//
+//   - internal/wire, internal/psp, internal/handshake — the ILP
+//     interposition-layer protocol and its PSP-style per-packet encryption;
+//   - internal/pipe — host↔SN and SN↔SN pipes;
+//   - internal/sn — the service node: pipe-terminus, decision cache, and
+//     the common execution environment for service modules;
+//   - internal/edomain, internal/lookup, internal/peering — edomains,
+//     the global lookup service, and settlement-free full-mesh peering;
+//   - internal/host — InterEdge host support and the extended network API;
+//   - internal/services/... — the standardized service modules (pub/sub,
+//     multicast, anycast, oDNS, private relay, mixnet, DDoS protection,
+//     last-hop QoS, CDN caching, message queues, ordered delivery, bulk
+//     delivery, VPN, ZTNA, SD-WAN, firewall, attestation, mobility);
+//   - internal/broker — published rate cards, the nondiscrimination audit,
+//     and coverage-stitching brokers;
+//   - internal/enclave, internal/tpm — simulated secure enclaves and TPM
+//     attestation;
+//   - internal/tunnel — WireGuard-style tunnels for the Appendix C
+//     direct-peering benchmark;
+//   - internal/lab — in-process deployments (the executable Figure 1);
+//   - internal/bench — the harness regenerating the paper's evaluation.
+//
+// The benchmarks in bench_test.go regenerate every quantitative result in
+// the paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-versus-measured numbers.
+package interedge

@@ -1,0 +1,116 @@
+package interedge_test
+
+import (
+	"testing"
+	"time"
+
+	"interedge/internal/host"
+	"interedge/internal/lab"
+	"interedge/internal/peering"
+	"interedge/internal/services/echo"
+	"interedge/internal/sn"
+	"interedge/internal/wire"
+)
+
+// BenchmarkEndToEndEchoRTT measures the full-stack request/response round
+// trip: host stack → pipe (PSP seal) → SN pipe-terminus → slow path →
+// module → seal → host. This is the user-visible latency floor of the
+// architecture on this machine.
+func BenchmarkEndToEndEchoRTT(b *testing.B) {
+	topo := lab.New()
+	defer topo.Close()
+	ed, err := topo.AddEdomain("bench", 1, func(node *sn.SN, ed *lab.Edomain) error {
+		return node.Register(echo.New())
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := topo.NewHost(ed, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn, err := h.NewConn(wire.SvcEcho)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	payload := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.Send(nil, payload); err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-conn.Receive():
+		case <-time.After(5 * time.Second):
+			b.Fatal("echo timed out")
+		}
+	}
+}
+
+// BenchmarkAblationInterEdomainPath measures §3.2's routing choice with
+// real transit traffic: an echo request encapsulated under SvcPeering
+// travels host → first-hop SN → (gateway chain | direct pipe) → remote SN,
+// whose echo module replies straight to the host. The gateway path
+// traverses two more SN hops than direct connect.
+func BenchmarkAblationInterEdomainPath(b *testing.B) {
+	run := func(b *testing.B, direct bool) {
+		topo := lab.New()
+		defer topo.Close()
+		setup := func(node *sn.SN, ed *lab.Edomain) error {
+			return node.Register(echo.New())
+		}
+		edA, err := topo.AddEdomain("ed-a", 2, setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edB, err := topo.AddEdomain("ed-b", 2, setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := topo.Mesh(); err != nil {
+			b.Fatal(err)
+		}
+		topo.Fabric.SetDirectConnect(direct)
+
+		h, err := topo.NewHost(edA, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		firstHop := edA.SNs[1].Addr()
+		target := edB.SNs[1].Addr() // non-gateway SN in the remote edomain
+		replies := make(chan struct{}, 16)
+		h.OnService(wire.SvcEcho, func(host.Message) { replies <- struct{}{} })
+
+		inner := wire.ILPHeader{Service: wire.SvcEcho, Conn: 7}
+		svcData, payload, err := peering.EncodeTransit(target, h.Addr(), &inner, make([]byte, 256))
+		if err != nil {
+			b.Fatal(err)
+		}
+		outer := wire.ILPHeader{Service: wire.SvcPeering, Conn: 7, Data: svcData}
+
+		// Warm the path (establish all pipes along the chain).
+		if err := h.Pipes().Send(firstHop, &outer, payload); err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-replies:
+		case <-time.After(5 * time.Second):
+			b.Fatal("warm-up reply timed out")
+		}
+
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := h.Pipes().Send(firstHop, &outer, payload); err != nil {
+				b.Fatal(err)
+			}
+			select {
+			case <-replies:
+			case <-time.After(5 * time.Second):
+				b.Fatal("reply timed out")
+			}
+		}
+	}
+	b.Run("gateway-path", func(b *testing.B) { run(b, false) })
+	b.Run("direct-connect", func(b *testing.B) { run(b, true) })
+}

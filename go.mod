@@ -1,0 +1,3 @@
+module interedge
+
+go 1.22

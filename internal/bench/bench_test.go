@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"interedge/internal/sn"
+)
+
+func smallCase(mode string, enclave bool) Table1Case {
+	c := DefaultTable1Case(mode, enclave)
+	c.Packets = 500
+	return c
+}
+
+func TestTable1NoService(t *testing.T) {
+	res, err := RunTable1(smallCase("no-service", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputPPS <= 0 || res.MedianLatency <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestTable1NullServiceIPC(t *testing.T) {
+	res, err := RunTable1(smallCase("null-service", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputPPS <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestTable1Enclaves(t *testing.T) {
+	for _, mode := range []string{"no-service", "null-service"} {
+		if _, err := RunTable1(smallCase(mode, true)); err != nil {
+			t.Fatalf("%s enclave: %v", mode, err)
+		}
+	}
+}
+
+// The paper's central Table 1 shape: no-service throughput strictly
+// exceeds null-service (IPC) throughput, and no-service latency is lower.
+func TestTable1Shape(t *testing.T) {
+	noSvc, err := RunTable1(smallCase("no-service", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nullSvc, err := RunTable1(smallCase("null-service", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noSvc.ThroughputPPS <= nullSvc.ThroughputPPS {
+		t.Fatalf("no-service %.0f pps not above null-service %.0f pps",
+			noSvc.ThroughputPPS, nullSvc.ThroughputPPS)
+	}
+	if noSvc.MedianLatency >= nullSvc.MedianLatency {
+		t.Fatalf("no-service latency %v not below null-service %v",
+			noSvc.MedianLatency, nullSvc.MedianLatency)
+	}
+}
+
+func TestTable1UnknownMode(t *testing.T) {
+	if _, err := RunTable1(Table1Case{Mode: "bogus", Packets: 1, Outstanding: 1}); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}
+
+func TestTable1ChanTransport(t *testing.T) {
+	c := smallCase("null-service", false)
+	c.Transport = sn.TransportChan
+	if _, err := RunTable1(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectPeeringSmall(t *testing.T) {
+	res, err := RunDirectPeering(PeeringConfig{
+		Tunnels:           200,
+		RotateEvery:       3 * time.Minute,
+		SimulatedDuration: 6 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each tunnel rotates ~twice over 2 intervals.
+	if res.Rotations < 300 || res.Rotations > 600 {
+		t.Fatalf("rotations = %d, want ~400", res.Rotations)
+	}
+	if res.CPUFraction <= 0 || res.BandwidthBps <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+}

@@ -1,0 +1,315 @@
+// Package broker implements the economic layer of §5: IESPs publish
+// standard rate cards and "make their services available to all on
+// nondiscriminatory terms"; prices "might depend on the volume and
+// location of service, but cannot vary based on the customer". The
+// Exchange enforces this structurally — purchases always price off the
+// published card — and provides the audit that detects violations. The
+// Broker performs the §5 coverage stitching: "a set of 'brokers' will
+// arise that can do the stitching on behalf of customers", letting
+// collections of smaller IESPs compete with global providers.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"interedge/internal/wire"
+)
+
+// Region names a geographic service region.
+type Region string
+
+// IESP names an InterEdge service provider.
+type IESP string
+
+// Tier is one volume tier of a rate: the unit price applying from
+// MinVolumeGB upward.
+type Tier struct {
+	MinVolumeGB float64
+	// PricePerGB in micro-currency units.
+	PricePerGB uint64
+}
+
+// RateEntry prices one service in one region.
+type RateEntry struct {
+	Service wire.ServiceID
+	Region  Region
+	// Tiers must be sorted by ascending MinVolumeGB, first tier at 0.
+	// Note the deliberate absence of any customer field: rates cannot
+	// name customers (§5 neutrality).
+	Tiers []Tier
+}
+
+// RateCard is an IESP's published standard rates.
+type RateCard struct {
+	Provider IESP
+	Entries  []RateEntry
+}
+
+// Purchase records one customer's service buy, always priced off the
+// published card.
+type Purchase struct {
+	Customer string
+	Provider IESP
+	Service  wire.ServiceID
+	Region   Region
+	VolumeGB float64
+	// UnitPrice is the per-GB price actually charged.
+	UnitPrice uint64
+}
+
+// Errors returned by the exchange.
+var (
+	ErrNoRate         = errors.New("broker: no published rate for service/region")
+	ErrBadCard        = errors.New("broker: malformed rate card")
+	ErrDiscrimination = errors.New("broker: nondiscrimination violated")
+	ErrNoCoverage     = errors.New("broker: region cannot be covered")
+)
+
+type rateKey struct {
+	provider IESP
+	service  wire.ServiceID
+	region   Region
+}
+
+// Exchange is the marketplace of published rates and recorded purchases.
+type Exchange struct {
+	mu        sync.Mutex
+	rates     map[rateKey][]Tier
+	purchases []Purchase
+}
+
+// NewExchange creates an empty exchange.
+func NewExchange() *Exchange {
+	return &Exchange{rates: make(map[rateKey][]Tier)}
+}
+
+// Publish registers (or replaces) an IESP's rate card. Cards must have
+// tiers sorted ascending with the first tier starting at volume 0.
+func (e *Exchange) Publish(card RateCard) error {
+	if card.Provider == "" {
+		return fmt.Errorf("%w: missing provider", ErrBadCard)
+	}
+	for _, entry := range card.Entries {
+		if len(entry.Tiers) == 0 {
+			return fmt.Errorf("%w: entry without tiers", ErrBadCard)
+		}
+		if entry.Tiers[0].MinVolumeGB != 0 {
+			return fmt.Errorf("%w: first tier must start at volume 0", ErrBadCard)
+		}
+		for i := 1; i < len(entry.Tiers); i++ {
+			if entry.Tiers[i].MinVolumeGB <= entry.Tiers[i-1].MinVolumeGB {
+				return fmt.Errorf("%w: tiers not ascending", ErrBadCard)
+			}
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, entry := range card.Entries {
+		key := rateKey{card.Provider, entry.Service, entry.Region}
+		e.rates[key] = append([]Tier(nil), entry.Tiers...)
+	}
+	return nil
+}
+
+// Quote returns the published unit price for a volume. Identical for
+// every customer by construction.
+func (e *Exchange) Quote(provider IESP, svc wire.ServiceID, region Region, volumeGB float64) (uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.quoteLocked(provider, svc, region, volumeGB)
+}
+
+func (e *Exchange) quoteLocked(provider IESP, svc wire.ServiceID, region Region, volumeGB float64) (uint64, error) {
+	tiers, ok := e.rates[rateKey{provider, svc, region}]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s/%s/%s", ErrNoRate, provider, svc, region)
+	}
+	price := tiers[0].PricePerGB
+	for _, t := range tiers {
+		if volumeGB >= t.MinVolumeGB {
+			price = t.PricePerGB
+		}
+	}
+	return price, nil
+}
+
+// Buy purchases service capacity. The price is forced to the published
+// quote — the API offers no way to charge this customer differently.
+func (e *Exchange) Buy(customer string, provider IESP, svc wire.ServiceID, region Region, volumeGB float64) (Purchase, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	price, err := e.quoteLocked(provider, svc, region, volumeGB)
+	if err != nil {
+		return Purchase{}, err
+	}
+	p := Purchase{
+		Customer: customer, Provider: provider, Service: svc,
+		Region: region, VolumeGB: volumeGB, UnitPrice: price,
+	}
+	e.purchases = append(e.purchases, p)
+	return p, nil
+}
+
+// RecordExternalPurchase admits a purchase record produced outside the
+// exchange (e.g. imported billing data) for auditing.
+func (e *Exchange) RecordExternalPurchase(p Purchase) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.purchases = append(e.purchases, p)
+}
+
+// Providers returns every IESP with at least one published rate for the
+// service in the region.
+func (e *Exchange) Providers(svc wire.ServiceID, region Region) []IESP {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	seen := map[IESP]bool{}
+	for key := range e.rates {
+		if key.service == svc && key.region == region && !seen[key.provider] {
+			seen[key.provider] = true
+		}
+	}
+	out := make([]IESP, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AuditNondiscrimination verifies §5's rule over all recorded purchases:
+// within one (provider, service, region), any two purchases in the same
+// volume tier must have the same unit price; i.e., "there can be no
+// discrimination based on the user's identity aside from the type of
+// service requested and the amount they are paying".
+func (e *Exchange) AuditNondiscrimination() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	type bucket struct {
+		provider IESP
+		service  wire.ServiceID
+		region   Region
+		tier     float64
+	}
+	seen := map[bucket]Purchase{}
+	for _, p := range e.purchases {
+		tiers, ok := e.rates[rateKey{p.Provider, p.Service, p.Region}]
+		tierStart := 0.0
+		if ok {
+			for _, t := range tiers {
+				if p.VolumeGB >= t.MinVolumeGB {
+					tierStart = t.MinVolumeGB
+				}
+			}
+		}
+		b := bucket{p.Provider, p.Service, p.Region, tierStart}
+		if prev, dup := seen[b]; dup {
+			if prev.UnitPrice != p.UnitPrice {
+				return fmt.Errorf("%w: %s charged %d but %s charged %d for %s/%s (tier %.0fGB)",
+					ErrDiscrimination, prev.Customer, prev.UnitPrice,
+					p.Customer, p.UnitPrice, p.Provider, p.Region, tierStart)
+			}
+		} else {
+			seen[b] = p
+		}
+	}
+	return nil
+}
+
+// --- Coverage stitching --------------------------------------------------------
+
+// CoverageDirectory records which regions each IESP serves.
+type CoverageDirectory struct {
+	mu       sync.Mutex
+	coverage map[IESP]map[Region]bool
+}
+
+// NewCoverageDirectory creates an empty directory.
+func NewCoverageDirectory() *CoverageDirectory {
+	return &CoverageDirectory{coverage: make(map[IESP]map[Region]bool)}
+}
+
+// Declare records an IESP's served regions.
+func (d *CoverageDirectory) Declare(p IESP, regions ...Region) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.coverage[p] == nil {
+		d.coverage[p] = make(map[Region]bool)
+	}
+	for _, r := range regions {
+		d.coverage[p][r] = true
+	}
+}
+
+// Covers reports whether an IESP serves a region.
+func (d *CoverageDirectory) Covers(p IESP, r Region) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.coverage[p][r]
+}
+
+// Plan is a broker's stitched coverage: which IESP serves each region and
+// the total cost for the customer's expected volume.
+type Plan struct {
+	Assignments map[Region]IESP
+	// TotalCost is the summed cost (unit price × per-region volume).
+	TotalCost uint64
+}
+
+// Broker stitches multi-IESP coverage (§5).
+type Broker struct {
+	exchange *Exchange
+	coverage *CoverageDirectory
+}
+
+// NewBroker creates a broker over an exchange and coverage directory.
+func NewBroker(exchange *Exchange, coverage *CoverageDirectory) *Broker {
+	return &Broker{exchange: exchange, coverage: coverage}
+}
+
+// Stitch finds, per region, the cheapest IESP covering it at the given
+// expected volume, producing a plan a single customer contract can buy.
+// It fails if any region has no covering provider with a published rate.
+func (b *Broker) Stitch(svc wire.ServiceID, volumePerRegionGB float64, regions ...Region) (Plan, error) {
+	plan := Plan{Assignments: make(map[Region]IESP)}
+	for _, region := range regions {
+		providers := b.exchange.Providers(svc, region)
+		var best IESP
+		var bestPrice uint64
+		found := false
+		for _, p := range providers {
+			if !b.coverage.Covers(p, region) {
+				continue
+			}
+			price, err := b.exchange.Quote(p, svc, region, volumePerRegionGB)
+			if err != nil {
+				continue
+			}
+			if !found || price < bestPrice {
+				best, bestPrice, found = p, price, true
+			}
+		}
+		if !found {
+			return Plan{}, fmt.Errorf("%w: %s", ErrNoCoverage, region)
+		}
+		plan.Assignments[region] = best
+		plan.TotalCost += bestPrice * uint64(volumePerRegionGB)
+	}
+	return plan, nil
+}
+
+// Execute buys every assignment in a plan on behalf of the customer.
+func (b *Broker) Execute(customer string, svc wire.ServiceID, volumePerRegionGB float64, plan Plan) ([]Purchase, error) {
+	var out []Purchase
+	for region, provider := range plan.Assignments {
+		p, err := b.exchange.Buy(customer, provider, svc, region, volumePerRegionGB)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

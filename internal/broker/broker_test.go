@@ -1,0 +1,193 @@
+package broker
+
+import (
+	"errors"
+	"testing"
+
+	"interedge/internal/wire"
+)
+
+func card(p IESP, svc wire.ServiceID, region Region, tiers ...Tier) RateCard {
+	return RateCard{Provider: p, Entries: []RateEntry{{Service: svc, Region: region, Tiers: tiers}}}
+}
+
+func TestPublishAndQuote(t *testing.T) {
+	e := NewExchange()
+	if err := e.Publish(card("acme", wire.SvcCDNCache, "eu-west", Tier{0, 100}, Tier{1000, 80})); err != nil {
+		t.Fatal(err)
+	}
+	small, err := e.Quote("acme", wire.SvcCDNCache, "eu-west", 10)
+	if err != nil || small != 100 {
+		t.Fatalf("small quote %d err %v", small, err)
+	}
+	big, err := e.Quote("acme", wire.SvcCDNCache, "eu-west", 5000)
+	if err != nil || big != 80 {
+		t.Fatalf("big quote %d err %v", big, err)
+	}
+	if _, err := e.Quote("acme", wire.SvcCDNCache, "mars", 1); !errors.Is(err, ErrNoRate) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	e := NewExchange()
+	if err := e.Publish(RateCard{}); !errors.Is(err, ErrBadCard) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := e.Publish(card("x", wire.SvcNull, "r")); !errors.Is(err, ErrBadCard) {
+		t.Fatal("entry without tiers accepted")
+	}
+	if err := e.Publish(card("x", wire.SvcNull, "r", Tier{5, 1})); !errors.Is(err, ErrBadCard) {
+		t.Fatal("first tier not at 0 accepted")
+	}
+	if err := e.Publish(card("x", wire.SvcNull, "r", Tier{0, 1}, Tier{0, 2})); !errors.Is(err, ErrBadCard) {
+		t.Fatal("non-ascending tiers accepted")
+	}
+}
+
+// §5 neutrality: two customers buying the same thing pay the same price —
+// structurally guaranteed and verified by the audit.
+func TestSamePriceForEveryCustomer(t *testing.T) {
+	e := NewExchange()
+	if err := e.Publish(card("acme", wire.SvcQoS, "us-east", Tier{0, 50})); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := e.Buy("netflix", "acme", wire.SvcQoS, "us-east", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.Buy("tiny-startup", "acme", wire.SvcQoS, "us-east", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.UnitPrice != p2.UnitPrice {
+		t.Fatalf("prices differ: %d vs %d", p1.UnitPrice, p2.UnitPrice)
+	}
+	if err := e.AuditNondiscrimination(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditDetectsDiscrimination(t *testing.T) {
+	e := NewExchange()
+	if err := e.Publish(card("evil", wire.SvcQoS, "us-east", Tier{0, 50})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Buy("friend", "evil", wire.SvcQoS, "us-east", 10); err != nil {
+		t.Fatal(err)
+	}
+	// An off-exchange deal charges a disfavored customer more.
+	e.RecordExternalPurchase(Purchase{
+		Customer: "rival", Provider: "evil", Service: wire.SvcQoS,
+		Region: "us-east", VolumeGB: 10, UnitPrice: 500,
+	})
+	if err := e.AuditNondiscrimination(); !errors.Is(err, ErrDiscrimination) {
+		t.Fatalf("audit err = %v, want ErrDiscrimination", err)
+	}
+}
+
+func TestVolumeTiersAreNotDiscrimination(t *testing.T) {
+	e := NewExchange()
+	if err := e.Publish(card("acme", wire.SvcQoS, "r", Tier{0, 100}, Tier{1000, 60})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Buy("small", "acme", wire.SvcQoS, "r", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Buy("large", "acme", wire.SvcQoS, "r", 5000); err != nil {
+		t.Fatal(err)
+	}
+	// Different tiers, different prices: allowed ("the amount they are
+	// paying").
+	if err := e.AuditNondiscrimination(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// §5: "a set of 'brokers' will arise that can do the stitching on behalf
+// of customers. … collections of smaller IESPs [can] compete with the
+// global ones."
+func TestBrokerStitchesSmallIESPsBelowGlobalPrice(t *testing.T) {
+	e := NewExchange()
+	cov := NewCoverageDirectory()
+
+	// A global IESP covers everything at a premium.
+	regions := []Region{"eu-west", "us-east", "ap-south"}
+	for _, r := range regions {
+		if err := e.Publish(card("globalco", wire.SvcCDNCache, r, Tier{0, 100})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cov.Declare("globalco", regions...)
+	// Regional IESPs are cheaper at home.
+	if err := e.Publish(card("eu-carrier", wire.SvcCDNCache, "eu-west", Tier{0, 40})); err != nil {
+		t.Fatal(err)
+	}
+	cov.Declare("eu-carrier", "eu-west")
+	if err := e.Publish(card("us-ixp", wire.SvcCDNCache, "us-east", Tier{0, 55})); err != nil {
+		t.Fatal(err)
+	}
+	cov.Declare("us-ixp", "us-east")
+
+	b := NewBroker(e, cov)
+	plan, err := b.Stitch(wire.SvcCDNCache, 100, regions...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Assignments["eu-west"] != "eu-carrier" {
+		t.Fatalf("eu-west -> %s", plan.Assignments["eu-west"])
+	}
+	if plan.Assignments["us-east"] != "us-ixp" {
+		t.Fatalf("us-east -> %s", plan.Assignments["us-east"])
+	}
+	if plan.Assignments["ap-south"] != "globalco" {
+		t.Fatalf("ap-south -> %s", plan.Assignments["ap-south"])
+	}
+	globalOnly := uint64(100) * 100 * 3
+	if plan.TotalCost >= globalOnly {
+		t.Fatalf("stitched cost %d not below global-only %d", plan.TotalCost, globalOnly)
+	}
+	// Execute the plan: every purchase lands at published prices.
+	purchases, err := b.Execute("app-provider", wire.SvcCDNCache, 100, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(purchases) != 3 {
+		t.Fatalf("purchases %d", len(purchases))
+	}
+	if err := e.AuditNondiscrimination(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStitchFailsWithoutCoverage(t *testing.T) {
+	e := NewExchange()
+	cov := NewCoverageDirectory()
+	b := NewBroker(e, cov)
+	if _, err := b.Stitch(wire.SvcCDNCache, 1, "antarctica"); !errors.Is(err, ErrNoCoverage) {
+		t.Fatalf("err = %v", err)
+	}
+	// Published rate but undeclared coverage also fails.
+	if err := e.Publish(card("x", wire.SvcCDNCache, "antarctica", Tier{0, 1})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Stitch(wire.SvcCDNCache, 1, "antarctica"); !errors.Is(err, ErrNoCoverage) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProvidersListing(t *testing.T) {
+	e := NewExchange()
+	for _, p := range []IESP{"b", "a"} {
+		if err := e.Publish(card(p, wire.SvcNull, "r", Tier{0, 1})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := e.Providers(wire.SvcNull, "r")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("providers %v", got)
+	}
+	if len(e.Providers(wire.SvcNull, "other")) != 0 {
+		t.Fatal("phantom providers")
+	}
+}

@@ -1,0 +1,93 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"interedge/internal/wire"
+)
+
+// Property: quotes are a pure function of (provider, service, region,
+// tier) — two customers buying any volumes in the same tier always record
+// the same unit price, so the audit passes for every purchase pattern
+// generated from published cards.
+func TestQuotesNeverDiscriminateProperty(t *testing.T) {
+	f := func(tierPrices []uint16, volumes []uint16) bool {
+		if len(tierPrices) == 0 {
+			tierPrices = []uint16{1}
+		}
+		if len(tierPrices) > 5 {
+			tierPrices = tierPrices[:5]
+		}
+		e := NewExchange()
+		tiers := make([]Tier, len(tierPrices))
+		for i, p := range tierPrices {
+			tiers[i] = Tier{MinVolumeGB: float64(i) * 100, PricePerGB: uint64(p) + 1}
+		}
+		if err := e.Publish(card("p", wire.SvcCDNCache, "r", tiers...)); err != nil {
+			return false
+		}
+		for i, v := range volumes {
+			customer := fmt.Sprintf("cust-%d", i%3)
+			if _, err := e.Buy(customer, "p", wire.SvcCDNCache, "r", float64(v)); err != nil {
+				return false
+			}
+		}
+		return e.AuditNondiscrimination() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the broker's stitched plan never costs more than any
+// single-provider plan that covers all regions.
+func TestStitchIsNeverWorseThanSingleProviderProperty(t *testing.T) {
+	f := func(prices [][3]uint16) bool {
+		if len(prices) == 0 {
+			return true
+		}
+		if len(prices) > 6 {
+			prices = prices[:6]
+		}
+		regions := []Region{"r0", "r1", "r2"}
+		e := NewExchange()
+		cov := NewCoverageDirectory()
+		fullCover := []IESP{}
+		for i, trio := range prices {
+			p := IESP(fmt.Sprintf("iesp-%d", i))
+			for j, r := range regions {
+				if err := e.Publish(card(p, wire.SvcCDNCache, r, Tier{0, uint64(trio[j]) + 1})); err != nil {
+					return false
+				}
+				cov.Declare(p, r)
+			}
+			fullCover = append(fullCover, p)
+		}
+		b := NewBroker(e, cov)
+		plan, err := b.Stitch(wire.SvcCDNCache, 10, regions...)
+		if err != nil {
+			return false
+		}
+		// Compare with every single-provider total.
+		singles := make([]uint64, 0, len(fullCover))
+		for _, p := range fullCover {
+			var total uint64
+			for _, r := range regions {
+				q, err := e.Quote(p, wire.SvcCDNCache, r, 10)
+				if err != nil {
+					return false
+				}
+				total += q * 10
+			}
+			singles = append(singles, total)
+		}
+		sort.Slice(singles, func(i, j int) bool { return singles[i] < singles[j] })
+		return plan.TotalCost <= singles[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package clock abstracts time so that schedulers, key rotation, and cache
+// aging are deterministic under test. Production code uses Real; tests use
+// Manual and advance time explicitly.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time surface the rest of the system depends on.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the then-current time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until d has elapsed.
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by the wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Manual is a Clock whose time only moves when Advance is called. It is safe
+// for concurrent use.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+}
+
+// NewManual returns a Manual clock starting at start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+type waiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+type waiterHeap []waiter
+
+func (h waiterHeap) Len() int            { return len(h) }
+func (h waiterHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(waiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	*h = old[:n-1]
+	return w
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// After implements Clock. The returned channel fires when Advance moves the
+// clock to or past now+d.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	at := m.now.Add(d)
+	if d <= 0 {
+		ch <- m.now
+		return ch
+	}
+	heap.Push(&m.waiters, waiter{at: at, ch: ch})
+	return ch
+}
+
+// Sleep implements Clock. It blocks until another goroutine advances the
+// clock far enough.
+func (m *Manual) Sleep(d time.Duration) {
+	<-m.After(d)
+}
+
+// Advance moves the clock forward by d, firing any timers that come due.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	var due []waiter
+	for len(m.waiters) > 0 && !m.waiters[0].at.After(m.now) {
+		due = append(due, heap.Pop(&m.waiters).(waiter))
+	}
+	now := m.now
+	m.mu.Unlock()
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// Set moves the clock to exactly t (which must not be earlier than the
+// current time), firing any timers that come due.
+func (m *Manual) Set(t time.Time) {
+	m.mu.Lock()
+	if t.Before(m.now) {
+		m.mu.Unlock()
+		panic("clock: Set would move time backwards")
+	}
+	d := t.Sub(m.now)
+	m.mu.Unlock()
+	m.Advance(d)
+}

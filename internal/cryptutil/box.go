@@ -1,0 +1,83 @@
+package cryptutil
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"fmt"
+)
+
+// Sealed-box encryption (HPKE-style): anyone holding a recipient's X25519
+// public key can seal a message only the recipient can open. Used by the
+// privacy services — oDNS queries sealed to the resolver, private-relay
+// inner envelopes sealed to the egress SN, and mixnet onion layers sealed
+// to each mix hop — so intermediate nodes never see plaintext (§6.2).
+
+// ErrBoxOpen is returned when a sealed box fails to decrypt.
+var ErrBoxOpen = errors.New("cryptutil: sealed box open failed")
+
+// BoxOverhead is the size added by SealTo: the ephemeral public key plus
+// the AEAD tag.
+const BoxOverhead = 32 + 16
+
+// SealTo encrypts msg to the holder of recipientPub (a 32-byte X25519
+// public key). Output layout: ephemeralPub(32) ‖ ciphertext+tag.
+func SealTo(recipientPub, msg []byte) ([]byte, error) {
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("cryptutil: ephemeral key: %w", err)
+	}
+	shared, err := X25519Shared(eph, recipientPub)
+	if err != nil {
+		return nil, err
+	}
+	ephPub := eph.PublicKey().Bytes()
+	aead, err := boxAEAD(shared, ephPub, recipientPub)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 32+len(msg)+16)
+	out = append(out, ephPub...)
+	return aead.Seal(out, boxNonce(), msg, nil), nil
+}
+
+// OpenFrom decrypts a sealed box with the recipient's private key.
+func OpenFrom(recipientPriv *ecdh.PrivateKey, box []byte) ([]byte, error) {
+	if len(box) < BoxOverhead {
+		return nil, ErrBoxOpen
+	}
+	ephPub := box[:32]
+	shared, err := X25519Shared(recipientPriv, ephPub)
+	if err != nil {
+		return nil, ErrBoxOpen
+	}
+	aead, err := boxAEAD(shared, ephPub, recipientPriv.PublicKey().Bytes())
+	if err != nil {
+		return nil, err
+	}
+	msg, err := aead.Open(nil, boxNonce(), box[32:], nil)
+	if err != nil {
+		return nil, ErrBoxOpen
+	}
+	return msg, nil
+}
+
+// boxAEAD derives the box key from the DH share bound to both public keys.
+func boxAEAD(shared, ephPub, recipientPub []byte) (cipher.AEAD, error) {
+	info := append(append([]byte("interedge-box|"), ephPub...), recipientPub...)
+	key, err := DeriveKey(shared, nil, string(info))
+	if err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// boxNonce is constant: each box uses a fresh ephemeral key, so the
+// (key, nonce) pair never repeats.
+func boxNonce() []byte { return make([]byte, 12) }

@@ -1,0 +1,115 @@
+package cryptutil
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxRoundTrip(t *testing.T) {
+	kp, err := NewStaticKeypair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("what is the address of example.org")
+	box, err := SealTo(kp.PublicKeyBytes(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(box) != len(msg)+BoxOverhead {
+		t.Fatalf("box size %d, want %d", len(box), len(msg)+BoxOverhead)
+	}
+	got, err := OpenFrom(kp.Private, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestBoxWrongKeyFails(t *testing.T) {
+	kp1, _ := NewStaticKeypair()
+	kp2, _ := NewStaticKeypair()
+	box, err := SealTo(kp1.PublicKeyBytes(), []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFrom(kp2.Private, box); err != ErrBoxOpen {
+		t.Fatalf("err = %v, want ErrBoxOpen", err)
+	}
+}
+
+func TestBoxTamperDetected(t *testing.T) {
+	kp, _ := NewStaticKeypair()
+	box, _ := SealTo(kp.PublicKeyBytes(), []byte("secret"))
+	for _, i := range []int{0, 31, 32, len(box) - 1} {
+		mut := append([]byte(nil), box...)
+		mut[i] ^= 1
+		if _, err := OpenFrom(kp.Private, mut); err == nil {
+			t.Fatalf("tampered byte %d accepted", i)
+		}
+	}
+}
+
+func TestBoxTruncated(t *testing.T) {
+	kp, _ := NewStaticKeypair()
+	if _, err := OpenFrom(kp.Private, make([]byte, BoxOverhead-1)); err != ErrBoxOpen {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBoxNondeterministic(t *testing.T) {
+	kp, _ := NewStaticKeypair()
+	b1, _ := SealTo(kp.PublicKeyBytes(), []byte("m"))
+	b2, _ := SealTo(kp.PublicKeyBytes(), []byte("m"))
+	if bytes.Equal(b1, b2) {
+		t.Fatal("two seals of the same message identical")
+	}
+}
+
+// Onion layering: boxes nest, each hop peels one layer.
+func TestBoxOnionLayers(t *testing.T) {
+	var keys []StaticKeypair
+	for i := 0; i < 3; i++ {
+		kp, err := NewStaticKeypair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, kp)
+	}
+	inner := []byte("final plaintext")
+	onion := inner
+	for i := len(keys) - 1; i >= 0; i-- {
+		var err error
+		onion, err = SealTo(keys[i].PublicKeyBytes(), onion)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < len(keys); i++ {
+		var err error
+		onion, err = OpenFrom(keys[i].Private, onion)
+		if err != nil {
+			t.Fatalf("layer %d: %v", i, err)
+		}
+	}
+	if !bytes.Equal(onion, inner) {
+		t.Fatal("onion peel mismatch")
+	}
+}
+
+func TestBoxProperty(t *testing.T) {
+	kp, _ := NewStaticKeypair()
+	f := func(msg []byte) bool {
+		box, err := SealTo(kp.PublicKeyBytes(), msg)
+		if err != nil {
+			return false
+		}
+		got, err := OpenFrom(kp.Private, box)
+		return err == nil && bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

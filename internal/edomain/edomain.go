@@ -1,0 +1,430 @@
+// Package edomain implements the per-edomain "core" of §6.2: an SDN-like
+// persistent, scalable store that tracks which of the edomain's SNs have
+// members of each group, registers the edomain with the global lookup
+// service when it first gains members or senders, and pushes watch events
+// to SNs that registered as senders.
+package edomain
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"interedge/internal/lookup"
+	"interedge/internal/wire"
+)
+
+// ID aliases lookup.EdomainID for convenience.
+type ID = lookup.EdomainID
+
+// GroupID aliases lookup.GroupID.
+type GroupID = lookup.GroupID
+
+// MemberEvent reports an SN gaining or losing members of a group inside
+// this edomain.
+type MemberEvent struct {
+	Group  GroupID
+	SN     wire.Addr
+	Joined bool
+}
+
+// Errors returned by the core.
+var (
+	ErrUnknownSN = errors.New("edomain: SN not registered in this edomain")
+)
+
+type coreGroup struct {
+	// membersBySN maps each SN to the hosts behind it that joined.
+	membersBySN map[wire.Addr]map[wire.Addr]struct{}
+	senderSNs   map[wire.Addr]struct{}
+	watchers    map[int]chan MemberEvent
+	nextW       int
+	// lookupCancel is set while this edomain has ≥1 registered sender and
+	// is therefore watching the global member-edomain list.
+	lookupCancel  func()
+	remoteMembers map[ID]struct{}
+	remoteEvents  <-chan lookup.GroupEvent
+	remoteDone    chan struct{}
+}
+
+// Core is one edomain's control store.
+type Core struct {
+	id     ID
+	global *lookup.Service
+
+	mu     sync.Mutex
+	sns    map[wire.Addr]struct{}
+	groups map[GroupID]*coreGroup
+}
+
+// New creates a core for the given edomain backed by the global lookup
+// service.
+func New(id ID, global *lookup.Service) *Core {
+	return &Core{
+		id:     id,
+		global: global,
+		sns:    make(map[wire.Addr]struct{}),
+		groups: make(map[GroupID]*coreGroup),
+	}
+}
+
+// ID returns the edomain's identifier.
+func (c *Core) ID() ID { return c.id }
+
+// RegisterSN adds an SN to the edomain.
+func (c *Core) RegisterSN(addr wire.Addr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sns[addr] = struct{}{}
+}
+
+// SNs returns the edomain's registered SNs.
+func (c *Core) SNs() []wire.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]wire.Addr, 0, len(c.sns))
+	for a := range c.sns {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// HasSN reports whether addr is one of the edomain's SNs.
+func (c *Core) HasSN(addr wire.Addr) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.sns[addr]
+	return ok
+}
+
+func (c *Core) group(g GroupID) *coreGroup {
+	cg, ok := c.groups[g]
+	if !ok {
+		cg = &coreGroup{
+			membersBySN:   make(map[wire.Addr]map[wire.Addr]struct{}),
+			senderSNs:     make(map[wire.Addr]struct{}),
+			watchers:      make(map[int]chan MemberEvent),
+			remoteMembers: make(map[ID]struct{}),
+		}
+		c.groups[g] = cg
+	}
+	return cg
+}
+
+// JoinGroup records that host (behind sn) joined group. If sn previously
+// had no members, sender-SNs are notified; if the edomain previously had
+// no members, the global lookup service is updated ("Whenever an SN
+// receives a join message for a group for which it does not currently
+// have a member, it sends a notice to the edomain's core", §6.2).
+func (c *Core) JoinGroup(group GroupID, sn, hostAddr wire.Addr) error {
+	c.mu.Lock()
+	if _, ok := c.sns[sn]; !ok {
+		c.mu.Unlock()
+		return ErrUnknownSN
+	}
+	cg := c.group(group)
+	edomainHadMembers := len(cg.membersBySN) > 0
+	hosts, snHadMembers := cg.membersBySN[sn]
+	if !snHadMembers {
+		hosts = make(map[wire.Addr]struct{})
+		cg.membersBySN[sn] = hosts
+	}
+	hosts[hostAddr] = struct{}{}
+	var watchers []chan MemberEvent
+	if !snHadMembers {
+		watchers = collectMemberWatchers(cg)
+	}
+	c.mu.Unlock()
+
+	if !snHadMembers {
+		notifyMembers(watchers, MemberEvent{Group: group, SN: sn, Joined: true})
+	}
+	if !edomainHadMembers {
+		if err := c.global.JoinGroupEdomain(group, c.id); err != nil {
+			return fmt.Errorf("edomain: global join: %w", err)
+		}
+	}
+	return nil
+}
+
+// LeaveGroup removes a host's membership, propagating SN- and
+// edomain-level emptiness.
+func (c *Core) LeaveGroup(group GroupID, sn, hostAddr wire.Addr) error {
+	c.mu.Lock()
+	cg := c.group(group)
+	hosts, ok := cg.membersBySN[sn]
+	if ok {
+		delete(hosts, hostAddr)
+	}
+	snNowEmpty := ok && len(hosts) == 0
+	if snNowEmpty {
+		delete(cg.membersBySN, sn)
+	}
+	edomainNowEmpty := len(cg.membersBySN) == 0
+	var watchers []chan MemberEvent
+	if snNowEmpty {
+		watchers = collectMemberWatchers(cg)
+	}
+	c.mu.Unlock()
+
+	if snNowEmpty {
+		notifyMembers(watchers, MemberEvent{Group: group, SN: sn, Joined: false})
+	}
+	if snNowEmpty && edomainNowEmpty {
+		if err := c.global.LeaveGroupEdomain(group, c.id); err != nil {
+			return fmt.Errorf("edomain: global leave: %w", err)
+		}
+	}
+	return nil
+}
+
+// MemberSNs returns the edomain's SNs with at least one member of group.
+func (c *Core) MemberSNs(group GroupID) []wire.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cg, ok := c.groups[group]
+	if !ok {
+		return nil
+	}
+	out := make([]wire.Addr, 0, len(cg.membersBySN))
+	for a := range cg.membersBySN {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// MembersAt returns the member hosts behind one SN (used by that SN for
+// last-hop fan-out).
+func (c *Core) MembersAt(group GroupID, sn wire.Addr) []wire.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cg, ok := c.groups[group]
+	if !ok {
+		return nil
+	}
+	hosts := cg.membersBySN[sn]
+	out := make([]wire.Addr, 0, len(hosts))
+	for a := range hosts {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// RegisterSender registers sn as a sender for group, returning the current
+// member SNs of this edomain and a watch for changes ("the SN reads from
+// the core the set of other internal SNs that have members (and puts a
+// watch on this list)", §6.2). The first sender registration also
+// registers the edomain with the global lookup service and starts watching
+// the remote member-edomain list.
+func (c *Core) RegisterSender(group GroupID, sn wire.Addr) ([]wire.Addr, <-chan MemberEvent, func(), error) {
+	c.mu.Lock()
+	if _, ok := c.sns[sn]; !ok {
+		c.mu.Unlock()
+		return nil, nil, nil, ErrUnknownSN
+	}
+	cg := c.group(group)
+	cg.senderSNs[sn] = struct{}{}
+	needGlobal := cg.lookupCancel == nil
+
+	members := make([]wire.Addr, 0, len(cg.membersBySN))
+	for a := range cg.membersBySN {
+		members = append(members, a)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].Less(members[j]) })
+
+	id := cg.nextW
+	cg.nextW++
+	ch := make(chan MemberEvent, 64)
+	cg.watchers[id] = ch
+	cancel := func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if w, ok := cg.watchers[id]; ok {
+			delete(cg.watchers, id)
+			close(w)
+		}
+	}
+	c.mu.Unlock()
+
+	if needGlobal {
+		if err := c.registerWithGlobal(group, cg); err != nil {
+			cancel()
+			return nil, nil, nil, err
+		}
+	}
+	return members, ch, cancel, nil
+}
+
+// registerWithGlobal registers this edomain as a sender with the lookup
+// service and starts mirroring the remote member-edomain list.
+func (c *Core) registerWithGlobal(group GroupID, cg *coreGroup) error {
+	remotes, events, cancel, err := c.global.RegisterSenderEdomain(group, c.id)
+	if err != nil {
+		return fmt.Errorf("edomain: global sender registration: %w", err)
+	}
+	done := make(chan struct{})
+	c.mu.Lock()
+	if cg.lookupCancel != nil {
+		// Lost the race with a concurrent registration; discard ours.
+		c.mu.Unlock()
+		cancel()
+		return nil
+	}
+	cg.lookupCancel = cancel
+	cg.remoteEvents = events
+	cg.remoteDone = done
+	for _, r := range remotes {
+		if r != c.id {
+			cg.remoteMembers[r] = struct{}{}
+		}
+	}
+	c.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		for ev := range events {
+			if ev.Edomain == c.id {
+				continue
+			}
+			c.mu.Lock()
+			if ev.Joined {
+				cg.remoteMembers[ev.Edomain] = struct{}{}
+			} else {
+				delete(cg.remoteMembers, ev.Edomain)
+			}
+			c.mu.Unlock()
+		}
+	}()
+	return nil
+}
+
+// RemoteMemberEdomains returns the other edomains currently holding
+// members of group. Valid only while the edomain has a registered sender.
+func (c *Core) RemoteMemberEdomains(group GroupID) []ID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cg, ok := c.groups[group]
+	if !ok {
+		return nil
+	}
+	out := make([]ID, 0, len(cg.remoteMembers))
+	for e := range cg.remoteMembers {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// UnregisterSender removes sn from the group's sender set; when the last
+// sender leaves, the global watch is dropped.
+func (c *Core) UnregisterSender(group GroupID, sn wire.Addr) {
+	c.mu.Lock()
+	cg, ok := c.groups[group]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	delete(cg.senderSNs, sn)
+	var cancel func()
+	var done chan struct{}
+	if len(cg.senderSNs) == 0 && cg.lookupCancel != nil {
+		cancel = cg.lookupCancel
+		done = cg.remoteDone
+		cg.lookupCancel = nil
+		cg.remoteDone = nil
+		cg.remoteMembers = make(map[ID]struct{})
+	}
+	c.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+		c.global.UnregisterSenderEdomain(group, c.id)
+	}
+}
+
+// --- Persistence (the core is a "persistent and scalable store") --------
+
+type snapshotGroup struct {
+	Members map[string][]string `json:"members"` // SN addr -> host addrs
+}
+
+type snapshot struct {
+	ID     ID                        `json:"id"`
+	SNs    []string                  `json:"sns"`
+	Groups map[GroupID]snapshotGroup `json:"groups"`
+}
+
+// Snapshot serializes the core's durable state (SN registry and group
+// membership; watches and sender registrations are soft state that
+// re-registers after recovery).
+func (c *Core) Snapshot() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := snapshot{ID: c.id, Groups: make(map[GroupID]snapshotGroup)}
+	for a := range c.sns {
+		snap.SNs = append(snap.SNs, a.String())
+	}
+	sort.Strings(snap.SNs)
+	for g, cg := range c.groups {
+		sg := snapshotGroup{Members: make(map[string][]string)}
+		for snAddr, hosts := range cg.membersBySN {
+			for h := range hosts {
+				sg.Members[snAddr.String()] = append(sg.Members[snAddr.String()], h.String())
+			}
+			sort.Strings(sg.Members[snAddr.String()])
+		}
+		if len(sg.Members) > 0 {
+			snap.Groups[g] = sg
+		}
+	}
+	return json.Marshal(snap)
+}
+
+// Restore loads durable state from a snapshot, replacing current state.
+func (c *Core) Restore(data []byte) error {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("edomain: restore: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sns = make(map[wire.Addr]struct{})
+	for _, s := range snap.SNs {
+		c.sns[wire.MustAddr(s)] = struct{}{}
+	}
+	c.groups = make(map[GroupID]*coreGroup)
+	for g, sg := range snap.Groups {
+		cg := c.group(g)
+		for snStr, hosts := range sg.Members {
+			snAddr := wire.MustAddr(snStr)
+			hs := make(map[wire.Addr]struct{}, len(hosts))
+			for _, h := range hosts {
+				hs[wire.MustAddr(h)] = struct{}{}
+			}
+			cg.membersBySN[snAddr] = hs
+		}
+	}
+	return nil
+}
+
+func collectMemberWatchers(cg *coreGroup) []chan MemberEvent {
+	out := make([]chan MemberEvent, 0, len(cg.watchers))
+	for _, w := range cg.watchers {
+		out = append(out, w)
+	}
+	return out
+}
+
+func notifyMembers(watchers []chan MemberEvent, ev MemberEvent) {
+	for _, w := range watchers {
+		select {
+		case w <- ev:
+		default:
+		}
+	}
+}

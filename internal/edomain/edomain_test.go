@@ -1,0 +1,229 @@
+package edomain
+
+import (
+	"testing"
+	"time"
+
+	"interedge/internal/cryptutil"
+	"interedge/internal/lookup"
+	"interedge/internal/wire"
+)
+
+var (
+	snA   = wire.MustAddr("fd00::100")
+	snB   = wire.MustAddr("fd00::200")
+	host1 = wire.MustAddr("fd00::1")
+	host2 = wire.MustAddr("fd00::2")
+)
+
+func newCore(t *testing.T, id ID) (*Core, *lookup.Service) {
+	t.Helper()
+	global := lookup.New()
+	owner, err := cryptutil.NewSigningKeypair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := global.CreateGroup("g", owner.Public); err != nil {
+		t.Fatal(err)
+	}
+	c := New(id, global)
+	c.RegisterSN(snA)
+	c.RegisterSN(snB)
+	return c, global
+}
+
+func TestRegisterSN(t *testing.T) {
+	c, _ := newCore(t, "ed-1")
+	if !c.HasSN(snA) || !c.HasSN(snB) {
+		t.Fatal("registered SNs missing")
+	}
+	if c.HasSN(host1) {
+		t.Fatal("unregistered addr reported as SN")
+	}
+	if got := len(c.SNs()); got != 2 {
+		t.Fatalf("SNs = %d", got)
+	}
+}
+
+func TestJoinGroupTracksSNAndEdomain(t *testing.T) {
+	c, global := newCore(t, "ed-1")
+	if err := c.JoinGroup("g", snA, host1); err != nil {
+		t.Fatal(err)
+	}
+	members := c.MemberSNs("g")
+	if len(members) != 1 || members[0] != snA {
+		t.Fatalf("member SNs %v", members)
+	}
+	hosts := c.MembersAt("g", snA)
+	if len(hosts) != 1 || hosts[0] != host1 {
+		t.Fatalf("hosts %v", hosts)
+	}
+	// Edomain registered globally.
+	eds, err := global.MemberEdomains("g")
+	if err != nil || len(eds) != 1 || eds[0] != "ed-1" {
+		t.Fatalf("global members %v err %v", eds, err)
+	}
+}
+
+func TestJoinUnknownSNRejected(t *testing.T) {
+	c, _ := newCore(t, "ed-1")
+	if err := c.JoinGroup("g", host1, host2); err != ErrUnknownSN {
+		t.Fatalf("err = %v, want ErrUnknownSN", err)
+	}
+}
+
+func TestLeaveGroupPropagatesEmptiness(t *testing.T) {
+	c, global := newCore(t, "ed-1")
+	if err := c.JoinGroup("g", snA, host1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.JoinGroup("g", snA, host2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LeaveGroup("g", snA, host1); err != nil {
+		t.Fatal(err)
+	}
+	// snA still has host2.
+	if got := c.MemberSNs("g"); len(got) != 1 {
+		t.Fatalf("member SNs %v", got)
+	}
+	if err := c.LeaveGroup("g", snA, host2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MemberSNs("g"); len(got) != 0 {
+		t.Fatalf("member SNs %v", got)
+	}
+	eds, _ := global.MemberEdomains("g")
+	if len(eds) != 0 {
+		t.Fatalf("global members %v after last leave", eds)
+	}
+}
+
+func TestRegisterSenderSeesMembersAndWatches(t *testing.T) {
+	c, _ := newCore(t, "ed-1")
+	if err := c.JoinGroup("g", snA, host1); err != nil {
+		t.Fatal(err)
+	}
+	members, events, cancel, err := c.RegisterSender("g", snB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if len(members) != 1 || members[0] != snA {
+		t.Fatalf("members %v", members)
+	}
+	// A join at a new SN produces a watch event.
+	if err := c.JoinGroup("g", snB, host2); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.SN != snB || !ev.Joined {
+			t.Fatalf("event %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no watch event")
+	}
+	// A second host joining the same SN is not a new SN-level event.
+	if err := c.JoinGroup("g", snB, host1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		t.Fatalf("unexpected event %+v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestSenderSeesRemoteEdomains(t *testing.T) {
+	global := lookup.New()
+	owner, _ := cryptutil.NewSigningKeypair()
+	if err := global.CreateGroup("g", owner.Public); err != nil {
+		t.Fatal(err)
+	}
+	c1 := New("ed-1", global)
+	c1.RegisterSN(snA)
+	c2 := New("ed-2", global)
+	c2.RegisterSN(snB)
+
+	// ed-2 has a member before ed-1 registers a sender.
+	if err := c2.JoinGroup("g", snB, host2); err != nil {
+		t.Fatal(err)
+	}
+	_, _, cancel, err := c1.RegisterSender("g", snA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	remotes := c1.RemoteMemberEdomains("g")
+	if len(remotes) != 1 || remotes[0] != "ed-2" {
+		t.Fatalf("remotes %v", remotes)
+	}
+	// ed-3 joins later; the watch keeps the mirror current.
+	c3 := New("ed-3", global)
+	c3.RegisterSN(host1) // any addr can be an SN in another edomain
+	if err := c3.JoinGroup("g", host1, host2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for len(c1.RemoteMemberEdomains("g")) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("remotes %v never updated", c1.RemoteMemberEdomains("g"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestUnregisterSenderDropsGlobalWatch(t *testing.T) {
+	c, global := newCore(t, "ed-1")
+	_, _, cancel, err := c.RegisterSender("g", snA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	c.UnregisterSender("g", snA)
+	senders, _ := global.SenderEdomains("g")
+	if len(senders) != 0 {
+		t.Fatalf("senders %v after unregister", senders)
+	}
+	if got := c.RemoteMemberEdomains("g"); len(got) != 0 {
+		t.Fatalf("stale remote members %v", got)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	c, _ := newCore(t, "ed-1")
+	if err := c.JoinGroup("g", snA, host1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.JoinGroup("g", snB, host2); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh core restored from snapshot.
+	c2 := New("ed-1", lookup.New())
+	if err := c2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.HasSN(snA) || !c2.HasSN(snB) {
+		t.Fatal("SN registry lost")
+	}
+	members := c2.MemberSNs("g")
+	if len(members) != 2 {
+		t.Fatalf("member SNs %v", members)
+	}
+	hosts := c2.MembersAt("g", snA)
+	if len(hosts) != 1 || hosts[0] != host1 {
+		t.Fatalf("hosts %v", hosts)
+	}
+}
+
+func TestRestoreGarbageFails(t *testing.T) {
+	c := New("ed-1", lookup.New())
+	if err := c.Restore([]byte("{nope")); err == nil {
+		t.Fatal("garbage restore succeeded")
+	}
+}

@@ -1,0 +1,113 @@
+package enclave
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"interedge/internal/tpm"
+)
+
+func TestRunPreservesData(t *testing.T) {
+	e, err := New("mod", "1.0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte("packet bytes")
+	out, err := e.Run(in, func(inside []byte) ([]byte, error) {
+		if !bytes.Equal(inside, in) {
+			t.Fatal("enclave-side copy differs")
+		}
+		return append(inside, " processed"...), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "packet bytes processed" {
+		t.Fatalf("out %q", out)
+	}
+	if e.Crossings() != 2 {
+		t.Fatalf("crossings = %d, want 2", e.Crossings())
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	e, _ := New("mod", "1.0", nil)
+	boom := errors.New("boom")
+	if _, err := e.Run(nil, func([]byte) ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEnclaveSideCopyIsolated(t *testing.T) {
+	e, _ := New("mod", "1.0", nil)
+	in := []byte("original")
+	_, err := e.Run(in, func(inside []byte) ([]byte, error) {
+		inside[0] = 'X' // mutating the enclave copy must not touch the input
+		return inside, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 'o' {
+		t.Fatal("enclave mutated caller memory")
+	}
+}
+
+func TestMeasurementExtendedIntoTPM(t *testing.T) {
+	tp, err := tpm.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New("pubsub", "2.1", tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tp.PCR(MeasurementPCR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExpectedPCR(e.Measurement())
+	if got != want {
+		t.Fatal("PCR does not match expected measurement chain")
+	}
+}
+
+func TestMeasurementDependsOnNameAndVersion(t *testing.T) {
+	a, _ := New("mod", "1.0", nil)
+	b, _ := New("mod", "1.1", nil)
+	c, _ := New("other", "1.0", nil)
+	if a.Measurement() == b.Measurement() || a.Measurement() == c.Measurement() {
+		t.Fatal("measurements not distinct")
+	}
+}
+
+func TestAttestWithAndWithoutTPM(t *testing.T) {
+	noTPM, _ := New("m", "1", nil)
+	if _, err := noTPM.Attest([]byte("n")); err == nil {
+		t.Fatal("attest without TPM succeeded")
+	}
+	tp, _ := tpm.New()
+	withTPM, _ := New("m", "1", tp)
+	q, err := withTPM.Attest([]byte("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpm.VerifyQuote(tp.EndorsementKey(), q, []byte("n")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedPCRChain(t *testing.T) {
+	a, _ := New("m1", "1", nil)
+	b, _ := New("m2", "1", nil)
+	tp, _ := tpm.New()
+	e1, _ := New("m1", "1", tp)
+	e2, _ := New("m2", "1", tp)
+	got, _ := tp.PCR(MeasurementPCR)
+	if got != ExpectedPCR(e1.Measurement(), e2.Measurement()) {
+		t.Fatal("two-module chain mismatch")
+	}
+	_ = a
+	_ = b
+}

@@ -1,0 +1,235 @@
+// Package handshake establishes the shared key of an ILP pipe (§4): "this
+// shared key is created when the sender and the receiver first connect with
+// each other: i.e., when a host first associates with an SN or when two SNs
+// establish a pipe between each other."
+//
+// The protocol is a two-message signed Diffie-Hellman (SIGMA-style):
+//
+//	msg1  I→R:  eI ‖ idI ‖ nI ‖ Sign_I("ie-hs1" ‖ eI ‖ idI ‖ nI ‖ addrI ‖ addrR)
+//	msg2  R→I:  eR ‖ idR ‖ nR ‖ Sign_R("ie-hs2" ‖ eR ‖ idR ‖ nR ‖ eI ‖ nI)
+//
+// where eX are ephemeral X25519 public keys, idX are Ed25519 identity keys,
+// and nX are fresh nonces. Both sides derive
+//
+//	master  = HKDF(X25519(eI, eR), salt = nI ‖ nR, info = "interedge-pipe-master")
+//	baseSPI = first 4 bytes of HKDF(master, "interedge-spi") with low byte cleared
+//
+// The handshake gives mutual authentication (callers check the peer
+// identity against policy), forward secrecy (both DH shares are ephemeral),
+// and binds the pipe to the addresses of both ends. After the two messages,
+// ILP adds no further per-connection or per-packet establishment cost —
+// the property Table 1's no-service numbers depend on.
+package handshake
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"interedge/internal/cryptutil"
+	"interedge/internal/wire"
+)
+
+const (
+	ephSize   = 32
+	idSize    = ed25519.PublicKeySize
+	nonceSize = 16
+	sigSize   = ed25519.SignatureSize
+
+	// MessageSize is the identical wire size of both handshake messages.
+	MessageSize = ephSize + idSize + nonceSize + sigSize
+)
+
+// Errors returned by handshake processing.
+var (
+	ErrBadMessage   = errors.New("handshake: malformed message")
+	ErrBadSignature = errors.New("handshake: signature verification failed")
+)
+
+// Identity is a node's long-lived signing identity.
+type Identity struct {
+	Signing cryptutil.SigningKeypair
+}
+
+// NewIdentity generates a fresh identity.
+func NewIdentity() (Identity, error) {
+	kp, err := cryptutil.NewSigningKeypair()
+	if err != nil {
+		return Identity{}, err
+	}
+	return Identity{Signing: kp}, nil
+}
+
+// PublicKey returns the node's Ed25519 identity key.
+func (id Identity) PublicKey() ed25519.PublicKey { return id.Signing.Public }
+
+// Result is the outcome of a completed handshake.
+type Result struct {
+	// Master is the pipe's shared master secret feeding the PSP key
+	// schedule.
+	Master cryptutil.Key
+	// BaseSPI is the pipe's SPI base, identical on both ends.
+	BaseSPI uint32
+	// Initiator reports whether the local node initiated (selects PSP
+	// directions).
+	Initiator bool
+	// PeerIdentity is the remote node's verified Ed25519 identity key.
+	PeerIdentity ed25519.PublicKey
+}
+
+// Pending is the initiator's state between msg1 and msg2.
+type Pending struct {
+	id        Identity
+	eph       *ecdh.PrivateKey
+	nonce     [nonceSize]byte
+	localAddr wire.Addr
+	peerAddr  wire.Addr
+	msg1      []byte
+}
+
+// Msg1 returns the encoded first message (for retransmission).
+func (p *Pending) Msg1() []byte { return p.msg1 }
+
+func transcript1(eph, id, nonce []byte, src, dst wire.Addr) []byte {
+	buf := make([]byte, 0, 6+ephSize+idSize+nonceSize+32)
+	buf = append(buf, "ie-hs1"...)
+	buf = append(buf, eph...)
+	buf = append(buf, id...)
+	buf = append(buf, nonce...)
+	s16, d16 := src.As16(), dst.As16()
+	buf = append(buf, s16[:]...)
+	buf = append(buf, d16[:]...)
+	return buf
+}
+
+func transcript2(eph, id, nonce, peerEph, peerNonce []byte) []byte {
+	buf := make([]byte, 0, 6+ephSize+idSize+nonceSize+ephSize+nonceSize)
+	buf = append(buf, "ie-hs2"...)
+	buf = append(buf, eph...)
+	buf = append(buf, id...)
+	buf = append(buf, nonce...)
+	buf = append(buf, peerEph...)
+	buf = append(buf, peerNonce...)
+	return buf
+}
+
+// Initiate builds msg1 for a handshake from localAddr to peerAddr.
+func Initiate(id Identity, localAddr, peerAddr wire.Addr) (*Pending, error) {
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("handshake: ephemeral key: %w", err)
+	}
+	p := &Pending{id: id, eph: eph, localAddr: localAddr, peerAddr: peerAddr}
+	if _, err := rand.Read(p.nonce[:]); err != nil {
+		return nil, fmt.Errorf("handshake: nonce: %w", err)
+	}
+	ephPub := eph.PublicKey().Bytes()
+	idPub := id.Signing.Public
+	sig := id.Signing.Sign(transcript1(ephPub, idPub, p.nonce[:], localAddr, peerAddr))
+
+	msg := make([]byte, 0, MessageSize)
+	msg = append(msg, ephPub...)
+	msg = append(msg, idPub...)
+	msg = append(msg, p.nonce[:]...)
+	msg = append(msg, sig...)
+	p.msg1 = msg
+	return p, nil
+}
+
+func parse(msg []byte) (eph, id, nonce, sig []byte, err error) {
+	if len(msg) != MessageSize {
+		return nil, nil, nil, nil, ErrBadMessage
+	}
+	eph = msg[:ephSize]
+	id = msg[ephSize : ephSize+idSize]
+	nonce = msg[ephSize+idSize : ephSize+idSize+nonceSize]
+	sig = msg[ephSize+idSize+nonceSize:]
+	return eph, id, nonce, sig, nil
+}
+
+func derive(shared, nI, nR []byte) (cryptutil.Key, uint32, error) {
+	salt := append(append([]byte(nil), nI...), nR...)
+	master, err := cryptutil.DeriveKey(shared, salt, "interedge-pipe-master")
+	if err != nil {
+		return cryptutil.Key{}, 0, err
+	}
+	spiBytes, err := cryptutil.HKDF(master[:], nil, []byte("interedge-spi"), 4)
+	if err != nil {
+		return cryptutil.Key{}, 0, err
+	}
+	spi := binary.BigEndian.Uint32(spiBytes) &^ 0xFF
+	return master, spi, nil
+}
+
+// Respond processes msg1 at the responder (listening at localAddr, from
+// peerAddr) and returns the encoded msg2 plus the completed Result.
+func Respond(id Identity, localAddr, peerAddr wire.Addr, msg1 []byte) ([]byte, *Result, error) {
+	peerEph, peerID, peerNonce, sig, err := parse(msg1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !cryptutil.Verify(peerID, transcript1(peerEph, peerID, peerNonce, peerAddr, localAddr), sig) {
+		return nil, nil, ErrBadSignature
+	}
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("handshake: ephemeral key: %w", err)
+	}
+	var nonce [nonceSize]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, nil, fmt.Errorf("handshake: nonce: %w", err)
+	}
+	shared, err := cryptutil.X25519Shared(eph, peerEph)
+	if err != nil {
+		return nil, nil, fmt.Errorf("handshake: %w", err)
+	}
+	master, spi, err := derive(shared, peerNonce, nonce[:])
+	if err != nil {
+		return nil, nil, err
+	}
+
+	ephPub := eph.PublicKey().Bytes()
+	idPub := id.Signing.Public
+	sig2 := id.Signing.Sign(transcript2(ephPub, idPub, nonce[:], peerEph, peerNonce))
+	msg2 := make([]byte, 0, MessageSize)
+	msg2 = append(msg2, ephPub...)
+	msg2 = append(msg2, idPub...)
+	msg2 = append(msg2, nonce[:]...)
+	msg2 = append(msg2, sig2...)
+
+	return msg2, &Result{
+		Master:       master,
+		BaseSPI:      spi,
+		Initiator:    false,
+		PeerIdentity: append(ed25519.PublicKey(nil), peerID...),
+	}, nil
+}
+
+// Complete processes msg2 at the initiator and returns the Result.
+func (p *Pending) Complete(msg2 []byte) (*Result, error) {
+	peerEph, peerID, peerNonce, sig, err := parse(msg2)
+	if err != nil {
+		return nil, err
+	}
+	myEph := p.eph.PublicKey().Bytes()
+	if !cryptutil.Verify(peerID, transcript2(peerEph, peerID, peerNonce, myEph, p.nonce[:]), sig) {
+		return nil, ErrBadSignature
+	}
+	shared, err := cryptutil.X25519Shared(p.eph, peerEph)
+	if err != nil {
+		return nil, fmt.Errorf("handshake: %w", err)
+	}
+	master, spi, err := derive(shared, p.nonce[:], peerNonce)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Master:       master,
+		BaseSPI:      spi,
+		Initiator:    true,
+		PeerIdentity: append(ed25519.PublicKey(nil), peerID...),
+	}, nil
+}

@@ -1,0 +1,235 @@
+package handshake
+
+import (
+	"bytes"
+	"testing"
+
+	"interedge/internal/psp"
+	"interedge/internal/wire"
+)
+
+func identities(t *testing.T) (Identity, Identity) {
+	t.Helper()
+	a, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+var (
+	addrI = wire.MustAddr("fd00::1")
+	addrR = wire.MustAddr("fd00::2")
+)
+
+func TestFullHandshakeAgreement(t *testing.T) {
+	idI, idR := identities(t)
+	pending, err := Initiate(idI, addrI, addrR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg2, resR, err := Respond(idR, addrR, addrI, pending.Msg1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resI, err := pending.Complete(msg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resI.Master.Equal(resR.Master) {
+		t.Fatal("master secrets disagree")
+	}
+	if resI.BaseSPI != resR.BaseSPI {
+		t.Fatalf("SPI disagree: %#x vs %#x", resI.BaseSPI, resR.BaseSPI)
+	}
+	if resI.BaseSPI&0xFF != 0 {
+		t.Fatalf("SPI low byte not zero: %#x", resI.BaseSPI)
+	}
+	if !resI.Initiator || resR.Initiator {
+		t.Fatal("initiator flags wrong")
+	}
+	if !bytes.Equal(resI.PeerIdentity, idR.PublicKey()) {
+		t.Fatal("initiator learned wrong peer identity")
+	}
+	if !bytes.Equal(resR.PeerIdentity, idI.PublicKey()) {
+		t.Fatal("responder learned wrong peer identity")
+	}
+}
+
+func TestResultFeedsPSP(t *testing.T) {
+	idI, idR := identities(t)
+	pending, _ := Initiate(idI, addrI, addrR)
+	msg2, resR, err := Respond(idR, addrR, addrI, pending.Msg1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resI, err := pending.Complete(msg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cI, err := psp.NewPipeCrypto(resI.Master, resI.Initiator, resI.BaseSPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cR, err := psp.NewPipeCrypto(resR.Master, resR.Initiator, resR.BaseSPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := cI.TX.Seal(nil, []byte("hdr"), []byte("pay"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, p, err := cR.RX.Open(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(h) != "hdr" || string(p) != "pay" {
+		t.Fatal("handshake-derived pipe failed roundtrip")
+	}
+}
+
+func TestFreshKeysPerHandshake(t *testing.T) {
+	idI, idR := identities(t)
+	run := func() Result {
+		pending, _ := Initiate(idI, addrI, addrR)
+		msg2, _, err := Respond(idR, addrR, addrI, pending.Msg1())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pending.Complete(msg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *res
+	}
+	r1, r2 := run(), run()
+	if r1.Master.Equal(r2.Master) {
+		t.Fatal("two handshakes derived the same master key (no forward secrecy)")
+	}
+}
+
+func TestMsg1WrongAddressRejected(t *testing.T) {
+	idI, idR := identities(t)
+	pending, _ := Initiate(idI, addrI, addrR)
+	// Responder at a different address: transcript binding must fail.
+	if _, _, err := Respond(idR, wire.MustAddr("fd00::99"), addrI, pending.Msg1()); err != ErrBadSignature {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestTamperedMsg1Rejected(t *testing.T) {
+	idI, idR := identities(t)
+	pending, _ := Initiate(idI, addrI, addrR)
+	for _, idx := range []int{0, 33, 70, MessageSize - 1} {
+		bad := append([]byte(nil), pending.Msg1()...)
+		bad[idx] ^= 1
+		if _, _, err := Respond(idR, addrR, addrI, bad); err == nil {
+			t.Fatalf("tampered msg1 byte %d accepted", idx)
+		}
+	}
+}
+
+func TestTamperedMsg2Rejected(t *testing.T) {
+	idI, idR := identities(t)
+	pending, _ := Initiate(idI, addrI, addrR)
+	msg2, _, err := Respond(idR, addrR, addrI, pending.Msg1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{0, 40, MessageSize - 1} {
+		bad := append([]byte(nil), msg2...)
+		bad[idx] ^= 1
+		if _, err := pending.Complete(bad); err == nil {
+			t.Fatalf("tampered msg2 byte %d accepted", idx)
+		}
+	}
+}
+
+func TestShortMessagesRejected(t *testing.T) {
+	idI, idR := identities(t)
+	if _, _, err := Respond(idR, addrR, addrI, make([]byte, 10)); err != ErrBadMessage {
+		t.Fatalf("short msg1 err = %v", err)
+	}
+	pending, _ := Initiate(idI, addrI, addrR)
+	if _, err := pending.Complete(make([]byte, MessageSize-1)); err != ErrBadMessage {
+		t.Fatalf("short msg2 err = %v", err)
+	}
+}
+
+func TestMsg2FromWrongHandshakeRejected(t *testing.T) {
+	idI, idR := identities(t)
+	pendingA, _ := Initiate(idI, addrI, addrR)
+	pendingB, _ := Initiate(idI, addrI, addrR)
+	msg2forA, _, err := Respond(idR, addrR, addrI, pendingA.Msg1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// msg2 is bound to pendingA's ephemeral and nonce; B must reject it.
+	if _, err := pendingB.Complete(msg2forA); err == nil {
+		t.Fatal("msg2 accepted by unrelated pending handshake")
+	}
+}
+
+// §4: ILP must add no latency when establishing connections — once the pipe
+// exists, opening a new service connection requires zero handshake
+// messages. This test pins that structural property: the same pipe crypto
+// serves arbitrarily many connection IDs with no per-connection setup.
+func TestILPZeroSetupLatency(t *testing.T) {
+	idI, idR := identities(t)
+	pending, _ := Initiate(idI, addrI, addrR)
+	msg2, resR, err := Respond(idR, addrR, addrI, pending.Msg1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resI, err := pending.Complete(msg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cI, _ := psp.NewPipeCrypto(resI.Master, true, resI.BaseSPI)
+	cR, _ := psp.NewPipeCrypto(resR.Master, false, resR.BaseSPI)
+
+	// 100 distinct connections over the same pipe, zero additional
+	// handshake messages.
+	for conn := wire.ConnectionID(1); conn <= 100; conn++ {
+		hdr := wire.ILPHeader{Service: wire.SvcNull, Conn: conn}
+		enc, _ := hdr.Encode()
+		pkt, err := cI.TX.Seal(nil, enc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := cR.RX.Open(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dec wire.ILPHeader
+		if _, err := dec.DecodeFromBytes(got); err != nil {
+			t.Fatal(err)
+		}
+		if dec.Conn != conn {
+			t.Fatalf("conn %d decoded as %d", conn, dec.Conn)
+		}
+	}
+}
+
+func BenchmarkHandshake(b *testing.B) {
+	idI, _ := NewIdentity()
+	idR, _ := NewIdentity()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pending, err := Initiate(idI, addrI, addrR)
+		if err != nil {
+			b.Fatal(err)
+		}
+		msg2, _, err := Respond(idR, addrR, addrI, pending.Msg1())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pending.Complete(msg2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,508 @@
+// Package host implements InterEdge host support (§3.1): ILP on the
+// endpoint, association with one or more first-hop SNs, the extended host
+// network API through which applications invoke services, the out-of-band
+// control protocol, and direct host-to-host connectivity for peers that
+// are closer to each other than to their SNs (§3.2).
+//
+// Client-side service logic (pub/sub deliveries, anycast joins, mixnet
+// onion construction, …) registers per-service handlers here; the paper
+// makes the host component "responsible for implementing client-side
+// support for services … that require host logic".
+package host
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"interedge/internal/clock"
+	"interedge/internal/handshake"
+	"interedge/internal/netsim"
+	"interedge/internal/pipe"
+	"interedge/internal/wire"
+)
+
+// Errors returned by the host stack.
+var (
+	ErrNoFirstHop     = errors.New("host: no first-hop SN associated")
+	ErrInvokeTimeout  = errors.New("host: control invocation timed out")
+	ErrControlRefused = errors.New("host: control operation refused")
+	ErrDirectDenied   = errors.New("host: direct connectivity not permitted to destination")
+)
+
+// Message is one inbound ILP packet delivered to a connection or service
+// handler. Fields are copies and safe to retain.
+type Message struct {
+	Src     wire.Addr
+	Hdr     wire.ILPHeader
+	Payload []byte
+}
+
+// ServiceHandler receives packets for a service ID that are not claimed by
+// an open connection (client-side service logic).
+type ServiceHandler func(msg Message)
+
+// DirectPolicy decides whether the host may bypass SNs and exchange
+// packets directly with the given destination host (§3.2 "Direct
+// connectivity"). A typical policy allows hosts in the same subnet.
+type DirectPolicy func(dst wire.Addr) bool
+
+// Config configures a Host.
+type Config struct {
+	// Transport attaches the host to the substrate. Required.
+	Transport netsim.Transport
+	// Identity is the host's signing identity. Required.
+	Identity handshake.Identity
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// FirstHops optionally pre-configures first-hop SN addresses; the
+	// first successfully associated becomes the default.
+	FirstHops []wire.Addr
+	// Authorize verifies pipe peers (e.g. pinning the SN identity).
+	Authorize pipe.AuthorizePeer
+	// Direct, if non-nil, enables direct host-to-host connectivity for
+	// destinations the policy approves.
+	Direct DirectPolicy
+	// InvokeTimeout bounds control-protocol invocations (default 3s).
+	InvokeTimeout time.Duration
+	// Logf receives diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Host is one InterEdge-enabled endpoint.
+type Host struct {
+	cfg Config
+	mgr *pipe.Manager
+
+	mu        sync.Mutex
+	firstHops []wire.Addr
+	conns     map[connKey]*Conn
+	handlers  map[wire.ServiceID]ServiceHandler
+	invokes   map[wire.ConnectionID]chan ControlResult
+	closed    bool
+
+	nextConn atomic.Uint64
+
+	rxUnclaimed atomic.Uint64
+}
+
+type connKey struct {
+	svc  wire.ServiceID
+	conn wire.ConnectionID
+}
+
+// ControlResult is the parsed outcome of a control invocation.
+type ControlResult struct {
+	Data json.RawMessage
+	Err  error
+}
+
+// New creates a host and associates it with any pre-configured first hops.
+func New(cfg Config) (*Host, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("host: Config.Transport is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.InvokeTimeout == 0 {
+		cfg.InvokeTimeout = 3 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	h := &Host{
+		cfg:      cfg,
+		conns:    make(map[connKey]*Conn),
+		handlers: make(map[wire.ServiceID]ServiceHandler),
+		invokes:  make(map[wire.ConnectionID]chan ControlResult),
+	}
+	h.nextConn.Store(1)
+	mgr, err := pipe.New(pipe.Config{
+		Transport: cfg.Transport,
+		Identity:  cfg.Identity,
+		Clock:     cfg.Clock,
+		Handler:   h.handlePacket,
+		Authorize: cfg.Authorize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.mgr = mgr
+	for _, sn := range cfg.FirstHops {
+		if err := h.Associate(sn); err != nil {
+			h.mgr.Close()
+			return nil, fmt.Errorf("host: associate with %s: %w", sn, err)
+		}
+	}
+	return h, nil
+}
+
+// Addr returns the host's address.
+func (h *Host) Addr() wire.Addr { return h.mgr.LocalAddr() }
+
+// Identity returns the host's identity.
+func (h *Host) Identity() handshake.Identity { return h.mgr.Identity() }
+
+// Pipes exposes the pipe manager for tests.
+func (h *Host) Pipes() *pipe.Manager { return h.mgr }
+
+// Associate establishes a pipe to a first-hop SN and records it. The
+// paper's discovery mechanisms (configuration, anycast, lookup) all end
+// here with a concrete SN address.
+func (h *Host) Associate(sn wire.Addr) error {
+	if err := h.mgr.Connect(sn); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, a := range h.firstHops {
+		if a == sn {
+			return nil
+		}
+	}
+	h.firstHops = append(h.firstHops, sn)
+	return nil
+}
+
+// Reassociate re-establishes the pipe to a first-hop SN from scratch —
+// the recovery step after an SN crash/restart (§3.3: "for stateless
+// services, SN failures are like router failures and can be easily
+// recovered from"). Service-level state is reconstructed by clients
+// (e.g. pubsub.Client.Reestablish).
+func (h *Host) Reassociate(sn wire.Addr) error {
+	if err := h.mgr.Redial(sn); err != nil {
+		return err
+	}
+	return h.Associate(sn)
+}
+
+// Disassociate forgets a first-hop SN (the pipe itself is retained until
+// the peer is dropped).
+func (h *Host) Disassociate(sn wire.Addr) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, a := range h.firstHops {
+		if a == sn {
+			h.firstHops = append(h.firstHops[:i], h.firstHops[i+1:]...)
+			return
+		}
+	}
+}
+
+// FirstHop returns the default first-hop SN.
+func (h *Host) FirstHop() (wire.Addr, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.firstHops) == 0 {
+		return wire.Addr{}, ErrNoFirstHop
+	}
+	return h.firstHops[0], nil
+}
+
+// FirstHops returns all associated first-hop SNs.
+func (h *Host) FirstHops() []wire.Addr {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]wire.Addr(nil), h.firstHops...)
+}
+
+// SNIdentity returns the verified identity of an associated SN.
+func (h *Host) SNIdentity(sn wire.Addr) (ed25519.PublicKey, bool) {
+	return h.mgr.PeerIdentity(sn)
+}
+
+// handlePacket demultiplexes inbound packets: control replies, open
+// connections, then service handlers.
+func (h *Host) handlePacket(src wire.Addr, hdr wire.ILPHeader, payload []byte) {
+	msg := Message{
+		Src:     src,
+		Hdr:     wire.ILPHeader{Service: hdr.Service, Conn: hdr.Conn, Data: append([]byte(nil), hdr.Data...)},
+		Payload: append([]byte(nil), payload...),
+	}
+	if hdr.Service == wire.SvcControl {
+		h.handleControlReply(hdr.Conn, msg.Payload)
+		return
+	}
+	h.mu.Lock()
+	if c, ok := h.conns[connKey{hdr.Service, hdr.Conn}]; ok {
+		h.mu.Unlock()
+		c.deliver(msg)
+		return
+	}
+	handler, ok := h.handlers[hdr.Service]
+	h.mu.Unlock()
+	if ok {
+		handler(msg)
+		return
+	}
+	h.rxUnclaimed.Add(1)
+}
+
+func (h *Host) handleControlReply(conn wire.ConnectionID, payload []byte) {
+	h.mu.Lock()
+	ch, ok := h.invokes[conn]
+	if ok {
+		delete(h.invokes, conn)
+	}
+	h.mu.Unlock()
+	if !ok {
+		h.rxUnclaimed.Add(1)
+		return
+	}
+	var resp struct {
+		OK    bool            `json:"ok"`
+		Error string          `json:"error"`
+		Data  json.RawMessage `json:"data"`
+	}
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		ch <- ControlResult{Err: fmt.Errorf("host: malformed control reply: %w", err)}
+		return
+	}
+	if !resp.OK {
+		ch <- ControlResult{Err: fmt.Errorf("%w: %s", ErrControlRefused, resp.Error)}
+		return
+	}
+	ch <- ControlResult{Data: resp.Data}
+}
+
+// OnService registers client-side logic for a service ID.
+func (h *Host) OnService(svc wire.ServiceID, handler ServiceHandler) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.handlers[svc] = handler
+}
+
+// UnclaimedPackets reports inbound packets that matched no connection,
+// handler, or pending invocation.
+func (h *Host) UnclaimedPackets() uint64 { return h.rxUnclaimed.Load() }
+
+// Invoke performs an out-of-band control operation against a service on
+// the given SN and waits for the reply (§3.2 second invocation style).
+func (h *Host) Invoke(sn wire.Addr, target wire.ServiceID, op string, args any) (json.RawMessage, error) {
+	var raw json.RawMessage
+	if args != nil {
+		b, err := json.Marshal(args)
+		if err != nil {
+			return nil, fmt.Errorf("host: marshal args: %w", err)
+		}
+		raw = b
+	}
+	body, err := json.Marshal(struct {
+		Target wire.ServiceID  `json:"target"`
+		Op     string          `json:"op"`
+		Args   json.RawMessage `json:"args,omitempty"`
+	}{target, op, raw})
+	if err != nil {
+		return nil, err
+	}
+	conn := wire.ConnectionID(h.nextConn.Add(1))
+	ch := make(chan ControlResult, 1)
+	h.mu.Lock()
+	h.invokes[conn] = ch
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.invokes, conn)
+		h.mu.Unlock()
+	}()
+
+	if err := h.mgr.Send(sn, &wire.ILPHeader{Service: wire.SvcControl, Conn: conn}, body); err != nil {
+		return nil, err
+	}
+	select {
+	case res := <-ch:
+		return res.Data, res.Err
+	case <-h.cfg.Clock.After(h.cfg.InvokeTimeout):
+		return nil, ErrInvokeTimeout
+	}
+}
+
+// InvokeFirstHop is Invoke against the default first-hop SN.
+func (h *Host) InvokeFirstHop(target wire.ServiceID, op string, args any) (json.RawMessage, error) {
+	sn, err := h.FirstHop()
+	if err != nil {
+		return nil, err
+	}
+	return h.Invoke(sn, target, op, args)
+}
+
+// ConnOption customizes NewConn.
+type ConnOption func(*Conn)
+
+// Via pins the connection's first-hop SN ("the host will use whichever
+// first-hop SN is appropriate for a given connection", §3.1 — often
+// dictated by who pays for the service).
+func Via(sn wire.Addr) ConnOption {
+	return func(c *Conn) { c.via = sn }
+}
+
+// WithBuffer sets the connection's receive buffer depth (default 256).
+func WithBuffer(n int) ConnOption {
+	return func(c *Conn) { c.bufDepth = n }
+}
+
+// Conn is one service connection: a (service, connection-ID) pair flowing
+// through a first-hop SN.
+type Conn struct {
+	host     *Host
+	svc      wire.ServiceID
+	id       wire.ConnectionID
+	via      wire.Addr
+	bufDepth int
+	rx       chan Message
+
+	closeOnce sync.Once
+}
+
+// NewConn opens a service connection through the host's first-hop SN (or
+// the SN pinned with Via). This is the explicit invocation style of §3.2:
+// the desired service is signalled to the SN via the ILP header; no
+// composition of multiple services is possible on one connection.
+func (h *Host) NewConn(svc wire.ServiceID, opts ...ConnOption) (*Conn, error) {
+	c := &Conn{
+		host:     h,
+		svc:      svc,
+		id:       wire.ConnectionID(h.nextConn.Add(1)),
+		bufDepth: 256,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if !c.via.IsValid() {
+		fh, err := h.FirstHop()
+		if err != nil {
+			return nil, err
+		}
+		c.via = fh
+	}
+	if err := h.mgr.Connect(c.via); err != nil {
+		return nil, err
+	}
+	c.rx = make(chan Message, c.bufDepth)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, errors.New("host: closed")
+	}
+	h.conns[connKey{svc, c.id}] = c
+	return c, nil
+}
+
+// Service returns the connection's service ID.
+func (c *Conn) Service() wire.ServiceID { return c.svc }
+
+// ID returns the connection ID.
+func (c *Conn) ID() wire.ConnectionID { return c.id }
+
+// Via returns the first-hop SN this connection uses.
+func (c *Conn) Via() wire.Addr { return c.via }
+
+// Send transmits payload with optional service-specific header data. Per
+// §4, the header data may differ per packet within a connection.
+func (c *Conn) Send(svcData, payload []byte) error {
+	hdr := wire.ILPHeader{Service: c.svc, Conn: c.id, Data: svcData}
+	return c.host.mgr.Send(c.via, &hdr, payload)
+}
+
+// SendVia transmits through an explicit SN (e.g. a pass-through SN chain).
+func (c *Conn) SendVia(sn wire.Addr, svcData, payload []byte) error {
+	if err := c.host.mgr.Connect(sn); err != nil {
+		return err
+	}
+	hdr := wire.ILPHeader{Service: c.svc, Conn: c.id, Data: svcData}
+	return c.host.mgr.Send(sn, &hdr, payload)
+}
+
+// Receive returns the connection's inbound message channel. It is closed
+// when the connection closes.
+func (c *Conn) Receive() <-chan Message { return c.rx }
+
+func (c *Conn) deliver(msg Message) {
+	select {
+	case c.rx <- msg:
+	default: // receiver not draining: drop, as the network would
+	}
+}
+
+// Close tears down the connection.
+func (c *Conn) Close() {
+	c.closeOnce.Do(func() {
+		c.host.mu.Lock()
+		delete(c.host.conns, connKey{c.svc, c.id})
+		c.host.mu.Unlock()
+		close(c.rx)
+	})
+}
+
+// SendDirect exchanges a packet directly with another InterEdge host,
+// bypassing SNs, when the direct policy allows it (§3.2: hosts in the
+// same subnet, or closer to each other than to their SNs).
+func (h *Host) SendDirect(dst wire.Addr, svc wire.ServiceID, conn wire.ConnectionID, svcData, payload []byte) error {
+	if h.cfg.Direct == nil || !h.cfg.Direct(dst) {
+		return ErrDirectDenied
+	}
+	if err := h.mgr.Connect(dst); err != nil {
+		return err
+	}
+	hdr := wire.ILPHeader{Service: svc, Conn: conn, Data: svcData}
+	return h.mgr.Send(dst, &hdr, payload)
+}
+
+// Close shuts the host down.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	conns := make([]*Conn, 0, len(h.conns))
+	for _, c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return h.mgr.Close()
+}
+
+// SameSubnet returns a DirectPolicy allowing direct connectivity to
+// destinations sharing a prefix of the given bit length with the host's
+// address.
+func SameSubnet(self wire.Addr, bits int) DirectPolicy {
+	return func(dst wire.Addr) bool {
+		if self.Is4() != dst.Is4() {
+			return false
+		}
+		var a, b []byte
+		if self.Is4() {
+			a4, b4 := self.As4(), dst.As4()
+			a, b = a4[:], b4[:]
+		} else {
+			a16, b16 := self.As16(), dst.As16()
+			a, b = a16[:], b16[:]
+		}
+		full, rem := bits/8, bits%8
+		if full > len(a) {
+			full, rem = len(a), 0
+		}
+		for i := 0; i < full; i++ {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		if rem > 0 && full < len(a) {
+			mask := byte(0xFF << (8 - rem))
+			if a[full]&mask != b[full]&mask {
+				return false
+			}
+		}
+		return true
+	}
+}

@@ -1,0 +1,273 @@
+// Package lab assembles complete InterEdge deployments in-process: a
+// network substrate, a global lookup service, a peering fabric, edomains
+// with their cores and SNs, and InterEdge-enabled hosts. Integration
+// tests, the examples, and cmd/interedge-lab all build their topologies
+// here — the executable equivalent of the paper's Figure 1.
+package lab
+
+import (
+	"fmt"
+
+	"interedge/internal/clock"
+	"interedge/internal/edomain"
+	"interedge/internal/handshake"
+	"interedge/internal/host"
+	"interedge/internal/lookup"
+	"interedge/internal/netsim"
+	"interedge/internal/peering"
+	"interedge/internal/sn"
+	"interedge/internal/wire"
+)
+
+// Edomain bundles one edomain's core and service nodes.
+type Edomain struct {
+	ID   edomain.ID
+	Core *edomain.Core
+	SNs  []*sn.SN
+}
+
+// Gateway returns the edomain's first SN, which the fabric designates as
+// a gateway.
+func (e *Edomain) Gateway() *sn.SN { return e.SNs[0] }
+
+// Topology is a complete in-process InterEdge deployment.
+type Topology struct {
+	Net    *netsim.Network
+	Global *lookup.Service
+	Fabric *peering.Fabric
+	Clock  clock.Clock
+
+	alloc    *netsim.AddrAllocator
+	edomains map[edomain.ID]*Edomain
+	hosts    []*host.Host
+	closers  []func() error
+}
+
+// Option configures a Topology.
+type Option func(*Topology)
+
+// WithNetwork substitutes a pre-configured substrate (e.g. with latency
+// profiles or a manual clock).
+func WithNetwork(n *netsim.Network) Option {
+	return func(t *Topology) { t.Net = n }
+}
+
+// WithClock sets the clock handed to SNs and hosts.
+func WithClock(c clock.Clock) Option {
+	return func(t *Topology) { t.Clock = c }
+}
+
+// New creates an empty topology.
+func New(opts ...Option) *Topology {
+	t := &Topology{
+		Global:   lookup.New(),
+		Fabric:   peering.NewFabric(),
+		Clock:    clock.Real{},
+		alloc:    netsim.NewAddrAllocator(),
+		edomains: make(map[edomain.ID]*Edomain),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.Net == nil {
+		t.Net = netsim.NewNetwork()
+	}
+	return t
+}
+
+// SNSetup customizes one SN at creation: register service modules, tweak
+// options. ed.Core and the topology's Global/Fabric are available.
+type SNSetup func(node *sn.SN, ed *Edomain) error
+
+// NewSN creates one service node attached to the substrate.
+func (t *Topology) NewSN(cfgEdit ...func(*sn.Config)) (*sn.SN, error) {
+	addr := t.alloc.Next()
+	tr, err := t.Net.Attach(addr)
+	if err != nil {
+		return nil, err
+	}
+	id, err := handshake.NewIdentity()
+	if err != nil {
+		return nil, err
+	}
+	cfg := sn.Config{Transport: tr, Identity: id, Clock: t.Clock}
+	for _, e := range cfgEdit {
+		e(&cfg)
+	}
+	node, err := sn.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.closers = append(t.closers, node.Close)
+	return node, nil
+}
+
+// AddEdomain creates an edomain with numSNs service nodes. The first SN is
+// the gateway. Every SN runs the peering forwarder; setup (optional)
+// registers additional service modules per SN.
+func (t *Topology) AddEdomain(id edomain.ID, numSNs int, setup SNSetup) (*Edomain, error) {
+	if _, dup := t.edomains[id]; dup {
+		return nil, fmt.Errorf("lab: edomain %s already exists", id)
+	}
+	if numSNs < 1 {
+		return nil, fmt.Errorf("lab: edomain needs at least one SN")
+	}
+	ed := &Edomain{ID: id, Core: edomain.New(id, t.Global)}
+	for i := 0; i < numSNs; i++ {
+		node, err := t.NewSN()
+		if err != nil {
+			return nil, err
+		}
+		if err := node.Register(peering.NewForwarder(t.Fabric, node.Inject)); err != nil {
+			return nil, err
+		}
+		ed.Core.RegisterSN(node.Addr())
+		ed.SNs = append(ed.SNs, node)
+	}
+	if err := t.Fabric.AddEdomain(id, ed.SNs[0].Addr()); err != nil {
+		return nil, err
+	}
+	for _, node := range ed.SNs[1:] {
+		if err := t.Fabric.RegisterAddr(id, node.Addr()); err != nil {
+			return nil, err
+		}
+	}
+	if setup != nil {
+		for _, node := range ed.SNs {
+			if err := setup(node, ed); err != nil {
+				return nil, err
+			}
+		}
+	}
+	t.edomains[id] = ed
+	return ed, nil
+}
+
+// Edomain returns a previously created edomain.
+func (t *Topology) Edomain(id edomain.ID) (*Edomain, bool) {
+	ed, ok := t.edomains[id]
+	return ed, ok
+}
+
+// Mesh establishes the required full mesh of inter-edomain gateway pipes
+// plus full pipe connectivity among SNs within each edomain.
+func (t *Topology) Mesh() error {
+	if err := t.Fabric.EstablishMesh(func(a, b wire.Addr) error {
+		node, err := t.snByAddr(a)
+		if err != nil {
+			return err
+		}
+		return node.Connect(b)
+	}); err != nil {
+		return err
+	}
+	for _, ed := range t.edomains {
+		for i := 0; i < len(ed.SNs); i++ {
+			for j := i + 1; j < len(ed.SNs); j++ {
+				if err := ed.SNs[i].Connect(ed.SNs[j].Addr()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (t *Topology) snByAddr(addr wire.Addr) (*sn.SN, error) {
+	for _, ed := range t.edomains {
+		for _, node := range ed.SNs {
+			if node.Addr() == addr {
+				return node, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("lab: no SN at %s", addr)
+}
+
+// NewHost creates an InterEdge host in the given edomain, associated with
+// the edomain's SN at snIdx, registers it in the peering fabric, and
+// publishes its signed address record (address → owner key + first-hop
+// SNs) in the global lookup service.
+func (t *Topology) NewHost(ed *Edomain, snIdx int, cfgEdit ...func(*host.Config)) (*host.Host, error) {
+	if snIdx < 0 || snIdx >= len(ed.SNs) {
+		return nil, fmt.Errorf("lab: SN index %d out of range", snIdx)
+	}
+	addr := t.alloc.Next()
+	tr, err := t.Net.Attach(addr)
+	if err != nil {
+		return nil, err
+	}
+	id, err := handshake.NewIdentity()
+	if err != nil {
+		return nil, err
+	}
+	cfg := host.Config{Transport: tr, Identity: id, Clock: t.Clock}
+	for _, e := range cfgEdit {
+		e(&cfg)
+	}
+	h, err := host.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.closers = append(t.closers, h.Close)
+	firstHop := ed.SNs[snIdx].Addr()
+	if err := h.Associate(firstHop); err != nil {
+		return nil, fmt.Errorf("lab: associate host %s: %w", addr, err)
+	}
+	if err := t.Fabric.RegisterAddr(ed.ID, addr); err != nil {
+		return nil, err
+	}
+	rec := lookup.AddrRecord{Addr: addr, Owner: id.PublicKey(), SNs: []wire.Addr{firstHop}}
+	sig := lookup.SignAddrRecord(id.Signing, addr, rec.SNs)
+	if err := t.Global.RegisterAddress(rec, sig); err != nil {
+		return nil, fmt.Errorf("lab: register host address: %w", err)
+	}
+	t.hosts = append(t.hosts, h)
+	return h, nil
+}
+
+// NewHostAt creates a host at a specific address, outside any edomain
+// bookkeeping. The caller associates it with SNs manually. Useful when a
+// test needs recognizable source prefixes (e.g. QoS classes).
+func (t *Topology) NewHostAt(addr string, cfgEdit ...func(*host.Config)) (*host.Host, error) {
+	a := wire.MustAddr(addr)
+	tr, err := t.Net.Attach(a)
+	if err != nil {
+		return nil, err
+	}
+	id, err := handshake.NewIdentity()
+	if err != nil {
+		return nil, err
+	}
+	cfg := host.Config{Transport: tr, Identity: id, Clock: t.Clock}
+	for _, e := range cfgEdit {
+		e(&cfg)
+	}
+	h, err := host.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.closers = append(t.closers, h.Close)
+	t.hosts = append(t.hosts, h)
+	return h, nil
+}
+
+// MoveHost re-registers a host's address record after it associates with a
+// different SN (used by mobility scenarios).
+func (t *Topology) MoveHost(h *host.Host, ed *Edomain, snIdx int) error {
+	newSN := ed.SNs[snIdx].Addr()
+	if err := h.Associate(newSN); err != nil {
+		return err
+	}
+	sns := []wire.Addr{newSN}
+	rec := lookup.AddrRecord{Addr: h.Addr(), Owner: h.Identity().PublicKey(), SNs: sns}
+	sig := lookup.SignAddrRecord(h.Identity().Signing, h.Addr(), sns)
+	return t.Global.RegisterAddress(rec, sig)
+}
+
+// Close tears down every node created by the topology.
+func (t *Topology) Close() {
+	for i := len(t.closers) - 1; i >= 0; i-- {
+		_ = t.closers[i]()
+	}
+}

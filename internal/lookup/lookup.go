@@ -1,0 +1,344 @@
+// Package lookup implements the durable, scalable global lookup service
+// the paper assumes "IANA or some other organization provides" (§6.2): it
+// associates each address with the public key of its owner (plus the SNs
+// serving it), records which edomains have members and senders for each
+// group, validates signed join authorizations, and pushes watch events to
+// edomain cores that registered senders.
+package lookup
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"interedge/internal/cryptutil"
+	"interedge/internal/wire"
+)
+
+// GroupID names an anycast/multicast group or pub/sub topic.
+type GroupID string
+
+// EdomainID names an autonomous domain of edge control (§3.1).
+type EdomainID string
+
+// Errors returned by the service.
+var (
+	ErrUnknownAddress = errors.New("lookup: unknown address")
+	ErrUnknownGroup   = errors.New("lookup: unknown group")
+	ErrBadSignature   = errors.New("lookup: signature verification failed")
+	ErrNotAuthorized  = errors.New("lookup: join not authorized")
+)
+
+// AddrRecord maps an address to its owner's public key and associated SNs
+// ("the appropriate name resolution returns not just the service-specific
+// address but also one or more SNs associated with the destination host",
+// §3.2).
+type AddrRecord struct {
+	Addr  wire.Addr
+	Owner ed25519.PublicKey
+	SNs   []wire.Addr
+}
+
+// GroupEvent reports an edomain joining or leaving a group's member set.
+type GroupEvent struct {
+	Group   GroupID
+	Edomain EdomainID
+	Joined  bool
+}
+
+type groupState struct {
+	owner    ed25519.PublicKey
+	open     bool
+	members  map[EdomainID]struct{}
+	senders  map[EdomainID]struct{}
+	watchers map[int]chan GroupEvent
+	nextW    int
+}
+
+// Service is the global lookup service. It is an in-memory, concurrent
+// object; cmd/interedge-lab exposes it to simulated deployments directly,
+// standing in for the replicated directory a production deployment would
+// run.
+type Service struct {
+	mu     sync.Mutex
+	addrs  map[wire.Addr]AddrRecord
+	groups map[GroupID]*groupState
+}
+
+// New creates an empty lookup service.
+func New() *Service {
+	return &Service{
+		addrs:  make(map[wire.Addr]AddrRecord),
+		groups: make(map[GroupID]*groupState),
+	}
+}
+
+// --- Signed statements -------------------------------------------------
+
+func addrRegMsg(addr wire.Addr, sns []wire.Addr) []byte {
+	msg := []byte("ie-lookup-addr|")
+	a := addr.As16()
+	msg = append(msg, a[:]...)
+	for _, s := range sns {
+		b := s.As16()
+		msg = append(msg, b[:]...)
+	}
+	return msg
+}
+
+// SignAddrRecord produces the owner signature over an address record.
+func SignAddrRecord(owner cryptutil.SigningKeypair, addr wire.Addr, sns []wire.Addr) []byte {
+	return owner.Sign(addrRegMsg(addr, sns))
+}
+
+func openMsg(group GroupID) []byte {
+	return []byte("ie-lookup-open|" + string(group))
+}
+
+// SignOpenStatement produces the owner's signed statement that a group is
+// open to all joiners ("the owner can post a signed statement in the
+// lookup service, allowing all receivers to validate their join
+// messages", §6.2).
+func SignOpenStatement(owner cryptutil.SigningKeypair, group GroupID) []byte {
+	return owner.Sign(openMsg(group))
+}
+
+func joinAuthMsg(group GroupID, member ed25519.PublicKey) []byte {
+	msg := []byte("ie-lookup-join|" + string(group) + "|")
+	return append(msg, member...)
+}
+
+// SignJoinAuthorization produces the owner's authorization for a specific
+// member key to join a group.
+func SignJoinAuthorization(owner cryptutil.SigningKeypair, group GroupID, member ed25519.PublicKey) []byte {
+	return owner.Sign(joinAuthMsg(group, member))
+}
+
+// --- Address records ----------------------------------------------------
+
+// RegisterAddress stores an address record after verifying the owner's
+// signature over it.
+func (s *Service) RegisterAddress(rec AddrRecord, sig []byte) error {
+	if !cryptutil.Verify(rec.Owner, addrRegMsg(rec.Addr, rec.SNs), sig) {
+		return ErrBadSignature
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.addrs[rec.Addr]; ok && !existing.Owner.Equal(rec.Owner) {
+		return fmt.Errorf("lookup: address %s already owned by a different key", rec.Addr)
+	}
+	cp := rec
+	cp.Owner = append(ed25519.PublicKey(nil), rec.Owner...)
+	cp.SNs = append([]wire.Addr(nil), rec.SNs...)
+	s.addrs[rec.Addr] = cp
+	return nil
+}
+
+// ResolveAddress returns the record for an address.
+func (s *Service) ResolveAddress(addr wire.Addr) (AddrRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.addrs[addr]
+	if !ok {
+		return AddrRecord{}, ErrUnknownAddress
+	}
+	return rec, nil
+}
+
+// --- Groups --------------------------------------------------------------
+
+// CreateGroup registers a group with its owning key.
+func (s *Service) CreateGroup(group GroupID, owner ed25519.PublicKey) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.groups[group]; ok {
+		return fmt.Errorf("lookup: group %q already exists", group)
+	}
+	s.groups[group] = &groupState{
+		owner:    append(ed25519.PublicKey(nil), owner...),
+		members:  make(map[EdomainID]struct{}),
+		senders:  make(map[EdomainID]struct{}),
+		watchers: make(map[int]chan GroupEvent),
+	}
+	return nil
+}
+
+// GroupOwner returns a group's owning key.
+func (s *Service) GroupOwner(group GroupID) (ed25519.PublicKey, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[group]
+	if !ok {
+		return nil, ErrUnknownGroup
+	}
+	return g.owner, nil
+}
+
+// PostOpenStatement marks a group open-to-all after verifying the owner's
+// signature.
+func (s *Service) PostOpenStatement(group GroupID, sig []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[group]
+	if !ok {
+		return ErrUnknownGroup
+	}
+	if !cryptutil.Verify(g.owner, openMsg(group), sig) {
+		return ErrBadSignature
+	}
+	g.open = true
+	return nil
+}
+
+// ValidateJoin checks a member's join credentials: open groups admit
+// everyone; closed groups require a join authorization signed by the
+// owner over the member's key.
+func (s *Service) ValidateJoin(group GroupID, member ed25519.PublicKey, auth []byte) error {
+	s.mu.Lock()
+	g, ok := s.groups[group]
+	s.mu.Unlock()
+	if !ok {
+		return ErrUnknownGroup
+	}
+	if g.open {
+		return nil
+	}
+	if !cryptutil.Verify(g.owner, joinAuthMsg(group, member), auth) {
+		return ErrNotAuthorized
+	}
+	return nil
+}
+
+// JoinGroupEdomain records that an edomain now has at least one member of
+// the group, notifying watchers.
+func (s *Service) JoinGroupEdomain(group GroupID, ed EdomainID) error {
+	s.mu.Lock()
+	g, ok := s.groups[group]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownGroup
+	}
+	if _, already := g.members[ed]; already {
+		s.mu.Unlock()
+		return nil
+	}
+	g.members[ed] = struct{}{}
+	watchers := collectWatchers(g)
+	s.mu.Unlock()
+	notify(watchers, GroupEvent{Group: group, Edomain: ed, Joined: true})
+	return nil
+}
+
+// LeaveGroupEdomain records that an edomain no longer has members of the
+// group, notifying watchers.
+func (s *Service) LeaveGroupEdomain(group GroupID, ed EdomainID) error {
+	s.mu.Lock()
+	g, ok := s.groups[group]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownGroup
+	}
+	if _, present := g.members[ed]; !present {
+		s.mu.Unlock()
+		return nil
+	}
+	delete(g.members, ed)
+	watchers := collectWatchers(g)
+	s.mu.Unlock()
+	notify(watchers, GroupEvent{Group: group, Edomain: ed, Joined: false})
+	return nil
+}
+
+// RegisterSenderEdomain records that an edomain has a sender for the group
+// and returns the current member edomains plus a watch for changes ("the
+// core ... reads from the lookup service the list of edomains with members
+// (and puts a watch on that list so the lookup service will send
+// updates)", §6.2).
+func (s *Service) RegisterSenderEdomain(group GroupID, ed EdomainID) ([]EdomainID, <-chan GroupEvent, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[group]
+	if !ok {
+		return nil, nil, nil, ErrUnknownGroup
+	}
+	g.senders[ed] = struct{}{}
+	members := make([]EdomainID, 0, len(g.members))
+	for m := range g.members {
+		members = append(members, m)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+
+	id := g.nextW
+	g.nextW++
+	ch := make(chan GroupEvent, 64)
+	g.watchers[id] = ch
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if w, ok := g.watchers[id]; ok {
+			delete(g.watchers, id)
+			close(w)
+		}
+	}
+	return members, ch, cancel, nil
+}
+
+// UnregisterSenderEdomain removes an edomain from the group's sender set.
+func (s *Service) UnregisterSenderEdomain(group GroupID, ed EdomainID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g, ok := s.groups[group]; ok {
+		delete(g.senders, ed)
+	}
+}
+
+// MemberEdomains returns the edomains with members in a group.
+func (s *Service) MemberEdomains(group GroupID) ([]EdomainID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[group]
+	if !ok {
+		return nil, ErrUnknownGroup
+	}
+	out := make([]EdomainID, 0, len(g.members))
+	for m := range g.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// SenderEdomains returns the edomains with registered senders for a group.
+func (s *Service) SenderEdomains(group GroupID) ([]EdomainID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[group]
+	if !ok {
+		return nil, ErrUnknownGroup
+	}
+	out := make([]EdomainID, 0, len(g.senders))
+	for m := range g.senders {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+func collectWatchers(g *groupState) []chan GroupEvent {
+	out := make([]chan GroupEvent, 0, len(g.watchers))
+	for _, w := range g.watchers {
+		out = append(out, w)
+	}
+	return out
+}
+
+func notify(watchers []chan GroupEvent, ev GroupEvent) {
+	for _, w := range watchers {
+		select {
+		case w <- ev:
+		default: // slow watcher: drop rather than block the directory
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package lookup
+
+import (
+	"testing"
+
+	"interedge/internal/cryptutil"
+	"interedge/internal/wire"
+)
+
+func signer(t *testing.T) cryptutil.SigningKeypair {
+	t.Helper()
+	kp, err := cryptutil.NewSigningKeypair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}
+
+func TestRegisterAndResolveAddress(t *testing.T) {
+	s := New()
+	owner := signer(t)
+	addr := wire.MustAddr("fd00::1")
+	sns := []wire.Addr{wire.MustAddr("fd00::100"), wire.MustAddr("fd00::200")}
+	rec := AddrRecord{Addr: addr, Owner: owner.Public, SNs: sns}
+	if err := s.RegisterAddress(rec, SignAddrRecord(owner, addr, sns)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ResolveAddress(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.SNs) != 2 || got.SNs[0] != sns[0] {
+		t.Fatalf("resolved %+v", got)
+	}
+	if _, err := s.ResolveAddress(wire.MustAddr("fd00::9")); err != ErrUnknownAddress {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegisterAddressBadSignature(t *testing.T) {
+	s := New()
+	owner := signer(t)
+	other := signer(t)
+	addr := wire.MustAddr("fd00::1")
+	rec := AddrRecord{Addr: addr, Owner: owner.Public}
+	if err := s.RegisterAddress(rec, SignAddrRecord(other, addr, nil)); err != ErrBadSignature {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestAddressHijackPrevented(t *testing.T) {
+	s := New()
+	owner, attacker := signer(t), signer(t)
+	addr := wire.MustAddr("fd00::1")
+	if err := s.RegisterAddress(AddrRecord{Addr: addr, Owner: owner.Public}, SignAddrRecord(owner, addr, nil)); err != nil {
+		t.Fatal(err)
+	}
+	err := s.RegisterAddress(AddrRecord{Addr: addr, Owner: attacker.Public}, SignAddrRecord(attacker, addr, nil))
+	if err == nil {
+		t.Fatal("address takeover by different key succeeded")
+	}
+	// The owner can update its own record (e.g. new SNs).
+	newSNs := []wire.Addr{wire.MustAddr("fd00::300")}
+	if err := s.RegisterAddress(AddrRecord{Addr: addr, Owner: owner.Public, SNs: newSNs}, SignAddrRecord(owner, addr, newSNs)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupLifecycle(t *testing.T) {
+	s := New()
+	owner := signer(t)
+	if err := s.CreateGroup("news", owner.Public); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateGroup("news", owner.Public); err == nil {
+		t.Fatal("duplicate group creation succeeded")
+	}
+	pub, err := s.GroupOwner("news")
+	if err != nil || !pub.Equal(owner.Public) {
+		t.Fatalf("owner %v err %v", pub, err)
+	}
+	if _, err := s.GroupOwner("ghost"); err != ErrUnknownGroup {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClosedGroupRequiresAuthorization(t *testing.T) {
+	s := New()
+	owner, member, stranger := signer(t), signer(t), signer(t)
+	if err := s.CreateGroup("vip", owner.Public); err != nil {
+		t.Fatal(err)
+	}
+	auth := SignJoinAuthorization(owner, "vip", member.Public)
+	if err := s.ValidateJoin("vip", member.Public, auth); err != nil {
+		t.Fatalf("authorized join rejected: %v", err)
+	}
+	if err := s.ValidateJoin("vip", stranger.Public, auth); err != ErrNotAuthorized {
+		t.Fatalf("stranger with foreign auth: err = %v", err)
+	}
+	if err := s.ValidateJoin("vip", member.Public, nil); err != ErrNotAuthorized {
+		t.Fatalf("missing auth: err = %v", err)
+	}
+}
+
+func TestOpenGroupAdmitsAll(t *testing.T) {
+	s := New()
+	owner, member := signer(t), signer(t)
+	if err := s.CreateGroup("pub", owner.Public); err != nil {
+		t.Fatal(err)
+	}
+	// Before the open statement, joins need auth.
+	if err := s.ValidateJoin("pub", member.Public, nil); err != ErrNotAuthorized {
+		t.Fatalf("err = %v", err)
+	}
+	// A forged open statement is rejected.
+	forger := signer(t)
+	if err := s.PostOpenStatement("pub", SignOpenStatement(forger, "pub")); err != ErrBadSignature {
+		t.Fatalf("forged open statement err = %v", err)
+	}
+	if err := s.PostOpenStatement("pub", SignOpenStatement(owner, "pub")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateJoin("pub", member.Public, nil); err != nil {
+		t.Fatalf("open join rejected: %v", err)
+	}
+}
+
+func TestMemberEdomainTracking(t *testing.T) {
+	s := New()
+	owner := signer(t)
+	if err := s.CreateGroup("g", owner.Public); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JoinGroupEdomain("g", "ed-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JoinGroupEdomain("g", "ed-b"); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent join.
+	if err := s.JoinGroupEdomain("g", "ed-a"); err != nil {
+		t.Fatal(err)
+	}
+	members, err := s.MemberEdomains("g")
+	if err != nil || len(members) != 2 {
+		t.Fatalf("members %v err %v", members, err)
+	}
+	if err := s.LeaveGroupEdomain("g", "ed-a"); err != nil {
+		t.Fatal(err)
+	}
+	members, _ = s.MemberEdomains("g")
+	if len(members) != 1 || members[0] != "ed-b" {
+		t.Fatalf("members %v", members)
+	}
+}
+
+func TestSenderRegistrationAndWatch(t *testing.T) {
+	s := New()
+	owner := signer(t)
+	if err := s.CreateGroup("g", owner.Public); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JoinGroupEdomain("g", "ed-a"); err != nil {
+		t.Fatal(err)
+	}
+	members, events, cancel, err := s.RegisterSenderEdomain("g", "ed-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if len(members) != 1 || members[0] != "ed-a" {
+		t.Fatalf("initial members %v", members)
+	}
+	if err := s.JoinGroupEdomain("g", "ed-b"); err != nil {
+		t.Fatal(err)
+	}
+	ev := <-events
+	if ev.Edomain != "ed-b" || !ev.Joined {
+		t.Fatalf("event %+v", ev)
+	}
+	if err := s.LeaveGroupEdomain("g", "ed-b"); err != nil {
+		t.Fatal(err)
+	}
+	ev = <-events
+	if ev.Edomain != "ed-b" || ev.Joined {
+		t.Fatalf("event %+v", ev)
+	}
+	senders, err := s.SenderEdomains("g")
+	if err != nil || len(senders) != 1 || senders[0] != "ed-s" {
+		t.Fatalf("senders %v err %v", senders, err)
+	}
+	s.UnregisterSenderEdomain("g", "ed-s")
+	senders, _ = s.SenderEdomains("g")
+	if len(senders) != 0 {
+		t.Fatalf("senders after unregister %v", senders)
+	}
+}
+
+func TestWatchCancelClosesChannel(t *testing.T) {
+	s := New()
+	owner := signer(t)
+	if err := s.CreateGroup("g", owner.Public); err != nil {
+		t.Fatal(err)
+	}
+	_, events, cancel, err := s.RegisterSenderEdomain("g", "ed-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	cancel() // double cancel safe
+	if _, ok := <-events; ok {
+		t.Fatal("events channel not closed after cancel")
+	}
+	// Further membership changes don't panic.
+	if err := s.JoinGroupEdomain("g", "ed-x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownGroupOperations(t *testing.T) {
+	s := New()
+	if err := s.JoinGroupEdomain("nope", "e"); err != ErrUnknownGroup {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.LeaveGroupEdomain("nope", "e"); err != ErrUnknownGroup {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, _, err := s.RegisterSenderEdomain("nope", "e"); err != ErrUnknownGroup {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.ValidateJoin("nope", nil, nil); err != ErrUnknownGroup {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.PostOpenStatement("nope", nil); err != ErrUnknownGroup {
+		t.Fatalf("err = %v", err)
+	}
+}

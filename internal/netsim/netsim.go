@@ -1,0 +1,356 @@
+// Package netsim provides the L3 substrate beneath ILP: an addressed,
+// unreliable, unordered datagram network. Two implementations are provided:
+//
+//   - Network: an in-process fabric with configurable per-link latency,
+//     bandwidth (FIFO queueing via a fluid model), loss, and partitions.
+//     This is the testbed substitute for the paper's CloudLab/Fabric
+//     deployments: it exercises identical code above the Transport
+//     interface while remaining deterministic under test.
+//   - UDP transport (udp.go): maps wire addresses onto real UDP sockets for
+//     cross-process deployments of the same nodes.
+//
+// Everything above this package (pipes, SNs, services, hosts) sees only the
+// Transport interface.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"interedge/internal/clock"
+	"interedge/internal/wire"
+)
+
+// Transport is one node's attachment to the substrate.
+type Transport interface {
+	// LocalAddr returns the node's address.
+	LocalAddr() wire.Addr
+	// Send transmits one datagram. Send never blocks on the receiver; a
+	// full receive queue drops the datagram, as a NIC would.
+	Send(dg wire.Datagram) error
+	// Receive returns the channel of inbound datagrams. The channel is
+	// closed when the transport closes.
+	Receive() <-chan wire.Datagram
+	// Close detaches the node.
+	Close() error
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("netsim: transport closed")
+
+// ErrUnknownDestination is returned when no node is attached at the
+// destination address.
+var ErrUnknownDestination = errors.New("netsim: unknown destination")
+
+// LinkProfile describes the emulated properties of a directed link.
+type LinkProfile struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// BandwidthBps, if nonzero, applies a fluid FIFO queueing model at the
+	// given bytes-per-second rate.
+	BandwidthBps float64
+	// LossRate in [0,1) drops packets at random.
+	LossRate float64
+}
+
+// NetworkOption configures a Network.
+type NetworkOption func(*Network)
+
+// WithClock sets the clock used for latency emulation (default clock.Real).
+func WithClock(c clock.Clock) NetworkOption {
+	return func(n *Network) { n.clk = c }
+}
+
+// WithSeed sets the RNG seed used for loss decisions, making drops
+// reproducible.
+func WithSeed(seed int64) NetworkOption {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithQueueDepth sets the per-node receive queue depth (default 4096).
+func WithQueueDepth(d int) NetworkOption {
+	return func(n *Network) { n.queueDepth = d }
+}
+
+// Network is the in-process datagram fabric.
+type Network struct {
+	mu         sync.RWMutex
+	clk        clock.Clock
+	rng        *rand.Rand
+	rngMu      sync.Mutex
+	queueDepth int
+	nodes      map[wire.Addr]*simTransport
+	links      map[linkKey]*linkState
+	defaults   LinkProfile
+	partitions map[linkKey]bool
+	stats      Stats
+}
+
+type linkKey struct{ from, to wire.Addr }
+
+type linkState struct {
+	profile  LinkProfile
+	mu       sync.Mutex
+	nextFree time.Time // fluid-model: when the link is next idle
+}
+
+// Stats aggregates fabric-wide counters.
+type Stats struct {
+	Sent         uint64
+	Delivered    uint64
+	DroppedLoss  uint64
+	DroppedQueue uint64
+	DroppedDead  uint64 // destination not attached
+	BytesSent    uint64
+}
+
+// NewNetwork creates an empty fabric. By default links are ideal: zero
+// latency, unlimited bandwidth, no loss.
+func NewNetwork(opts ...NetworkOption) *Network {
+	n := &Network{
+		clk:        clock.Real{},
+		rng:        rand.New(rand.NewSource(1)),
+		queueDepth: 4096,
+		nodes:      make(map[wire.Addr]*simTransport),
+		links:      make(map[linkKey]*linkState),
+		partitions: make(map[linkKey]bool),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// SetDefaultLink sets the profile applied to links with no explicit profile.
+func (n *Network) SetDefaultLink(p LinkProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defaults = p
+}
+
+// SetLink sets the profile of the directed link from→to.
+func (n *Network) SetLink(from, to wire.Addr, p LinkProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[linkKey{from, to}] = &linkState{profile: p}
+}
+
+// SetLinkBoth sets the profile in both directions.
+func (n *Network) SetLinkBoth(a, b wire.Addr, p LinkProfile) {
+	n.SetLink(a, b, p)
+	n.SetLink(b, a, p)
+}
+
+// Partition severs connectivity between a and b in both directions.
+func (n *Network) Partition(a, b wire.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions[linkKey{a, b}] = true
+	n.partitions[linkKey{b, a}] = true
+}
+
+// Heal restores connectivity between a and b.
+func (n *Network) Heal(a, b wire.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, linkKey{a, b})
+	delete(n.partitions, linkKey{b, a})
+}
+
+// Snapshot returns current fabric counters.
+func (n *Network) Snapshot() Stats {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.stats
+}
+
+// Attach connects a new node at addr and returns its transport.
+func (n *Network) Attach(addr wire.Addr) (Transport, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.nodes[addr]; exists {
+		return nil, fmt.Errorf("netsim: address %s already attached", addr)
+	}
+	t := &simTransport{
+		net:  n,
+		addr: addr,
+		rx:   make(chan wire.Datagram, n.queueDepth),
+	}
+	n.nodes[addr] = t
+	return t, nil
+}
+
+// detach removes a node; called by simTransport.Close.
+func (n *Network) detach(addr wire.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, addr)
+}
+
+func (n *Network) linkFor(from, to wire.Addr) *linkState {
+	if l, ok := n.links[linkKey{from, to}]; ok {
+		return l
+	}
+	return nil
+}
+
+// send routes a datagram from src.
+func (n *Network) send(dg wire.Datagram) error {
+	if len(dg.Payload) > wire.MTU {
+		return fmt.Errorf("netsim: payload %d exceeds MTU", len(dg.Payload))
+	}
+	n.mu.Lock()
+	n.stats.Sent++
+	n.stats.BytesSent += uint64(len(dg.Payload))
+	if n.partitions[linkKey{dg.Src, dg.Dst}] {
+		n.stats.DroppedDead++
+		n.mu.Unlock()
+		return nil // silently dropped, like a black-holed route
+	}
+	dst, ok := n.nodes[dg.Dst]
+	if !ok {
+		n.stats.DroppedDead++
+		n.mu.Unlock()
+		return ErrUnknownDestination
+	}
+	link := n.linkFor(dg.Src, dg.Dst)
+	profile := n.defaults
+	if link != nil {
+		profile = link.profile
+	}
+	n.mu.Unlock()
+
+	if profile.LossRate > 0 {
+		n.rngMu.Lock()
+		drop := n.rng.Float64() < profile.LossRate
+		n.rngMu.Unlock()
+		if drop {
+			n.count(func(s *Stats) { s.DroppedLoss++ })
+			return nil
+		}
+	}
+
+	delay := profile.Latency
+	if profile.BandwidthBps > 0 {
+		txTime := time.Duration(float64(len(dg.Payload)+wire.DatagramHeaderSize) / profile.BandwidthBps * float64(time.Second))
+		now := n.clk.Now()
+		if link != nil {
+			link.mu.Lock()
+			start := link.nextFree
+			if start.Before(now) {
+				start = now
+			}
+			link.nextFree = start.Add(txTime)
+			delay += link.nextFree.Sub(now)
+			link.mu.Unlock()
+		} else {
+			delay += txTime
+		}
+	}
+
+	// Copy the payload: the sender may reuse its buffer immediately.
+	cp := dg
+	cp.Payload = append([]byte(nil), dg.Payload...)
+
+	if delay <= 0 {
+		n.deliver(dst, cp)
+		return nil
+	}
+	// Register the timer synchronously so that a Manual clock advanced
+	// right after Send returns still fires this delivery.
+	timer := n.clk.After(delay)
+	go func() {
+		<-timer
+		n.deliver(dst, cp)
+	}()
+	return nil
+}
+
+func (n *Network) deliver(dst *simTransport, dg wire.Datagram) {
+	dst.mu.Lock()
+	if dst.closed {
+		dst.mu.Unlock()
+		n.count(func(s *Stats) { s.DroppedDead++ })
+		return
+	}
+	select {
+	case dst.rx <- dg:
+		dst.mu.Unlock()
+		n.count(func(s *Stats) { s.Delivered++ })
+	default:
+		dst.mu.Unlock()
+		n.count(func(s *Stats) { s.DroppedQueue++ })
+	}
+}
+
+func (n *Network) count(f func(*Stats)) {
+	n.mu.Lock()
+	f(&n.stats)
+	n.mu.Unlock()
+}
+
+type simTransport struct {
+	net  *Network
+	addr wire.Addr
+	rx   chan wire.Datagram
+	mu   sync.Mutex
+	// closed is guarded by mu; deliver() checks it before sending on rx so
+	// Close can safely close the channel.
+	closed bool
+}
+
+func (t *simTransport) LocalAddr() wire.Addr { return t.addr }
+
+func (t *simTransport) Send(dg wire.Datagram) error {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	dg.Src = t.addr
+	return t.net.send(dg)
+}
+
+func (t *simTransport) Receive() <-chan wire.Datagram { return t.rx }
+
+func (t *simTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	close(t.rx)
+	t.mu.Unlock()
+	t.net.detach(t.addr)
+	return nil
+}
+
+// AddrAllocator hands out sequential unique-local addresses for building
+// topologies.
+type AddrAllocator struct {
+	mu   sync.Mutex
+	next uint32
+}
+
+// NewAddrAllocator returns an allocator starting at fd00::1.
+func NewAddrAllocator() *AddrAllocator { return &AddrAllocator{next: 1} }
+
+// Next returns the next unused address.
+func (a *AddrAllocator) Next() wire.Addr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v := a.next
+	a.next++
+	var b [16]byte
+	b[0] = 0xfd
+	b[12] = byte(v >> 24)
+	b[13] = byte(v >> 16)
+	b[14] = byte(v >> 8)
+	b[15] = byte(v)
+	return addrFrom16(b)
+}

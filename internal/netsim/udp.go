@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"interedge/internal/wire"
+)
+
+// UDPDirectory maps wire addresses to real UDP endpoints so the same node
+// code that runs on the in-process fabric can run across processes or
+// machines. The directory plays the role of static L3 routing
+// configuration; it is not a discovery service.
+type UDPDirectory struct {
+	mu      sync.RWMutex
+	entries map[wire.Addr]*net.UDPAddr
+}
+
+// NewUDPDirectory returns an empty directory.
+func NewUDPDirectory() *UDPDirectory {
+	return &UDPDirectory{entries: make(map[wire.Addr]*net.UDPAddr)}
+}
+
+// Register associates a wire address with a UDP endpoint.
+func (d *UDPDirectory) Register(addr wire.Addr, ep *net.UDPAddr) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries[addr] = ep
+}
+
+// Lookup resolves a wire address to a UDP endpoint.
+func (d *UDPDirectory) Lookup(addr wire.Addr) (*net.UDPAddr, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ep, ok := d.entries[addr]
+	return ep, ok
+}
+
+// UDPTransport carries wire datagrams over a real UDP socket.
+type UDPTransport struct {
+	addr wire.Addr
+	dir  *UDPDirectory
+	conn *net.UDPConn
+	rx   chan wire.Datagram
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewUDPTransport binds a UDP socket on listen (e.g. "127.0.0.1:0"),
+// registers the node in the directory, and starts the receive loop.
+func NewUDPTransport(addr wire.Addr, listen string, dir *UDPDirectory) (*UDPTransport, error) {
+	laddr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: resolve %q: %w", listen, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: listen UDP: %w", err)
+	}
+	t := &UDPTransport{
+		addr: addr,
+		dir:  dir,
+		conn: conn,
+		rx:   make(chan wire.Datagram, 4096),
+	}
+	dir.Register(addr, conn.LocalAddr().(*net.UDPAddr))
+	go t.readLoop()
+	return t, nil
+}
+
+func (t *UDPTransport) readLoop() {
+	buf := make([]byte, wire.MTU+wire.DatagramHeaderSize)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				close(t.rx)
+				return
+			}
+			continue
+		}
+		var dg wire.Datagram
+		if _, err := dg.DecodeFromBytes(buf[:n]); err != nil {
+			continue // malformed datagrams are dropped, as at any router
+		}
+		// Copy out of the reused read buffer.
+		dg.Payload = append([]byte(nil), dg.Payload...)
+		select {
+		case t.rx <- dg:
+		default: // queue full: drop
+		}
+	}
+}
+
+// LocalAddr implements Transport.
+func (t *UDPTransport) LocalAddr() wire.Addr { return t.addr }
+
+// Send implements Transport.
+func (t *UDPTransport) Send(dg wire.Datagram) error {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	dg.Src = t.addr
+	ep, ok := t.dir.Lookup(dg.Dst)
+	if !ok {
+		return ErrUnknownDestination
+	}
+	enc, err := dg.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = t.conn.WriteToUDP(enc, ep)
+	return err
+}
+
+// Receive implements Transport.
+func (t *UDPTransport) Receive() <-chan wire.Datagram { return t.rx }
+
+// Close implements Transport.
+func (t *UDPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	return t.conn.Close()
+}

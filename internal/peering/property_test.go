@@ -1,0 +1,64 @@
+package peering
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"interedge/internal/wire"
+)
+
+// Property: for any pair of registered addresses, NextHop either fails or
+// returns an address registered in the fabric, and iterating NextHop from
+// the source always reaches the destination in at most 3 hops (src SN →
+// local gateway → remote gateway → dst SN).
+func TestNextHopConvergesProperty(t *testing.T) {
+	f := func(nEdomains, snsPer uint8, srcIdx, dstIdx uint16) bool {
+		ne := int(nEdomains%4) + 2 // 2..5 edomains
+		ns := int(snsPer%3) + 1    // 1..3 SNs each
+		fab := NewFabric()
+		var all []wire.Addr
+		for e := 0; e < ne; e++ {
+			id := EdomainID(fmt.Sprintf("ed-%d", e))
+			var sns []wire.Addr
+			for s := 0; s < ns; s++ {
+				sns = append(sns, wire.MustAddr(fmt.Sprintf("fd00:%x::%x", e+1, s+1)))
+			}
+			if err := fab.AddEdomain(id, sns[0]); err != nil {
+				return false
+			}
+			for _, a := range sns[1:] {
+				if err := fab.RegisterAddr(id, a); err != nil {
+					return false
+				}
+			}
+			all = append(all, sns...)
+		}
+		if err := fab.EstablishMesh(func(a, b wire.Addr) error { return nil }); err != nil {
+			return false
+		}
+		src := all[int(srcIdx)%len(all)]
+		dst := all[int(dstIdx)%len(all)]
+		cur := src
+		for hop := 0; hop < 4; hop++ {
+			next, err := fab.NextHop(cur, dst)
+			if err != nil {
+				return false
+			}
+			if _, known := fab.EdomainOf(next); !known {
+				return false // next hop outside the fabric
+			}
+			if next == dst {
+				return true
+			}
+			if next == cur {
+				return false // no progress
+			}
+			cur = next
+		}
+		return false // did not converge within 3 hops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,447 @@
+// Package pipe manages ILP pipes: the long-lived, handshake-keyed,
+// PSP-encrypted point-to-point channels between hosts and SNs and between
+// SNs (§3.1 "Host-to-SN Pipes", "SN-to-SN Pipe"). A Manager owns one
+// transport attachment and all pipes radiating from it; both the host stack
+// and the SN pipe-terminus are built on top of it.
+//
+// The Manager handles:
+//   - handshake initiation, response, retransmission, and simultaneous-open
+//     tie-breaking (the numerically lower address acts as initiator);
+//   - per-peer PSP seal/open state and epoch rotation;
+//   - dispatch of decrypted (header, payload) pairs to a PacketHandler.
+//
+// The PacketHandler runs on the manager's single receive goroutine; callers
+// needing concurrency (e.g. the SN module runtime) hand off internally.
+package pipe
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"interedge/internal/clock"
+	"interedge/internal/handshake"
+	"interedge/internal/netsim"
+	"interedge/internal/psp"
+	"interedge/internal/wire"
+)
+
+// PacketHandler receives every decrypted inbound ILP packet. hdr.Data and
+// payload alias internal buffers and must be copied if retained.
+type PacketHandler func(src wire.Addr, hdr wire.ILPHeader, payload []byte)
+
+// AuthorizePeer decides whether to accept a pipe with the given peer. It is
+// consulted on both initiation and response.
+type AuthorizePeer func(addr wire.Addr, identity ed25519.PublicKey) bool
+
+// PeerUpHandler is notified when a pipe becomes established.
+type PeerUpHandler func(addr wire.Addr, identity ed25519.PublicKey)
+
+// Errors returned by the Manager.
+var (
+	ErrNoPipe           = errors.New("pipe: no established pipe to destination")
+	ErrHandshakeTimeout = errors.New("pipe: handshake timed out")
+	ErrUnauthorized     = errors.New("pipe: peer rejected by authorization policy")
+	ErrManagerClosed    = errors.New("pipe: manager closed")
+)
+
+// Config configures a Manager.
+type Config struct {
+	Transport netsim.Transport
+	Identity  handshake.Identity
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// Handler receives inbound packets; required for nodes that accept
+	// traffic.
+	Handler PacketHandler
+	// Authorize defaults to accept-all.
+	Authorize AuthorizePeer
+	// OnPeerUp is optional.
+	OnPeerUp PeerUpHandler
+	// HandshakeTimeout is the per-attempt retransmission interval
+	// (default 250ms).
+	HandshakeTimeout time.Duration
+	// HandshakeRetries is the number of msg1 transmissions before giving
+	// up (default 5).
+	HandshakeRetries int
+}
+
+// PeerInfo reports the state of one established pipe.
+type PeerInfo struct {
+	Addr        wire.Addr
+	Identity    ed25519.PublicKey
+	Established time.Time
+	TxPackets   uint64
+	RxPackets   uint64
+	TxBytes     uint64
+	RxBytes     uint64
+}
+
+type peer struct {
+	addr     wire.Addr
+	identity ed25519.PublicKey
+	crypto   *psp.PipeCrypto
+	up       time.Time
+
+	mu        sync.Mutex
+	txPackets uint64
+	rxPackets uint64
+	txBytes   uint64
+	rxBytes   uint64
+}
+
+type pendingConn struct {
+	hs   *handshake.Pending
+	done chan struct{} // closed when the pipe (by any path) is up
+	err  error
+}
+
+// Manager owns all pipes of one node.
+type Manager struct {
+	cfg   Config
+	local wire.Addr
+
+	mu      sync.Mutex
+	peers   map[wire.Addr]*peer
+	pending map[wire.Addr]*pendingConn
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New creates a Manager and starts its receive loop.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("pipe: Config.Transport is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Authorize == nil {
+		cfg.Authorize = func(wire.Addr, ed25519.PublicKey) bool { return true }
+	}
+	if cfg.HandshakeTimeout == 0 {
+		cfg.HandshakeTimeout = 250 * time.Millisecond
+	}
+	if cfg.HandshakeRetries == 0 {
+		cfg.HandshakeRetries = 5
+	}
+	m := &Manager{
+		cfg:     cfg,
+		local:   cfg.Transport.LocalAddr(),
+		peers:   make(map[wire.Addr]*peer),
+		pending: make(map[wire.Addr]*pendingConn),
+		done:    make(chan struct{}),
+	}
+	m.wg.Add(1)
+	go m.receiveLoop()
+	return m, nil
+}
+
+// LocalAddr returns the node's address.
+func (m *Manager) LocalAddr() wire.Addr { return m.local }
+
+// Identity returns the node's identity.
+func (m *Manager) Identity() handshake.Identity { return m.cfg.Identity }
+
+func (m *Manager) receiveLoop() {
+	defer m.wg.Done()
+	for dg := range m.cfg.Transport.Receive() {
+		if len(dg.Payload) < 1 {
+			continue
+		}
+		frame := wire.FrameType(dg.Payload[0])
+		body := dg.Payload[1:]
+		switch frame {
+		case wire.FrameHandshake1:
+			m.handleMsg1(dg.Src, body)
+		case wire.FrameHandshake2:
+			m.handleMsg2(dg.Src, body)
+		case wire.FrameILP:
+			m.handleILP(dg.Src, body)
+		}
+	}
+}
+
+func (m *Manager) handleMsg1(src wire.Addr, body []byte) {
+	m.mu.Lock()
+	// Simultaneous open: if we have a pending handshake to src and our
+	// address is lower, we are the designated initiator — ignore their
+	// msg1; they will answer ours.
+	if _, isPending := m.pending[src]; isPending && m.local.Less(src) {
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+
+	msg2, res, err := handshake.Respond(m.cfg.Identity, m.local, src, body)
+	if err != nil {
+		return // malformed or forged; drop silently like any bad packet
+	}
+	if !m.cfg.Authorize(src, res.PeerIdentity) {
+		return
+	}
+	out := append([]byte{byte(wire.FrameHandshake2)}, msg2...)
+	if err := m.cfg.Transport.Send(wire.Datagram{Dst: src, Payload: out}); err != nil {
+		return
+	}
+	m.establish(src, res)
+}
+
+func (m *Manager) handleMsg2(src wire.Addr, body []byte) {
+	m.mu.Lock()
+	pc, ok := m.pending[src]
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	res, err := pc.hs.Complete(body)
+	if err != nil {
+		return
+	}
+	if !m.cfg.Authorize(src, res.PeerIdentity) {
+		m.mu.Lock()
+		if m.pending[src] == pc {
+			delete(m.pending, src)
+			pc.err = ErrUnauthorized
+			close(pc.done)
+		}
+		m.mu.Unlock()
+		return
+	}
+	m.establish(src, res)
+}
+
+// establish installs the pipe and wakes any Connect waiters.
+func (m *Manager) establish(addr wire.Addr, res *handshake.Result) {
+	crypto, err := psp.NewPipeCrypto(res.Master, res.Initiator, res.BaseSPI)
+	if err != nil {
+		return
+	}
+	p := &peer{
+		addr:     addr,
+		identity: res.PeerIdentity,
+		crypto:   crypto,
+		up:       m.cfg.Clock.Now(),
+	}
+	m.mu.Lock()
+	m.peers[addr] = p
+	if pc, ok := m.pending[addr]; ok {
+		delete(m.pending, addr)
+		close(pc.done)
+	}
+	m.mu.Unlock()
+	if m.cfg.OnPeerUp != nil {
+		m.cfg.OnPeerUp(addr, res.PeerIdentity)
+	}
+}
+
+func (m *Manager) handleILP(src wire.Addr, body []byte) {
+	m.mu.Lock()
+	p, ok := m.peers[src]
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	hdrBytes, payload, err := p.crypto.RX.Open(body)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	p.rxPackets++
+	p.rxBytes += uint64(len(body))
+	p.mu.Unlock()
+	var hdr wire.ILPHeader
+	if _, err := hdr.DecodeFromBytes(hdrBytes); err != nil {
+		return
+	}
+	if m.cfg.Handler != nil {
+		m.cfg.Handler(src, hdr, payload)
+	}
+}
+
+// Connect establishes (or returns) a pipe to addr, blocking until the
+// handshake completes or times out.
+func (m *Manager) Connect(addr wire.Addr) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrManagerClosed
+	}
+	if _, ok := m.peers[addr]; ok {
+		m.mu.Unlock()
+		return nil
+	}
+	if pc, ok := m.pending[addr]; ok {
+		m.mu.Unlock()
+		<-pc.done
+		return pc.err
+	}
+	hs, err := handshake.Initiate(m.cfg.Identity, m.local, addr)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	pc := &pendingConn{hs: hs, done: make(chan struct{})}
+	m.pending[addr] = pc
+	m.mu.Unlock()
+
+	msg1 := append([]byte{byte(wire.FrameHandshake1)}, hs.Msg1()...)
+	for attempt := 0; attempt < m.cfg.HandshakeRetries; attempt++ {
+		if err := m.cfg.Transport.Send(wire.Datagram{Dst: addr, Payload: msg1}); err != nil {
+			// Keep retrying: the peer may attach shortly (e.g. SN restart).
+			if errors.Is(err, netsim.ErrClosed) {
+				m.failPending(addr, pc, err)
+				return err
+			}
+		}
+		select {
+		case <-pc.done:
+			return pc.err
+		case <-m.cfg.Clock.After(m.cfg.HandshakeTimeout):
+		case <-m.done:
+			m.failPending(addr, pc, ErrManagerClosed)
+			return ErrManagerClosed
+		}
+	}
+	m.failPending(addr, pc, ErrHandshakeTimeout)
+	return pc.err
+}
+
+func (m *Manager) failPending(addr wire.Addr, pc *pendingConn, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cur, ok := m.pending[addr]; ok && cur == pc {
+		delete(m.pending, addr)
+		pc.err = err
+		close(pc.done)
+	}
+	// If the pipe came up concurrently (pc.done already closed by
+	// establish), pc.err stays nil and callers see success.
+}
+
+// HasPeer reports whether a pipe to addr is established.
+func (m *Manager) HasPeer(addr wire.Addr) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.peers[addr]
+	return ok
+}
+
+// Peers lists established pipes.
+func (m *Manager) Peers() []PeerInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]PeerInfo, 0, len(m.peers))
+	for _, p := range m.peers {
+		p.mu.Lock()
+		out = append(out, PeerInfo{
+			Addr: p.addr, Identity: p.identity, Established: p.up,
+			TxPackets: p.txPackets, RxPackets: p.rxPackets,
+			TxBytes: p.txBytes, RxBytes: p.rxBytes,
+		})
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// PeerIdentity returns the verified identity of an established peer.
+func (m *Manager) PeerIdentity(addr wire.Addr) (ed25519.PublicKey, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[addr]
+	if !ok {
+		return nil, false
+	}
+	return p.identity, true
+}
+
+// Send encodes hdr and sends it with payload over the pipe to dst.
+func (m *Manager) Send(dst wire.Addr, hdr *wire.ILPHeader, payload []byte) error {
+	enc, err := hdr.Encode()
+	if err != nil {
+		return err
+	}
+	return m.SendHeaderBytes(dst, enc, payload)
+}
+
+// SendHeaderBytes sends an already-encoded ILP header with payload over the
+// pipe to dst. This is the forwarding fast path used by the pipe-terminus,
+// which re-seals decrypted header bytes without re-parsing them.
+func (m *Manager) SendHeaderBytes(dst wire.Addr, hdrBytes, payload []byte) error {
+	m.mu.Lock()
+	p, ok := m.peers[dst]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoPipe, dst)
+	}
+	buf := make([]byte, 1, 1+psp.SealedSize(len(hdrBytes), len(payload)))
+	buf[0] = byte(wire.FrameILP)
+	sealed, err := p.crypto.TX.Seal(buf, hdrBytes, payload)
+	if err != nil {
+		return err
+	}
+	if err := m.cfg.Transport.Send(wire.Datagram{Dst: dst, Payload: sealed}); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.txPackets++
+	p.txBytes += uint64(len(sealed))
+	p.mu.Unlock()
+	return nil
+}
+
+// RotateAll advances the sending key epoch on every pipe (§4 key rotation).
+func (m *Manager) RotateAll() error {
+	m.mu.Lock()
+	peers := make([]*peer, 0, len(m.peers))
+	for _, p := range m.peers {
+		peers = append(peers, p)
+	}
+	m.mu.Unlock()
+	for _, p := range peers {
+		if err := p.crypto.TX.Rotate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropPeer tears down the pipe to addr (used by failure-injection tests
+// and by Redial).
+func (m *Manager) DropPeer(addr wire.Addr) {
+	m.mu.Lock()
+	delete(m.peers, addr)
+	m.mu.Unlock()
+}
+
+// Redial discards any existing pipe state for addr and performs a fresh
+// handshake. Use when the peer restarted: its old pipe keys are gone, so
+// traffic sealed with the previous master secret would be dropped.
+func (m *Manager) Redial(addr wire.Addr) error {
+	m.DropPeer(addr)
+	return m.Connect(addr)
+}
+
+// Close shuts down the manager and its transport.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	for addr, pc := range m.pending {
+		pc.err = ErrManagerClosed
+		close(pc.done)
+		delete(m.pending, addr)
+	}
+	m.mu.Unlock()
+	close(m.done)
+	err := m.cfg.Transport.Close()
+	m.wg.Wait()
+	return err
+}

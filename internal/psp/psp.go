@@ -1,0 +1,395 @@
+// Package psp implements PSP-style per-packet encryption for ILP pipes
+// (§4 of the paper). Design goals, mirroring Google's PSP:
+//
+//   - Stateless per packet: every packet carries an SPI identifying the key
+//     and a unique IV, so packets are independently decryptable even when
+//     they arrive out of order or after loss.
+//   - Header-only encryption: only the ILP header is encrypted with the
+//     pipe's shared key; application payload is authenticated (covered by
+//     the AEAD tag) but not re-encrypted, since endpoints already protect it
+//     with their own keys.
+//   - Cheap rotation: keys are derived per epoch from a pipe master secret;
+//     the low byte of the SPI carries the epoch so a receiver can accept the
+//     current and previous epoch during rotation without coordination.
+//
+// Wire layout produced by TX.Seal and consumed by RX.Open:
+//
+//	PSP header (12) | hdrCTLen (2) | ILP header ciphertext+tag | payload
+package psp
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"interedge/internal/cryptutil"
+	"interedge/internal/wire"
+)
+
+// Overhead is the number of bytes Seal adds on top of header plaintext and
+// payload: the PSP header, the header-ciphertext length field, and the GCM
+// tag.
+const Overhead = wire.PSPHeaderSize + 2 + 16
+
+// Epoch numbers wrap at 256; the SPI's low byte carries epoch mod 256.
+const epochMask = 0xFF
+
+// Direction labels bind each direction of a pipe to an independent key
+// schedule derived from the same master secret.
+type Direction string
+
+// The two directions of a pipe, from the perspective of the handshake
+// initiator.
+const (
+	DirInitiatorToResponder Direction = "i2r"
+	DirResponderToInitiator Direction = "r2i"
+)
+
+// Errors returned by Open.
+var (
+	ErrBadEpoch   = errors.New("psp: packet epoch not current or previous")
+	ErrReplay     = errors.New("psp: replayed or too-old IV")
+	ErrAuthFailed = errors.New("psp: authentication failed")
+)
+
+func epochKey(master cryptutil.Key, dir Direction, epoch uint32) (cipher.AEAD, error) {
+	info := fmt.Sprintf("interedge-psp/%s/epoch-%d", dir, epoch)
+	k, err := cryptutil.DeriveKey(master[:], nil, info)
+	if err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+func nonce(spi uint32, iv uint64) []byte {
+	var n [12]byte
+	binary.BigEndian.PutUint32(n[0:4], spi)
+	binary.BigEndian.PutUint64(n[4:12], iv)
+	return n[:]
+}
+
+// TX is the sending half of one direction of a pipe. It is safe for
+// concurrent use.
+type TX struct {
+	mu      sync.Mutex
+	master  cryptutil.Key
+	dir     Direction
+	baseSPI uint32
+	epoch   uint32
+	iv      uint64
+	aead    cipher.AEAD
+}
+
+// NewTX creates the sending state for one pipe direction. baseSPI's low
+// byte is reserved for the epoch and must be zero.
+func NewTX(master cryptutil.Key, dir Direction, baseSPI uint32) (*TX, error) {
+	if baseSPI&epochMask != 0 {
+		return nil, fmt.Errorf("psp: baseSPI low byte must be zero, got %#x", baseSPI)
+	}
+	aead, err := epochKey(master, dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &TX{master: master, dir: dir, baseSPI: baseSPI, aead: aead}, nil
+}
+
+// Rotate advances to the next key epoch. Packets already sealed remain
+// decryptable by receivers until they rotate twice.
+func (t *TX) Rotate() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	next := t.epoch + 1
+	aead, err := epochKey(t.master, t.dir, next)
+	if err != nil {
+		return err
+	}
+	t.epoch = next
+	t.aead = aead
+	t.iv = 0
+	return nil
+}
+
+// Epoch returns the current sending epoch.
+func (t *TX) Epoch() uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+// SealedSize returns the wire size of a packet with the given header and
+// payload lengths.
+func SealedSize(hdrLen, payloadLen int) int { return Overhead + hdrLen + payloadLen }
+
+// Seal encrypts hdrPlain and authenticates payload, appending the full wire
+// packet to dst and returning the extended slice. Each call consumes one IV.
+func (t *TX) Seal(dst, hdrPlain, payload []byte) ([]byte, error) {
+	t.mu.Lock()
+	spi := t.baseSPI | (t.epoch & epochMask)
+	iv := t.iv
+	t.iv++
+	aead := t.aead
+	t.mu.Unlock()
+
+	ph := wire.PSPHeader{SPI: spi, IV: iv}
+	start := len(dst)
+	need := SealedSize(len(hdrPlain), len(payload))
+	dst = append(dst, make([]byte, need)...)
+	out := dst[start:]
+	if _, err := ph.SerializeTo(out); err != nil {
+		return nil, err
+	}
+	ctLen := len(hdrPlain) + 16
+	binary.BigEndian.PutUint16(out[wire.PSPHeaderSize:], uint16(ctLen))
+	// AAD covers the cleartext prefix and the payload, binding them to the
+	// encrypted header.
+	aadEnd := wire.PSPHeaderSize + 2
+	payloadStart := aadEnd + ctLen
+	copy(out[payloadStart:], payload)
+	aad := make([]byte, 0, aadEnd+len(payload))
+	aad = append(aad, out[:aadEnd]...)
+	aad = append(aad, payload...)
+	ct := aead.Seal(out[aadEnd:aadEnd], nonce(spi, iv), hdrPlain, aad)
+	if len(ct) != ctLen {
+		return nil, fmt.Errorf("psp: internal: ciphertext length %d != %d", len(ct), ctLen)
+	}
+	return dst, nil
+}
+
+// replayWindow tracks seen IVs per epoch with a sliding bitmap, rejecting
+// duplicates and packets older than the window.
+type replayWindow struct {
+	maxIV  uint64
+	seen   bool
+	bitmap [replayWords]uint64
+}
+
+const (
+	replayBits  = 1024
+	replayWords = replayBits / 64
+)
+
+func (w *replayWindow) check(iv uint64) error {
+	if !w.seen {
+		return nil
+	}
+	if iv > w.maxIV {
+		return nil
+	}
+	diff := w.maxIV - iv
+	if diff >= replayBits {
+		return ErrReplay
+	}
+	if w.bitmap[diff/64]&(1<<(diff%64)) != 0 {
+		return ErrReplay
+	}
+	return nil
+}
+
+func (w *replayWindow) mark(iv uint64) {
+	if !w.seen {
+		w.seen = true
+		w.maxIV = iv
+		w.bitmap = [replayWords]uint64{}
+		w.bitmap[0] = 1
+		return
+	}
+	if iv > w.maxIV {
+		shift := iv - w.maxIV
+		if shift >= replayBits {
+			w.bitmap = [replayWords]uint64{}
+		} else {
+			for ; shift > 0; shift-- {
+				carryShift(&w.bitmap)
+			}
+		}
+		w.maxIV = iv
+		w.bitmap[0] |= 1
+		return
+	}
+	diff := w.maxIV - iv
+	if diff < replayBits {
+		w.bitmap[diff/64] |= 1 << (diff % 64)
+	}
+}
+
+func carryShift(b *[replayWords]uint64) {
+	var carry uint64
+	for i := 0; i < replayWords; i++ {
+		next := b[i] >> 63
+		b[i] = b[i]<<1 | carry
+		carry = next
+	}
+}
+
+// RX is the receiving half of one direction of a pipe. It accepts the
+// current and the immediately previous key epoch, and (optionally) enforces
+// anti-replay per epoch. Safe for concurrent use.
+type RX struct {
+	mu          sync.Mutex
+	master      cryptutil.Key
+	dir         Direction
+	baseSPI     uint32
+	epoch       uint32 // highest epoch observed
+	aeads       map[uint32]cipher.AEAD
+	windows     map[uint32]*replayWindow
+	replayCheck bool
+}
+
+// NewRX creates the receiving state for one pipe direction.
+func NewRX(master cryptutil.Key, dir Direction, baseSPI uint32) (*RX, error) {
+	if baseSPI&epochMask != 0 {
+		return nil, fmt.Errorf("psp: baseSPI low byte must be zero, got %#x", baseSPI)
+	}
+	aead, err := epochKey(master, dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &RX{
+		master:      master,
+		dir:         dir,
+		baseSPI:     baseSPI,
+		aeads:       map[uint32]cipher.AEAD{0: aead},
+		windows:     map[uint32]*replayWindow{0: {}},
+		replayCheck: true,
+	}, nil
+}
+
+// SetReplayCheck enables or disables anti-replay enforcement. It is on by
+// default; benchmarks that replay a single sealed packet disable it.
+func (r *RX) SetReplayCheck(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.replayCheck = on
+}
+
+func (r *RX) aeadForEpoch(epoch uint32) (cipher.AEAD, *replayWindow, error) {
+	if aead, ok := r.aeads[epoch]; ok {
+		return aead, r.windows[epoch], nil
+	}
+	// Accept any newer epoch on first sight (the sender may have rotated
+	// several times before sending) and the immediately previous epoch;
+	// reject anything older.
+	if epoch+1 < r.epoch {
+		return nil, nil, ErrBadEpoch
+	}
+	aead, err := epochKey(r.master, r.dir, epoch)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.aeads[epoch] = aead
+	r.windows[epoch] = &replayWindow{}
+	if epoch > r.epoch {
+		r.epoch = epoch
+		// Drop epochs older than previous.
+		for e := range r.aeads {
+			if e+1 < epoch {
+				delete(r.aeads, e)
+				delete(r.windows, e)
+			}
+		}
+	}
+	return aead, r.windows[epoch], nil
+}
+
+// Open parses and authenticates a sealed packet, returning the decrypted
+// ILP header bytes and the (aliased) payload bytes.
+func (r *RX) Open(packet []byte) (hdrPlain, payload []byte, err error) {
+	var ph wire.PSPHeader
+	n, err := ph.DecodeFromBytes(packet)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ph.SPI&^uint32(epochMask) != r.baseSPI {
+		return nil, nil, fmt.Errorf("psp: SPI %#x does not match pipe base %#x", ph.SPI, r.baseSPI)
+	}
+	if len(packet) < n+2 {
+		return nil, nil, wire.ErrTruncated
+	}
+	ctLen := int(binary.BigEndian.Uint16(packet[n : n+2]))
+	aadEnd := n + 2
+	if len(packet) < aadEnd+ctLen {
+		return nil, nil, wire.ErrTruncated
+	}
+	ct := packet[aadEnd : aadEnd+ctLen]
+	payload = packet[aadEnd+ctLen:]
+
+	// Epoch-aligned IV handling must be serialized; the AEAD open itself
+	// runs outside the lock.
+	epochLow := ph.SPI & epochMask
+	r.mu.Lock()
+	// Reconstruct the full epoch from its low byte relative to the highest
+	// epoch seen so far.
+	epoch := (r.epoch &^ uint32(epochMask)) | epochLow
+	switch {
+	case epoch > r.epoch+1 && epoch >= 0x100:
+		epoch -= 0x100
+	case epoch+0x100 <= r.epoch+1:
+		epoch += 0x100
+	}
+	aead, win, aerr := r.aeadForEpoch(epoch)
+	if aerr != nil {
+		r.mu.Unlock()
+		return nil, nil, aerr
+	}
+	if r.replayCheck {
+		if rerr := win.check(ph.IV); rerr != nil {
+			r.mu.Unlock()
+			return nil, nil, rerr
+		}
+	}
+	r.mu.Unlock()
+
+	aad := make([]byte, 0, aadEnd+len(payload))
+	aad = append(aad, packet[:aadEnd]...)
+	aad = append(aad, payload...)
+	hdrPlain, err = aead.Open(nil, nonce(ph.SPI, ph.IV), ct, aad)
+	if err != nil {
+		return nil, nil, ErrAuthFailed
+	}
+
+	if r.replayCheck {
+		r.mu.Lock()
+		// Re-validate under lock: a concurrent Open of the same IV may have
+		// won the race between check and mark.
+		if rerr := win.check(ph.IV); rerr != nil {
+			r.mu.Unlock()
+			return nil, nil, rerr
+		}
+		win.mark(ph.IV)
+		r.mu.Unlock()
+	}
+	return hdrPlain, payload, nil
+}
+
+// PipeCrypto bundles both directions of a pipe for one endpoint.
+type PipeCrypto struct {
+	TX *TX
+	RX *RX
+}
+
+// NewPipeCrypto derives the send and receive state for one endpoint of a
+// pipe from the shared master secret. The initiator sends on the i2r
+// schedule and receives on r2i; the responder is the mirror image. baseSPI
+// must match on both ends.
+func NewPipeCrypto(master cryptutil.Key, initiator bool, baseSPI uint32) (*PipeCrypto, error) {
+	txDir, rxDir := DirInitiatorToResponder, DirResponderToInitiator
+	if !initiator {
+		txDir, rxDir = rxDir, txDir
+	}
+	tx, err := NewTX(master, txDir, baseSPI)
+	if err != nil {
+		return nil, err
+	}
+	rx, err := NewRX(master, rxDir, baseSPI)
+	if err != nil {
+		return nil, err
+	}
+	return &PipeCrypto{TX: tx, RX: rx}, nil
+}

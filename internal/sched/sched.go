@@ -1,0 +1,318 @@
+// Package sched provides the packet schedulers behind the last-hop QoS
+// service (§6.2): weighted fair queueing (a virtual-time approximation of
+// GPS), strict priority scheduling, and token-bucket rate limiting. The
+// qos service module composes them: receivers specify their access-link
+// bandwidth plus per-source weights or priorities, and their first-hop SN
+// schedules incoming traffic accordingly.
+package sched
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Item is one queued packet.
+type Item struct {
+	// Flow identifies the scheduling class (e.g. a source prefix).
+	Flow string
+	// Size is the packet length in bytes (drives WFQ finish times and
+	// shaping).
+	Size int
+	// Data is the opaque packet payload carried through the scheduler.
+	Data any
+}
+
+// Scheduler is the shared contract of WFQ and Priority queues.
+type Scheduler interface {
+	// Enqueue adds a packet. It returns false if the packet was dropped
+	// (queue capacity exceeded).
+	Enqueue(it Item) bool
+	// Dequeue removes the next packet to send, or returns false if empty.
+	Dequeue() (Item, bool)
+	// Len returns the number of queued packets.
+	Len() int
+}
+
+// --- Weighted fair queueing ------------------------------------------------
+
+type wfqEntry struct {
+	item   Item
+	finish float64
+	seq    uint64 // tie-break for stable ordering
+	index  int
+}
+
+type wfqHeap []*wfqEntry
+
+func (h wfqHeap) Len() int { return len(h) }
+func (h wfqHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].seq < h[j].seq
+}
+func (h wfqHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *wfqHeap) Push(x interface{}) {
+	e := x.(*wfqEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *wfqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// WFQ is a virtual-time weighted fair queue. Each flow has a weight; over
+// any backlogged interval, flow f receives bandwidth proportional to
+// weight(f). Flows without an explicit weight use DefaultWeight.
+type WFQ struct {
+	mu            sync.Mutex
+	weights       map[string]float64
+	lastFinish    map[string]float64
+	virtual       float64 // current virtual time = finish tag of last dequeue
+	heap          wfqHeap
+	seq           uint64
+	capacity      int
+	defaultWeight float64
+	dropped       uint64
+}
+
+// NewWFQ creates a WFQ with the given total capacity (packets).
+func NewWFQ(capacity int) *WFQ {
+	return &WFQ{
+		weights:       make(map[string]float64),
+		lastFinish:    make(map[string]float64),
+		capacity:      capacity,
+		defaultWeight: 1,
+	}
+}
+
+// SetWeight assigns a flow's weight (must be positive).
+func (w *WFQ) SetWeight(flow string, weight float64) error {
+	if weight <= 0 {
+		return errors.New("sched: weight must be positive")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.weights[flow] = weight
+	return nil
+}
+
+// Weight returns a flow's effective weight.
+func (w *WFQ) Weight(flow string) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if wt, ok := w.weights[flow]; ok {
+		return wt
+	}
+	return w.defaultWeight
+}
+
+// Enqueue implements Scheduler: the packet's virtual finish time is
+// start + size/weight, where start = max(virtual now, flow's last finish).
+func (w *WFQ) Enqueue(it Item) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.heap) >= w.capacity {
+		w.dropped++
+		return false
+	}
+	weight := w.defaultWeight
+	if wt, ok := w.weights[it.Flow]; ok {
+		weight = wt
+	}
+	start := w.virtual
+	if lf, ok := w.lastFinish[it.Flow]; ok && lf > start {
+		start = lf
+	}
+	finish := start + float64(it.Size)/weight
+	w.lastFinish[it.Flow] = finish
+	w.seq++
+	heap.Push(&w.heap, &wfqEntry{item: it, finish: finish, seq: w.seq})
+	return true
+}
+
+// Dequeue implements Scheduler.
+func (w *WFQ) Dequeue() (Item, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.heap) == 0 {
+		return Item{}, false
+	}
+	e := heap.Pop(&w.heap).(*wfqEntry)
+	if e.finish > w.virtual {
+		w.virtual = e.finish
+	}
+	return e.item, true
+}
+
+// Len implements Scheduler.
+func (w *WFQ) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.heap)
+}
+
+// Dropped returns the count of capacity drops.
+func (w *WFQ) Dropped() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropped
+}
+
+// --- Strict priority ---------------------------------------------------------
+
+// Priority schedules strictly by priority level (lower value = served
+// first), FIFO within a level.
+type Priority struct {
+	mu       sync.Mutex
+	levels   map[string]int
+	queues   map[int][]Item
+	order    []int // sorted distinct levels present
+	count    int
+	capacity int
+	dropped  uint64
+	def      int
+}
+
+// NewPriority creates a strict-priority scheduler with total capacity.
+func NewPriority(capacity int) *Priority {
+	return &Priority{
+		levels:   make(map[string]int),
+		queues:   make(map[int][]Item),
+		capacity: capacity,
+		def:      100,
+	}
+}
+
+// SetLevel assigns a flow's priority level (lower = more urgent). Flows
+// without a level use the default (100).
+func (p *Priority) SetLevel(flow string, level int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.levels[flow] = level
+}
+
+// Enqueue implements Scheduler.
+func (p *Priority) Enqueue(it Item) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.count >= p.capacity {
+		p.dropped++
+		return false
+	}
+	level, ok := p.levels[it.Flow]
+	if !ok {
+		level = p.def
+	}
+	if _, exists := p.queues[level]; !exists {
+		p.order = insertSorted(p.order, level)
+	}
+	p.queues[level] = append(p.queues[level], it)
+	p.count++
+	return true
+}
+
+func insertSorted(s []int, v int) []int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = v
+	return s
+}
+
+// Dequeue implements Scheduler.
+func (p *Priority) Dequeue() (Item, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, level := range p.order {
+		q := p.queues[level]
+		if len(q) == 0 {
+			continue
+		}
+		it := q[0]
+		p.queues[level] = q[1:]
+		p.count--
+		return it, true
+	}
+	return Item{}, false
+}
+
+// Len implements Scheduler.
+func (p *Priority) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.count
+}
+
+// Dropped returns the count of capacity drops.
+func (p *Priority) Dropped() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// --- Token bucket ------------------------------------------------------------
+
+// TokenBucket enforces an average rate with bounded burst. It is driven by
+// explicit timestamps so it works under both real and manual clocks.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (bytes) per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket creates a bucket that refills at rate bytes/sec up to
+// burst bytes, starting full.
+func NewTokenBucket(rate, burst float64, now time.Time) *TokenBucket {
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// Allow consumes n tokens if available at time now, reporting success.
+func (b *TokenBucket) Allow(n int, now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	if b.tokens < float64(n) {
+		return false
+	}
+	b.tokens -= float64(n)
+	return true
+}
+
+// Tokens reports the available tokens at time now.
+func (b *TokenBucket) Tokens(now time.Time) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	return b.tokens
+}
+
+func (b *TokenBucket) refill(now time.Time) {
+	if now.After(b.last) {
+		b.tokens += b.rate * now.Sub(b.last).Seconds()
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+}

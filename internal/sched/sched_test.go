@@ -1,0 +1,244 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWFQSingleFlowFIFO(t *testing.T) {
+	w := NewWFQ(100)
+	for i := 0; i < 5; i++ {
+		if !w.Enqueue(Item{Flow: "a", Size: 100, Data: i}) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		it, ok := w.Dequeue()
+		if !ok || it.Data.(int) != i {
+			t.Fatalf("dequeue %d: %+v ok=%v", i, it, ok)
+		}
+	}
+	if _, ok := w.Dequeue(); ok {
+		t.Fatal("dequeue from empty queue")
+	}
+}
+
+// Two equally weighted backlogged flows share service roughly equally.
+func TestWFQEqualWeightsInterleave(t *testing.T) {
+	w := NewWFQ(1000)
+	for i := 0; i < 50; i++ {
+		w.Enqueue(Item{Flow: "a", Size: 100})
+		w.Enqueue(Item{Flow: "b", Size: 100})
+	}
+	counts := map[string]int{}
+	for i := 0; i < 20; i++ {
+		it, _ := w.Dequeue()
+		counts[it.Flow]++
+	}
+	if counts["a"] != 10 || counts["b"] != 10 {
+		t.Fatalf("first 20 dequeues: %v", counts)
+	}
+}
+
+// Weight 3:1 gives a ~3x service share to the heavier flow.
+func TestWFQWeightedShare(t *testing.T) {
+	w := NewWFQ(10000)
+	if err := w.SetWeight("heavy", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetWeight("light", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		w.Enqueue(Item{Flow: "heavy", Size: 100})
+		w.Enqueue(Item{Flow: "light", Size: 100})
+	}
+	counts := map[string]int{}
+	for i := 0; i < 400; i++ {
+		it, _ := w.Dequeue()
+		counts[it.Flow]++
+	}
+	ratio := float64(counts["heavy"]) / float64(counts["light"])
+	if math.Abs(ratio-3) > 0.25 {
+		t.Fatalf("service ratio = %.2f (counts %v), want ~3", ratio, counts)
+	}
+}
+
+// Packet size matters: a flow sending double-size packets gets half the
+// packet rate at equal weight (equal byte rate).
+func TestWFQByteFairness(t *testing.T) {
+	w := NewWFQ(10000)
+	for i := 0; i < 1000; i++ {
+		w.Enqueue(Item{Flow: "big", Size: 200})
+		w.Enqueue(Item{Flow: "small", Size: 100})
+	}
+	bytes := map[string]int{}
+	for i := 0; i < 600; i++ {
+		it, _ := w.Dequeue()
+		bytes[it.Flow] += it.Size
+	}
+	ratio := float64(bytes["big"]) / float64(bytes["small"])
+	if math.Abs(ratio-1) > 0.1 {
+		t.Fatalf("byte ratio = %.2f (%v), want ~1", ratio, bytes)
+	}
+}
+
+func TestWFQCapacityDrops(t *testing.T) {
+	w := NewWFQ(3)
+	for i := 0; i < 5; i++ {
+		w.Enqueue(Item{Flow: "a", Size: 1})
+	}
+	if w.Len() != 3 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	if w.Dropped() != 2 {
+		t.Fatalf("dropped = %d", w.Dropped())
+	}
+}
+
+func TestWFQInvalidWeight(t *testing.T) {
+	w := NewWFQ(10)
+	if err := w.SetWeight("a", 0); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if err := w.SetWeight("a", -1); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+// A newly active flow cannot claim bandwidth retroactively (its start tag
+// is the current virtual time).
+func TestWFQNoRetroactiveCredit(t *testing.T) {
+	w := NewWFQ(1000)
+	for i := 0; i < 100; i++ {
+		w.Enqueue(Item{Flow: "old", Size: 100})
+	}
+	for i := 0; i < 50; i++ {
+		w.Dequeue()
+	}
+	// "new" wakes up; it should NOT get 50 consecutive dequeues.
+	for i := 0; i < 100; i++ {
+		w.Enqueue(Item{Flow: "new", Size: 100})
+	}
+	counts := map[string]int{}
+	for i := 0; i < 20; i++ {
+		it, _ := w.Dequeue()
+		counts[it.Flow]++
+	}
+	if counts["new"] > 12 {
+		t.Fatalf("late-arriving flow monopolized service: %v", counts)
+	}
+}
+
+// Property: WFQ never loses or duplicates packets, and per-flow order is
+// preserved.
+func TestWFQConservationProperty(t *testing.T) {
+	f := func(flows []uint8) bool {
+		w := NewWFQ(len(flows) + 1)
+		type tagged struct {
+			flow string
+			seq  int
+		}
+		perFlowSeq := map[string]int{}
+		for _, fb := range flows {
+			flow := string(rune('a' + fb%4))
+			w.Enqueue(Item{Flow: flow, Size: 1 + int(fb%7), Data: tagged{flow, perFlowSeq[flow]}})
+			perFlowSeq[flow]++
+		}
+		seen := map[string]int{}
+		total := 0
+		for {
+			it, ok := w.Dequeue()
+			if !ok {
+				break
+			}
+			tg := it.Data.(tagged)
+			if tg.seq != seen[tg.flow] {
+				return false // per-flow reordering
+			}
+			seen[tg.flow]++
+			total++
+		}
+		return total == len(flows)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorityStrictOrdering(t *testing.T) {
+	p := NewPriority(100)
+	p.SetLevel("gaming", 0)
+	p.SetLevel("video", 1)
+	// Interleave enqueues.
+	p.Enqueue(Item{Flow: "video", Data: "v1"})
+	p.Enqueue(Item{Flow: "gaming", Data: "g1"})
+	p.Enqueue(Item{Flow: "bulk", Data: "b1"}) // default level 100
+	p.Enqueue(Item{Flow: "gaming", Data: "g2"})
+	want := []string{"g1", "g2", "v1", "b1"}
+	for i, w := range want {
+		it, ok := p.Dequeue()
+		if !ok || it.Data.(string) != w {
+			t.Fatalf("dequeue %d = %v, want %s", i, it.Data, w)
+		}
+	}
+}
+
+func TestPriorityCapacityAndLen(t *testing.T) {
+	p := NewPriority(2)
+	p.Enqueue(Item{Flow: "a"})
+	p.Enqueue(Item{Flow: "b"})
+	if p.Enqueue(Item{Flow: "c"}) {
+		t.Fatal("enqueue over capacity succeeded")
+	}
+	if p.Len() != 2 || p.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d", p.Len(), p.Dropped())
+	}
+}
+
+func TestPriorityEmptyDequeue(t *testing.T) {
+	p := NewPriority(10)
+	if _, ok := p.Dequeue(); ok {
+		t.Fatal("dequeue from empty")
+	}
+}
+
+func TestTokenBucketBasic(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewTokenBucket(1000, 500, now) // 1000 B/s, 500 burst
+	if !b.Allow(500, now) {
+		t.Fatal("initial burst denied")
+	}
+	if b.Allow(1, now) {
+		t.Fatal("over-burst allowed")
+	}
+	// After 100ms, 100 tokens refilled.
+	now = now.Add(100 * time.Millisecond)
+	if !b.Allow(100, now) {
+		t.Fatal("refilled tokens denied")
+	}
+	if b.Allow(50, now) {
+		t.Fatal("tokens double-spent")
+	}
+}
+
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewTokenBucket(1000, 200, now)
+	now = now.Add(time.Hour)
+	if got := b.Tokens(now); got != 200 {
+		t.Fatalf("tokens = %v, want burst cap 200", got)
+	}
+}
+
+func TestTokenBucketTimeMonotonic(t *testing.T) {
+	now := time.Unix(100, 0)
+	b := NewTokenBucket(1000, 100, now)
+	b.Allow(100, now)
+	// A stale timestamp must not refill.
+	if b.Allow(10, now.Add(-time.Minute)) {
+		t.Fatal("stale timestamp refilled bucket")
+	}
+}

@@ -1,0 +1,130 @@
+package attest
+
+import (
+	"testing"
+
+	"interedge/internal/cryptutil"
+	"interedge/internal/enclave"
+	"interedge/internal/lab"
+	"interedge/internal/services/echo"
+	"interedge/internal/sn"
+	"interedge/internal/tpm"
+)
+
+func newWorld(t *testing.T) (*lab.Topology, *lab.Edomain) {
+	t.Helper()
+	topo := lab.New()
+	ed, err := topo.AddEdomain("ed-a", 1, func(node *sn.SN, ed *lab.Edomain) error {
+		return node.Register(New(node.TPM()))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(topo.Close)
+	return topo, ed
+}
+
+func TestQuoteVerifies(t *testing.T) {
+	topo, ed := newWorld(t)
+	client, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := cryptutil.RandomBytes(16)
+	wq, err := RequestQuote(client, ed.SNs[0].Addr(), nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ek := ed.SNs[0].TPM().EndorsementKey()
+	if _, err := Verify(ek, wq, nonce); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuoteWrongNonceRejected(t *testing.T) {
+	topo, ed := newWorld(t)
+	client, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wq, err := RequestQuote(client, ed.SNs[0].Addr(), []byte("nonce-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ek := ed.SNs[0].TPM().EndorsementKey()
+	if _, err := Verify(ek, wq, []byte("nonce-b")); err == nil {
+		t.Fatal("replayed quote accepted")
+	}
+}
+
+func TestQuoteWrongEKRejected(t *testing.T) {
+	topo, ed := newWorld(t)
+	client, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := []byte("n")
+	wq, err := RequestQuote(client, ed.SNs[0].Addr(), nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherTPM, err := tpm.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(otherTPM.EndorsementKey(), wq, nonce); err == nil {
+		t.Fatal("quote accepted under wrong endorsement key")
+	}
+}
+
+// The full chain: a client verifies that an SN runs a specific enclave
+// module version by recomputing the expected PCR from the module's
+// measurement.
+func TestEnclaveModuleMeasurementAttested(t *testing.T) {
+	topo := lab.New()
+	ed, err := topo.AddEdomain("ed-a", 1, func(node *sn.SN, ed *lab.Edomain) error {
+		if err := node.Register(New(node.TPM())); err != nil {
+			return err
+		}
+		// An enclave-hosted echo module: its measurement lands in PCR 4.
+		return node.Register(echo.New(), sn.WithEnclave())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(topo.Close)
+	client, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := cryptutil.RandomBytes(16)
+	wq, err := RequestQuote(client, ed.SNs[0].Addr(), nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcrs, err := Verify(ed.SNs[0].TPM().EndorsementKey(), wq, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute the expected measurement chain for PCR 4: only the echo
+	// module's enclave was launched.
+	encl, ok := ed.SNs[0].ModuleEnclave(0x114) // SvcEcho
+	if !ok {
+		t.Fatal("no enclave")
+	}
+	want := enclave.ExpectedPCR(encl.Measurement())
+	if pcrs[enclave.MeasurementPCR] != want {
+		t.Fatal("attested PCR does not match expected module measurement")
+	}
+}
+
+func TestEmptyNonceRejected(t *testing.T) {
+	topo, ed := newWorld(t)
+	client, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RequestQuote(client, ed.SNs[0].Addr(), nil); err == nil {
+		t.Fatal("empty nonce accepted")
+	}
+}

@@ -1,0 +1,176 @@
+package bulk
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"interedge/internal/lab"
+)
+
+func newWorld(t *testing.T) (*lab.Topology, *lab.Edomain) {
+	t.Helper()
+	topo := lab.New()
+	ed, err := topo.AddEdomain("ed-a", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ed.SNs[0].Register(New()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(topo.Close)
+	return topo, ed
+}
+
+func mkData(n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i * 17)
+	}
+	return data
+}
+
+func TestPublishAndFetch(t *testing.T) {
+	topo, ed := newWorld(t)
+	pub, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := mkData(10*ChunkSize + 77)
+	if err := Publish(pub, "climate.nc", data); err != nil {
+		t.Fatal(err)
+	}
+	awaitUpload(t, topo, ed, "climate.nc", 11)
+
+	recv, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Fetch(recv, ed.SNs[0].Addr(), "climate.nc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("fetched %d bytes, want %d", len(got), len(data))
+	}
+}
+
+func TestResumeFetchesOnlyMissing(t *testing.T) {
+	topo, ed := newWorld(t)
+	pub, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := mkData(6 * ChunkSize)
+	if err := Publish(pub, "ds", data); err != nil {
+		t.Fatal(err)
+	}
+	awaitUpload(t, topo, ed, "ds", 6)
+
+	recv, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a partial prior transfer: chunks 0,1,2 already on disk.
+	have := map[int][]byte{}
+	for i := 0; i < 3; i++ {
+		have[i] = data[i*ChunkSize : (i+1)*ChunkSize]
+	}
+	got, err := Fetch(recv, ed.SNs[0].Addr(), "ds", have)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("resumed fetch mismatch")
+	}
+}
+
+func awaitUpload(t *testing.T, topo *lab.Topology, ed *lab.Edomain, name string, total int) {
+	t.Helper()
+	probe, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tot, have, err := Stat(probe, ed.SNs[0].Addr(), name)
+		if err == nil && tot == total && have == total {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dataset never completed: total=%d have=%d err=%v", tot, have, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFetchUnknownDataset(t *testing.T) {
+	topo, ed := newWorld(t)
+	recv, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fetch(recv, ed.SNs[0].Addr(), "ghost", nil); err == nil {
+		t.Fatal("fetch of unknown dataset succeeded")
+	}
+}
+
+func TestIncompleteDatasetRefused(t *testing.T) {
+	topo, ed := newWorld(t)
+	pub, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manually upload only chunk 0 of 3.
+	conn, err := pub.NewConn(0x10D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := []byte{kindPut, 0, 0, 0, 0, 0, 0, 0, 3}
+	meta = append(meta, "partial"...)
+	if err := conn.Send(meta, mkData(ChunkSize)); err != nil {
+		t.Fatal(err)
+	}
+	recv, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		_, _, err := Stat(recv, ed.SNs[0].Addr(), "partial")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("partial dataset never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := Fetch(recv, ed.SNs[0].Addr(), "partial", nil); err != ErrIncomplete {
+		t.Fatalf("err = %v, want ErrIncomplete", err)
+	}
+}
+
+func TestSmallDatasetSingleChunk(t *testing.T) {
+	topo, ed := newWorld(t)
+	pub, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("tiny")
+	if err := Publish(pub, "tiny", data); err != nil {
+		t.Fatal(err)
+	}
+	awaitUpload(t, topo, ed, "tiny", 1)
+	recv, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Fetch(recv, ed.SNs[0].Addr(), "tiny", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}

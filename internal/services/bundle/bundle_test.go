@@ -1,0 +1,134 @@
+package bundle
+
+import (
+	"bytes"
+	"testing"
+
+	"interedge/internal/lab"
+	"interedge/internal/sn"
+)
+
+func newWorld(t *testing.T) (*lab.Topology, *lab.Edomain, *Module) {
+	t.Helper()
+	topo := lab.New()
+	mod := New(1 << 20)
+	ed, err := topo.AddEdomain("ed-a", 1, func(node *sn.SN, ed *lab.Edomain) error {
+		return node.Register(mod)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(topo.Close)
+	return topo, ed, mod
+}
+
+func TestBundleWithCachingServesSecondRequestFromEdge(t *testing.T) {
+	topo, ed, mod := newWorld(t)
+	origin, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("bundled page")
+	ServeOrigin(origin, map[string][]byte{"page": content})
+	client, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(client)
+
+	// First request with caching invoked: travels to the origin.
+	r1, err := c.Get(OptCache, origin.Addr(), "page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1.Data, content) || r1.FromCache {
+		t.Fatalf("first response %+v", r1)
+	}
+	// Second request: served at the edge.
+	r2, err := c.Get(OptCache, origin.Addr(), "page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r2.Data, content) || !r2.FromCache {
+		t.Fatalf("second response %+v", r2)
+	}
+	hits, origins := mod.Stats()
+	if hits != 1 || origins != 1 {
+		t.Fatalf("hits=%d origin=%d", hits, origins)
+	}
+}
+
+// §3.2: the metadata option controls "whether or not to invoke caching" —
+// without the flag, every request goes to the origin and nothing is
+// served from or stored at the edge.
+func TestBundleWithoutCachingAlwaysGoesToOrigin(t *testing.T) {
+	topo, ed, mod := newWorld(t)
+	origin, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ServeOrigin(origin, map[string][]byte{"page": []byte("fresh")})
+	client, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(client)
+	for i := 0; i < 3; i++ {
+		r, err := c.Get(0, origin.Addr(), "page")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.FromCache {
+			t.Fatal("uncached invocation served from cache")
+		}
+	}
+	hits, origins := mod.Stats()
+	if hits != 0 || origins != 3 {
+		t.Fatalf("hits=%d origin=%d", hits, origins)
+	}
+}
+
+// Cached invocations must not be poisoned by uncached ones and vice
+// versa: an uncached fetch does not populate the cache.
+func TestUncachedFetchDoesNotPopulateCache(t *testing.T) {
+	topo, ed, mod := newWorld(t)
+	origin, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ServeOrigin(origin, map[string][]byte{"page": []byte("x")})
+	client, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(client)
+	if _, err := c.Get(0, origin.Addr(), "page"); err != nil {
+		t.Fatal(err)
+	}
+	// A cached invocation right after still misses (must go to origin).
+	r, err := c.Get(OptCache, origin.Addr(), "page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FromCache {
+		t.Fatal("cache populated by uncached invocation")
+	}
+	_ = mod
+}
+
+func TestBundleUnknownContent(t *testing.T) {
+	topo, ed, _ := newWorld(t)
+	origin, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ServeOrigin(origin, map[string][]byte{})
+	client, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(client)
+	if _, err := c.Get(OptCache, origin.Addr(), "ghost"); err != ErrNotFound {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}

@@ -1,0 +1,47 @@
+package echo
+
+import (
+	"testing"
+	"time"
+
+	"interedge/internal/lab"
+	"interedge/internal/sn"
+	"interedge/internal/wire"
+)
+
+func TestEchoRoundTrip(t *testing.T) {
+	topo := lab.New()
+	defer topo.Close()
+	mod := New()
+	ed, err := topo.AddEdomain("ed-a", 1, func(node *sn.SN, ed *lab.Edomain) error {
+		return node.Register(mod)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := topo.NewHost(ed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := h.NewConn(wire.SvcEcho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 3; i++ {
+		if err := conn.Send([]byte("meta"), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case msg := <-conn.Receive():
+			if len(msg.Payload) != 1 || msg.Payload[0] != byte(i) {
+				t.Fatalf("payload %v", msg.Payload)
+			}
+		case <-time.After(3 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+	if mod.Handled() != 3 {
+		t.Fatalf("handled = %d", mod.Handled())
+	}
+}

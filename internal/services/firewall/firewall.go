@@ -1,0 +1,136 @@
+// Package firewall implements an operator-imposed next-generation-firewall
+// pass-through service (§1.2 NGFW; §3.2 operator-imposed services): the
+// enterprise's boundary SN filters traffic by ordered source-prefix rules
+// before forwarding toward the destination. Denied flows get drop rules in
+// the decision cache so repeat offenders cost nothing on the slow path.
+package firewall
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"interedge/internal/sn"
+	"interedge/internal/sn/cache"
+	"interedge/internal/wire"
+)
+
+// Errors returned by the service.
+var (
+	ErrBadHeader = errors.New("firewall: malformed header data")
+)
+
+// Rule is one ordered filter rule.
+type Rule struct {
+	Prefix string `json:"prefix"`
+	Allow  bool   `json:"allow"`
+}
+
+type compiledRule struct {
+	prefix netip.Prefix
+	allow  bool
+}
+
+// Module is the firewall service.
+type Module struct {
+	mu           sync.Mutex
+	rules        []compiledRule
+	defaultAllow bool
+	denied       uint64
+	allowed      uint64
+}
+
+// New creates a firewall that allows by default.
+func New() *Module {
+	return &Module{defaultAllow: true}
+}
+
+// Service implements sn.Module.
+func (*Module) Service() wire.ServiceID { return wire.SvcFirewall }
+
+// Name implements sn.Module.
+func (*Module) Name() string { return "firewall" }
+
+// Version implements sn.Module.
+func (*Module) Version() string { return "1.0" }
+
+type setRulesArgs struct {
+	Rules        []Rule `json:"rules"`
+	DefaultAllow bool   `json:"default_allow"`
+}
+
+// HandleControl implements sn.ControlHandler: set_rules, stats.
+func (m *Module) HandleControl(env sn.Env, src wire.Addr, op string, args []byte) ([]byte, error) {
+	switch op {
+	case "set_rules":
+		var a setRulesArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, err
+		}
+		compiled := make([]compiledRule, 0, len(a.Rules))
+		for _, r := range a.Rules {
+			p, err := netip.ParsePrefix(r.Prefix)
+			if err != nil {
+				return nil, fmt.Errorf("firewall: bad prefix %q: %w", r.Prefix, err)
+			}
+			compiled = append(compiled, compiledRule{prefix: p, allow: r.Allow})
+		}
+		m.mu.Lock()
+		m.rules = compiled
+		m.defaultAllow = a.DefaultAllow
+		m.mu.Unlock()
+		return nil, nil
+	case "stats":
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return json.Marshal(map[string]uint64{"allowed": m.allowed, "denied": m.denied})
+	default:
+		return nil, fmt.Errorf("firewall: unknown op %q", op)
+	}
+}
+
+// HeaderData encodes the final destination.
+func HeaderData(finalDst wire.Addr) []byte {
+	b := finalDst.As16()
+	return b[:]
+}
+
+// HandlePacket implements sn.Module: first matching rule wins.
+func (m *Module) HandlePacket(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
+	if len(pkt.Hdr.Data) != 16 {
+		return sn.Decision{}, ErrBadHeader
+	}
+	var b [16]byte
+	copy(b[:], pkt.Hdr.Data)
+	dst := netip.AddrFrom16(b).Unmap()
+
+	m.mu.Lock()
+	allow := m.defaultAllow
+	for _, r := range m.rules {
+		if r.prefix.Contains(pkt.Src) {
+			allow = r.allow
+			break
+		}
+	}
+	if allow {
+		m.allowed++
+	} else {
+		m.denied++
+	}
+	m.mu.Unlock()
+
+	if !allow {
+		return sn.Decision{
+			Rules: []sn.Rule{{Key: pkt.Key(), Action: cache.Action{Drop: true}}},
+		}, nil
+	}
+	return sn.Decision{
+		Forwards: []sn.Forward{{Dst: dst}},
+		Rules: []sn.Rule{{
+			Key:    pkt.Key(),
+			Action: cache.Action{Forward: []wire.Addr{dst}},
+		}},
+	}, nil
+}

@@ -1,0 +1,63 @@
+// Package groupfan factors out the SN-to-SN fan-out pattern shared by the
+// multipoint services (pub/sub, multicast, anycast; §6.2): spread a packet
+// to every member SN inside the local edomain, and carry it into each
+// remote member edomain through that edomain's gateway SN via the peering
+// transit service.
+package groupfan
+
+import (
+	"fmt"
+
+	"interedge/internal/edomain"
+	"interedge/internal/peering"
+	"interedge/internal/sn"
+	"interedge/internal/wire"
+)
+
+// Fanout performs group spreads for one service on one SN.
+type Fanout struct {
+	// Core is the SN's edomain core.
+	Core *edomain.Core
+	// Fabric is the peering fabric; nil disables inter-edomain spread.
+	Fabric *peering.Fabric
+}
+
+// SpreadIntra sends hdr/payload to every member SN of the group inside the
+// local edomain, excluding the local SN itself.
+func (f *Fanout) SpreadIntra(env sn.Env, group edomain.GroupID, hdr *wire.ILPHeader, payload []byte) error {
+	local := env.LocalAddr()
+	var firstErr error
+	for _, member := range f.Core.MemberSNs(group) {
+		if member == local {
+			continue
+		}
+		if err := env.Send(member, hdr, payload); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("groupfan: intra spread to %s: %w", member, err)
+		}
+	}
+	return firstErr
+}
+
+// SpreadInter carries hdr/payload into every remote member edomain via
+// that edomain's gateway SN. Requires that this SN's edomain has a
+// registered sender (which populates the remote-member mirror).
+func (f *Fanout) SpreadInter(env sn.Env, group edomain.GroupID, hdr *wire.ILPHeader, payload []byte, origSrc wire.Addr) error {
+	if f.Fabric == nil {
+		return nil
+	}
+	localEd := f.Core.ID()
+	var firstErr error
+	for _, remoteEd := range f.Core.RemoteMemberEdomains(group) {
+		gw, err := f.Fabric.RemoteGatewayOf(localEd, remoteEd)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := peering.SendTransit(env, f.Fabric, gw, origSrc, hdr, payload); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("groupfan: inter spread to %s: %w", remoteEd, err)
+		}
+	}
+	return firstErr
+}

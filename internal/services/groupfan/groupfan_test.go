@@ -1,0 +1,113 @@
+package groupfan
+
+import (
+	"testing"
+	"time"
+
+	"interedge/internal/cryptutil"
+	"interedge/internal/lab"
+	"interedge/internal/sn"
+	"interedge/internal/wire"
+)
+
+// fanModule is a minimal multipoint service: kind 0 = origin send (fans
+// intra+inter), kind 1 = spread copy (delivered to a channel for
+// inspection).
+type fanModule struct {
+	fan   *Fanout
+	seen  chan wire.Addr // SNs that received spread copies report here
+	local wire.Addr
+}
+
+func (m *fanModule) Service() wire.ServiceID { return wire.SvcEcho }
+func (m *fanModule) Name() string            { return "fan-test" }
+func (m *fanModule) Version() string         { return "1" }
+func (m *fanModule) HandlePacket(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
+	if len(pkt.Hdr.Data) > 0 && pkt.Hdr.Data[0] == 0 {
+		hdr := wire.ILPHeader{Service: wire.SvcEcho, Conn: pkt.Hdr.Conn, Data: []byte{1}}
+		if err := m.fan.SpreadIntra(env, "g", &hdr, pkt.Payload); err != nil {
+			return sn.Decision{}, err
+		}
+		if err := m.fan.SpreadInter(env, "g", &hdr, pkt.Payload, pkt.Src); err != nil {
+			return sn.Decision{}, err
+		}
+		return sn.Decision{}, nil
+	}
+	m.seen <- env.LocalAddr()
+	return sn.Decision{}, nil
+}
+
+func TestSpreadReachesIntraAndInterMembers(t *testing.T) {
+	topo := lab.New()
+	defer topo.Close()
+	seen := make(chan wire.Addr, 16)
+	mods := map[wire.Addr]*fanModule{}
+	setup := func(node *sn.SN, ed *lab.Edomain) error {
+		m := &fanModule{
+			fan:  &Fanout{Core: ed.Core, Fabric: topo.Fabric},
+			seen: seen,
+		}
+		mods[node.Addr()] = m
+		return node.Register(m)
+	}
+	edA, err := topo.AddEdomain("ed-a", 2, setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edB, err := topo.AddEdomain("ed-b", 1, setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Mesh(); err != nil {
+		t.Fatal(err)
+	}
+
+	owner, err := cryptutil.NewSigningKeypair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Global.CreateGroup("g", owner.Public); err != nil {
+		t.Fatal(err)
+	}
+	// Members: SN a1 (second SN of ed-a) and the single SN of ed-b.
+	h1 := wire.MustAddr("fd00::aaa1")
+	h2 := wire.MustAddr("fd00::aaa2")
+	if err := edA.Core.JoinGroup("g", edA.SNs[1].Addr(), h1); err != nil {
+		t.Fatal(err)
+	}
+	if err := edB.Core.JoinGroup("g", edB.SNs[0].Addr(), h2); err != nil {
+		t.Fatal(err)
+	}
+	// Sender SN: gateway of ed-a; registering populates the remote mirror.
+	if _, _, cancel, err := edA.Core.RegisterSender("g", edA.SNs[0].Addr()); err != nil {
+		t.Fatal(err)
+	} else {
+		defer cancel()
+	}
+
+	// Inject an origin packet at ed-a's gateway.
+	sender, err := topo.NewHost(edA, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := sender.NewConn(wire.SvcEcho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send([]byte{0}, []byte("spread")); err != nil {
+		t.Fatal(err)
+	}
+	want := map[wire.Addr]bool{edA.SNs[1].Addr(): false, edB.SNs[0].Addr(): false}
+	deadline := time.After(3 * time.Second)
+	for remaining := 2; remaining > 0; {
+		select {
+		case addr := <-seen:
+			if done, ok := want[addr]; ok && !done {
+				want[addr] = true
+				remaining--
+			}
+		case <-deadline:
+			t.Fatalf("spread incomplete: %v", want)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package ipfwd
+
+import (
+	"net/netip"
+
+	"interedge/internal/wire"
+)
+
+func addrFrom16(b [16]byte) wire.Addr {
+	return netip.AddrFrom16(b).Unmap()
+}

@@ -1,0 +1,117 @@
+// Package ipfwd implements the "IP-like service" the paper uses as its
+// canonical bundle component (§3.2: "naturally composable services can be
+// combined into 'bundles' (e.g., an IP-like service and a caching
+// service)"): point-to-point delivery of packets to a destination host
+// through the destination's first-hop SN, across edomains when necessary.
+//
+// The ILP header data carries the destination host address. The module
+// resolves the destination's SN through the global lookup service, routes
+// through the peering fabric when the destination is in another edomain,
+// and installs a decision-cache rule so subsequent packets of the flow
+// ride the fast path.
+package ipfwd
+
+import (
+	"fmt"
+
+	"interedge/internal/lookup"
+	"interedge/internal/peering"
+	"interedge/internal/sn"
+	"interedge/internal/sn/cache"
+	"interedge/internal/wire"
+)
+
+// Module is the IP-like forwarding service.
+type Module struct {
+	global *lookup.Service
+	fabric *peering.Fabric
+}
+
+// New creates the forwarding module. fabric may be nil for single-edomain
+// deployments.
+func New(global *lookup.Service, fabric *peering.Fabric) *Module {
+	return &Module{global: global, fabric: fabric}
+}
+
+// Service implements sn.Module.
+func (*Module) Service() wire.ServiceID { return wire.SvcIPFwd }
+
+// Name implements sn.Module.
+func (*Module) Name() string { return "ipfwd" }
+
+// Version implements sn.Module.
+func (*Module) Version() string { return "1.0" }
+
+// DestData encodes a destination host address as ipfwd header data.
+func DestData(dst wire.Addr) []byte {
+	b := dst.As16()
+	return b[:]
+}
+
+// DecodeDest parses ipfwd header data.
+func DecodeDest(data []byte) (wire.Addr, error) {
+	if len(data) != 16 {
+		return wire.Addr{}, fmt.Errorf("ipfwd: header data must be 16 bytes, got %d", len(data))
+	}
+	var b [16]byte
+	copy(b[:], data)
+	return addrFrom16(b), nil
+}
+
+// HandlePacket implements sn.Module.
+func (m *Module) HandlePacket(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
+	dst, err := DecodeDest(pkt.Hdr.Data)
+	if err != nil {
+		return sn.Decision{}, err
+	}
+	local := env.LocalAddr()
+
+	// Destination directly attached here? (Its lookup record lists this SN.)
+	rec, err := m.global.ResolveAddress(dst)
+	if err != nil {
+		return sn.Decision{}, fmt.Errorf("ipfwd: resolve %s: %w", dst, err)
+	}
+	for _, snAddr := range rec.SNs {
+		if snAddr == local {
+			// Last hop: deliver to the host and cache the decision.
+			return sn.Decision{
+				Forwards: []sn.Forward{{Dst: dst}},
+				Rules: []sn.Rule{{
+					Key:    pkt.Key(),
+					Action: cache.Action{Forward: []wire.Addr{dst}},
+				}},
+			}, nil
+		}
+	}
+	if len(rec.SNs) == 0 {
+		return sn.Decision{}, fmt.Errorf("ipfwd: destination %s has no SNs", dst)
+	}
+	dstSN := rec.SNs[0]
+
+	// Same edomain (or no fabric): hand to the destination's SN directly.
+	sameEdomain := true
+	if m.fabric != nil {
+		edHere, ok1 := m.fabric.EdomainOf(local)
+		edThere, ok2 := m.fabric.EdomainOf(dstSN)
+		if ok1 && ok2 && edHere != edThere {
+			sameEdomain = false
+		}
+	}
+	if sameEdomain {
+		return sn.Decision{
+			Forwards: []sn.Forward{{Dst: dstSN}},
+			Rules: []sn.Rule{{
+				Key:    pkt.Key(),
+				Action: cache.Action{Forward: []wire.Addr{dstSN}},
+			}},
+		}, nil
+	}
+
+	// Cross-edomain: encapsulate as transit toward the destination SN. The
+	// inner packet keeps the original ipfwd header so the destination SN
+	// completes last-hop delivery.
+	if err := peering.SendTransit(env, m.fabric, dstSN, pkt.Src, &pkt.Hdr, pkt.Payload); err != nil {
+		return sn.Decision{}, fmt.Errorf("ipfwd: transit: %w", err)
+	}
+	return sn.Decision{}, nil
+}

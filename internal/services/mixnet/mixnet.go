@@ -1,0 +1,290 @@
+// Package mixnet implements a Tor-like batching mix network (§6.2: "the
+// use of enclaves makes it simpler to implement oDNS, private relays,
+// ToR-like mixnet infrastructures, and other privacy-aware services").
+//
+// Clients onion-encrypt packets through a route of mix SNs: each layer is
+// sealed to one mix's public key and reveals only the next hop. Each mix
+// batches packets and flushes them in shuffled order once the batch fills
+// or a timer fires, breaking timing correlation between arrivals and
+// departures. Mix modules are natural candidates for enclave execution
+// (register with sn.WithEnclave).
+package mixnet
+
+import (
+	"crypto/ecdh"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"interedge/internal/cryptutil"
+	"interedge/internal/host"
+	"interedge/internal/sn"
+	"interedge/internal/wire"
+)
+
+// Inner-layer kinds (first byte of the decrypted onion layer).
+const (
+	layerForward byte = iota // next 16 bytes: next mix SN; rest: next layer
+	layerDeliver             // next 16 bytes: destination host; rest: plaintext
+)
+
+// header data kinds.
+const (
+	kindOnion   byte = iota // an onion packet between mixes
+	kindDeliver             // exit mix → destination host
+)
+
+// Errors returned by the service.
+var (
+	ErrBadLayer   = errors.New("mixnet: malformed onion layer")
+	ErrBadHeader  = errors.New("mixnet: malformed header data")
+	ErrEmptyRoute = errors.New("mixnet: route must have at least one mix")
+)
+
+// KeyDirectory publishes mix public keys (as relay.KeyDirectory does for
+// relay SNs; kept separate so the two services can be deployed
+// independently).
+type KeyDirectory struct {
+	mu   sync.RWMutex
+	keys map[wire.Addr][]byte
+}
+
+// NewKeyDirectory creates an empty directory.
+func NewKeyDirectory() *KeyDirectory {
+	return &KeyDirectory{keys: make(map[wire.Addr][]byte)}
+}
+
+// Publish records a mix SN's public key.
+func (d *KeyDirectory) Publish(snAddr wire.Addr, pub []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.keys[snAddr] = append([]byte(nil), pub...)
+}
+
+// Lookup returns a mix SN's public key.
+func (d *KeyDirectory) Lookup(snAddr wire.Addr) ([]byte, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	k, ok := d.keys[snAddr]
+	return k, ok
+}
+
+// Option configures a mix module.
+type Option func(*Module)
+
+// WithBatchSize sets the flush threshold (default 4).
+func WithBatchSize(n int) Option {
+	return func(m *Module) { m.batchSize = n }
+}
+
+// WithFlushInterval sets the timer-based flush interval (default 50ms).
+func WithFlushInterval(d time.Duration) Option {
+	return func(m *Module) { m.flushEvery = d }
+}
+
+// WithSeed seeds the shuffle RNG (tests).
+func WithSeed(seed int64) Option {
+	return func(m *Module) { m.rng = rand.New(rand.NewSource(seed)) }
+}
+
+type batched struct {
+	next    wire.Addr
+	deliver bool
+	conn    wire.ConnectionID
+	payload []byte
+}
+
+// Module is one mix node.
+type Module struct {
+	key        *ecdh.PrivateKey
+	batchSize  int
+	flushEvery time.Duration
+	rng        *rand.Rand
+
+	mu      sync.Mutex
+	batch   []batched
+	env     sn.Env
+	stopped chan struct{}
+	started bool
+}
+
+// New creates a mix module with a fresh keypair, publishing it under
+// snAddr.
+func New(dir *KeyDirectory, snAddr wire.Addr, opts ...Option) (*Module, error) {
+	kp, err := cryptutil.NewStaticKeypair()
+	if err != nil {
+		return nil, err
+	}
+	dir.Publish(snAddr, kp.PublicKeyBytes())
+	m := &Module{
+		key:        kp.Private,
+		batchSize:  4,
+		flushEvery: 50 * time.Millisecond,
+		rng:        rand.New(rand.NewSource(rand.Int63())),
+		stopped:    make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+// Service implements sn.Module.
+func (*Module) Service() wire.ServiceID { return wire.SvcMixnet }
+
+// Name implements sn.Module.
+func (*Module) Name() string { return "mixnet" }
+
+// Version implements sn.Module.
+func (*Module) Version() string { return "1.0" }
+
+// Start implements sn.Starter: run the timer-based flush loop.
+func (m *Module) Start(env sn.Env) error {
+	m.mu.Lock()
+	m.env = env
+	m.started = true
+	m.mu.Unlock()
+	go func() {
+		for {
+			select {
+			case <-m.stopped:
+				return
+			case <-env.After(m.flushEvery):
+				m.flush(env)
+			}
+		}
+	}()
+	return nil
+}
+
+// Stop implements sn.Stopper.
+func (m *Module) Stop() error {
+	m.mu.Lock()
+	if m.started {
+		m.started = false
+		close(m.stopped)
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// HandlePacket implements sn.Module: peel one onion layer and batch the
+// result.
+func (m *Module) HandlePacket(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
+	if len(pkt.Hdr.Data) < 1 || pkt.Hdr.Data[0] != kindOnion {
+		return sn.Decision{}, ErrBadHeader
+	}
+	plain, err := cryptutil.OpenFrom(m.key, pkt.Payload)
+	if err != nil {
+		return sn.Decision{}, fmt.Errorf("mixnet: peel layer: %w", err)
+	}
+	if len(plain) < 17 {
+		return sn.Decision{}, ErrBadLayer
+	}
+	var b [16]byte
+	copy(b[:], plain[1:17])
+	next := netip.AddrFrom16(b).Unmap()
+	rest := append([]byte(nil), plain[17:]...)
+
+	entry := batched{next: next, conn: pkt.Hdr.Conn, payload: rest}
+	switch plain[0] {
+	case layerForward:
+	case layerDeliver:
+		entry.deliver = true
+	default:
+		return sn.Decision{}, ErrBadLayer
+	}
+
+	m.mu.Lock()
+	m.batch = append(m.batch, entry)
+	full := len(m.batch) >= m.batchSize
+	m.mu.Unlock()
+	if full {
+		m.flush(env)
+	}
+	return sn.Decision{}, nil
+}
+
+// flush shuffles and transmits the pending batch.
+func (m *Module) flush(env sn.Env) {
+	m.mu.Lock()
+	batch := m.batch
+	m.batch = nil
+	if len(batch) > 1 {
+		m.rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
+	}
+	m.mu.Unlock()
+	for _, e := range batch {
+		kind := kindOnion
+		if e.deliver {
+			kind = kindDeliver
+		}
+		hdr := wire.ILPHeader{Service: wire.SvcMixnet, Conn: e.conn, Data: []byte{kind}}
+		if err := env.Send(e.next, &hdr, e.payload); err != nil {
+			env.Logf("mixnet: flush to %s: %v", e.next, err)
+		}
+	}
+}
+
+// PendingBatch reports the current batch occupancy (tests).
+func (m *Module) PendingBatch() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.batch)
+}
+
+// --- Client ------------------------------------------------------------------
+
+// BuildOnion wraps payload for delivery to dst through the given mix
+// route. It returns the bytes to send to route[0].
+func BuildOnion(dir *KeyDirectory, route []wire.Addr, dst wire.Addr, payload []byte) ([]byte, error) {
+	if len(route) == 0 {
+		return nil, ErrEmptyRoute
+	}
+	// Innermost layer: deliver to dst, sealed to the exit mix.
+	d16 := dst.As16()
+	inner := append([]byte{layerDeliver}, d16[:]...)
+	inner = append(inner, payload...)
+	exitPub, ok := dir.Lookup(route[len(route)-1])
+	if !ok {
+		return nil, fmt.Errorf("mixnet: no key for mix %s", route[len(route)-1])
+	}
+	onion, err := cryptutil.SealTo(exitPub, inner)
+	if err != nil {
+		return nil, err
+	}
+	// Outer layers: forward to the next mix.
+	for i := len(route) - 2; i >= 0; i-- {
+		n16 := route[i+1].As16()
+		layer := append([]byte{layerForward}, n16[:]...)
+		layer = append(layer, onion...)
+		pub, ok := dir.Lookup(route[i])
+		if !ok {
+			return nil, fmt.Errorf("mixnet: no key for mix %s", route[i])
+		}
+		onion, err = cryptutil.SealTo(pub, layer)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return onion, nil
+}
+
+// Send launches an onion-wrapped payload from a host into the mixnet.
+// route[0] must be reachable from the host (typically its first-hop SN or
+// any mix SN).
+func Send(h *host.Host, dir *KeyDirectory, route []wire.Addr, dst wire.Addr, payload []byte) error {
+	onion, err := BuildOnion(dir, route, dst, payload)
+	if err != nil {
+		return err
+	}
+	conn, err := h.NewConn(wire.SvcMixnet, host.Via(route[0]))
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return conn.Send([]byte{kindOnion}, onion)
+}

@@ -1,0 +1,161 @@
+// Package mobility implements the mobility lookup service from the
+// paper's prototype list (§6.3): hosts that move between SNs register
+// their current first-hop SN, and correspondents locate them before (or
+// during) a conversation. Registrations are bound to the host's verified
+// pipe identity, so only the owner of an identity can move it.
+package mobility
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"interedge/internal/host"
+	"interedge/internal/sn"
+	"interedge/internal/wire"
+)
+
+// Errors returned by the service.
+var (
+	ErrUnknownHost = errors.New("mobility: identity not registered")
+	ErrUnknownPeer = errors.New("mobility: request from host without verified identity")
+)
+
+// Location is one host's current attachment.
+type Location struct {
+	HostAddr wire.Addr
+	SN       wire.Addr
+	Updated  time.Time
+	Seq      uint64
+}
+
+// Registry is the shared location store — the durable directory a
+// production deployment would replicate; modules on every SN write to and
+// read from it.
+type Registry struct {
+	mu   sync.Mutex
+	locs map[string]Location // hex identity -> location
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{locs: make(map[string]Location)}
+}
+
+func (r *Registry) update(identity ed25519.PublicKey, loc Location) {
+	key := hex.EncodeToString(identity)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev, ok := r.locs[key]
+	if ok {
+		loc.Seq = prev.Seq + 1
+	}
+	r.locs[key] = loc
+}
+
+func (r *Registry) lookup(identity []byte) (Location, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	loc, ok := r.locs[hex.EncodeToString(identity)]
+	return loc, ok
+}
+
+// Module is the mobility service for one SN.
+type Module struct {
+	registry *Registry
+}
+
+// New creates the module backed by the shared registry.
+func New(registry *Registry) *Module { return &Module{registry: registry} }
+
+// Service implements sn.Module.
+func (*Module) Service() wire.ServiceID { return wire.SvcMobility }
+
+// Name implements sn.Module.
+func (*Module) Name() string { return "mobility" }
+
+// Version implements sn.Module.
+func (*Module) Version() string { return "1.0" }
+
+// HandlePacket implements sn.Module; mobility is control-plane only.
+func (m *Module) HandlePacket(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
+	return sn.Decision{}, errors.New("mobility: no data-plane traffic expected")
+}
+
+type locateArgs struct {
+	Identity []byte `json:"identity"`
+}
+
+type locateReply struct {
+	HostAddr string `json:"host_addr"`
+	SN       string `json:"sn"`
+	Seq      uint64 `json:"seq"`
+}
+
+// HandleControl implements sn.ControlHandler: register, locate.
+func (m *Module) HandleControl(env sn.Env, src wire.Addr, op string, args []byte) ([]byte, error) {
+	switch op {
+	case "register":
+		// The registration is bound to the verified pipe identity of the
+		// requesting host: no spoofing another host's location.
+		identity, ok := env.PeerIdentity(src)
+		if !ok {
+			return nil, ErrUnknownPeer
+		}
+		m.registry.update(identity, Location{
+			HostAddr: src,
+			SN:       env.LocalAddr(),
+			Updated:  env.Now(),
+		})
+		return nil, nil
+	case "locate":
+		var a locateArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, err
+		}
+		loc, ok := m.registry.lookup(a.Identity)
+		if !ok {
+			return nil, ErrUnknownHost
+		}
+		return json.Marshal(locateReply{
+			HostAddr: loc.HostAddr.String(),
+			SN:       loc.SN.String(),
+			Seq:      loc.Seq,
+		})
+	default:
+		return nil, fmt.Errorf("mobility: unknown op %q", op)
+	}
+}
+
+// Register announces the host's current attachment at its first-hop SN.
+// Call again after each move.
+func Register(h *host.Host) error {
+	_, err := h.InvokeFirstHop(wire.SvcMobility, "register", nil)
+	return err
+}
+
+// Locate resolves a host identity to its current address and SN.
+func Locate(h *host.Host, identity ed25519.PublicKey) (hostAddr, snAddr wire.Addr, err error) {
+	data, err := h.InvokeFirstHop(wire.SvcMobility, "locate", locateArgs{Identity: identity})
+	if err != nil {
+		return wire.Addr{}, wire.Addr{}, err
+	}
+	var rep locateReply
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return wire.Addr{}, wire.Addr{}, err
+	}
+	ha, err := netip.ParseAddr(rep.HostAddr)
+	if err != nil {
+		return wire.Addr{}, wire.Addr{}, err
+	}
+	sa, err := netip.ParseAddr(rep.SN)
+	if err != nil {
+		return wire.Addr{}, wire.Addr{}, err
+	}
+	return ha, sa, nil
+}

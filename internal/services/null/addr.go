@@ -1,0 +1,18 @@
+package null
+
+import (
+	"net/netip"
+
+	"interedge/internal/wire"
+)
+
+func addrFrom16(b [16]byte) (wire.Addr, bool) {
+	a := netip.AddrFrom16(b).Unmap()
+	return a, a.IsValid()
+}
+
+// EgressData encodes an egress address as null-service header data.
+func EgressData(dst wire.Addr) []byte {
+	b := dst.As16()
+	return b[:]
+}

@@ -1,0 +1,44 @@
+// Package null implements the null service of Appendix C's Table 1: the
+// packet "arrives on an ingress pipe to the pipe-terminus, then is sent to
+// a service module … which immediately returns the packet to the
+// pipe-terminus, which then sends it to an egress pipe". It does no work;
+// its purpose is to measure the slow-path hand-off cost under the
+// different module transports and with or without an enclave.
+package null
+
+import (
+	"interedge/internal/sn"
+	"interedge/internal/wire"
+)
+
+// Module is the null service.
+type Module struct{}
+
+// New creates the null service module.
+func New() *Module { return &Module{} }
+
+// Service implements sn.Module.
+func (*Module) Service() wire.ServiceID { return wire.SvcNull }
+
+// Name implements sn.Module.
+func (*Module) Name() string { return "null" }
+
+// Version implements sn.Module.
+func (*Module) Version() string { return "1.0" }
+
+// HandlePacket implements sn.Module: if the ILP header's service data
+// carries a 16-byte egress address, the packet is forwarded there;
+// otherwise it bounces back to its source. No cache rules are installed,
+// so every packet of the flow traverses the slow path — exactly the
+// workload Table 1's null-service rows measure.
+func (*Module) HandlePacket(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
+	dst := pkt.Src
+	if len(pkt.Hdr.Data) == 16 {
+		var b [16]byte
+		copy(b[:], pkt.Hdr.Data)
+		if a, ok := addrFrom16(b); ok {
+			dst = a
+		}
+	}
+	return sn.Decision{Forwards: []sn.Forward{{Dst: dst}}}, nil
+}

@@ -1,0 +1,260 @@
+// Package odns implements an oblivious-DNS service (§6.2, modeled on [58]):
+// the client's first-hop SN acts as a relay that strips client identity,
+// and a separate resolver SN answers queries it cannot attribute to a
+// client. Queries are sealed to the resolver's public key, so the relay
+// never sees the name being resolved; answers are sealed to a per-query
+// response key chosen by the client, so the relay never sees the answer
+// either. The resolver, in turn, only ever sees the relay's address.
+//
+//	client --{box_resolver(respPub ‖ name)}--> relay SN --{relayID, box}--> resolver SN
+//	client <--{box_respPub(addr)}------------- relay SN <--{relayID, box}-- resolver SN
+package odns
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"interedge/internal/cryptutil"
+	"interedge/internal/host"
+	"interedge/internal/sn"
+	"interedge/internal/wire"
+)
+
+// Packet kinds in the first byte of header data.
+const (
+	kindQuery       byte = iota // client → relay SN (payload: sealed query)
+	kindRelayQuery              // relay SN → resolver SN (data: relayID)
+	kindRelayAnswer             // resolver SN → relay SN (data: relayID)
+	kindAnswer                  // relay SN → client (payload: sealed answer)
+)
+
+// Errors returned by the service.
+var (
+	ErrBadHeader    = errors.New("odns: malformed header data")
+	ErrNotResolver  = errors.New("odns: this SN is not a resolver")
+	ErrNoResolver   = errors.New("odns: relay has no resolver configured")
+	ErrNameNotFound = errors.New("odns: name not found")
+	ErrQueryTimeout = errors.New("odns: query timed out")
+)
+
+// Module is the oDNS service module. On a relay SN, construct with
+// NewRelay; on a resolver SN, with NewResolver.
+type Module struct {
+	resolverKey  *ecdh.PrivateKey // non-nil on resolver SNs
+	zones        map[string]wire.Addr
+	resolverAddr wire.Addr // relay: where to forward queries
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]pendingQuery // relay: relayID -> client
+	// seenClients records, on the resolver, every source address observed
+	// — used by tests to prove the resolver never learns client addresses.
+	seenClients map[wire.Addr]struct{}
+}
+
+type pendingQuery struct {
+	client wire.Addr
+	conn   wire.ConnectionID
+}
+
+// NewRelay creates the relay-side module, forwarding sealed queries to the
+// resolver SN at resolverAddr.
+func NewRelay(resolverAddr wire.Addr) *Module {
+	return &Module{
+		resolverAddr: resolverAddr,
+		pending:      make(map[uint64]pendingQuery),
+		seenClients:  make(map[wire.Addr]struct{}),
+	}
+}
+
+// NewResolver creates the resolver-side module holding the resolver
+// private key and its zone data.
+func NewResolver(key cryptutil.StaticKeypair, zones map[string]wire.Addr) *Module {
+	z := make(map[string]wire.Addr, len(zones))
+	for k, v := range zones {
+		z[k] = v
+	}
+	return &Module{
+		resolverKey: key.Private,
+		zones:       z,
+		pending:     make(map[uint64]pendingQuery),
+		seenClients: make(map[wire.Addr]struct{}),
+	}
+}
+
+// Service implements sn.Module.
+func (*Module) Service() wire.ServiceID { return wire.SvcODNS }
+
+// Name implements sn.Module.
+func (*Module) Name() string { return "odns" }
+
+// Version implements sn.Module.
+func (*Module) Version() string { return "1.0" }
+
+// SeenSources lists the source addresses this module has observed
+// (test-only visibility for the privacy property).
+func (m *Module) SeenSources() []wire.Addr {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]wire.Addr, 0, len(m.seenClients))
+	for a := range m.seenClients {
+		out = append(out, a)
+	}
+	return out
+}
+
+// HandlePacket implements sn.Module.
+func (m *Module) HandlePacket(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
+	if len(pkt.Hdr.Data) < 1 {
+		return sn.Decision{}, ErrBadHeader
+	}
+	m.mu.Lock()
+	m.seenClients[pkt.Src] = struct{}{}
+	m.mu.Unlock()
+
+	switch pkt.Hdr.Data[0] {
+	case kindQuery:
+		return m.relayQuery(env, pkt)
+	case kindRelayQuery:
+		return m.resolve(env, pkt)
+	case kindRelayAnswer:
+		return m.relayAnswer(env, pkt)
+	default:
+		return sn.Decision{}, fmt.Errorf("odns: unexpected kind %d", pkt.Hdr.Data[0])
+	}
+}
+
+// relayQuery (relay SN): assign a relay ID, remember the client, forward
+// the still-sealed query to the resolver.
+func (m *Module) relayQuery(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
+	if !m.resolverAddr.IsValid() {
+		return sn.Decision{}, ErrNoResolver
+	}
+	m.mu.Lock()
+	m.nextID++
+	id := m.nextID
+	m.pending[id] = pendingQuery{client: pkt.Src, conn: pkt.Hdr.Conn}
+	m.mu.Unlock()
+
+	data := make([]byte, 9)
+	data[0] = kindRelayQuery
+	binary.BigEndian.PutUint64(data[1:], id)
+	hdr := wire.ILPHeader{Service: wire.SvcODNS, Conn: pkt.Hdr.Conn, Data: data}
+	return sn.Decision{Forwards: []sn.Forward{{Dst: m.resolverAddr, Hdr: &hdr}}}, nil
+}
+
+// resolve (resolver SN): open the sealed query, look up the name, seal the
+// answer to the client's response key, return to the relay.
+func (m *Module) resolve(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
+	if m.resolverKey == nil {
+		return sn.Decision{}, ErrNotResolver
+	}
+	if len(pkt.Hdr.Data) != 9 {
+		return sn.Decision{}, ErrBadHeader
+	}
+	plain, err := cryptutil.OpenFrom(m.resolverKey, pkt.Payload)
+	if err != nil {
+		return sn.Decision{}, fmt.Errorf("odns: open query: %w", err)
+	}
+	if len(plain) < 33 {
+		return sn.Decision{}, ErrBadHeader
+	}
+	respPub := plain[:32]
+	name := string(plain[32+1:])
+	// plain[32] is a reserved flags byte.
+
+	var answer [17]byte
+	if addr, ok := m.zones[name]; ok {
+		answer[0] = 1
+		a := addr.As16()
+		copy(answer[1:], a[:])
+	}
+	sealed, err := cryptutil.SealTo(respPub, answer[:])
+	if err != nil {
+		return sn.Decision{}, err
+	}
+	data := append([]byte(nil), pkt.Hdr.Data...)
+	data[0] = kindRelayAnswer
+	hdr := wire.ILPHeader{Service: wire.SvcODNS, Conn: pkt.Hdr.Conn, Data: data}
+	return sn.Decision{Forwards: []sn.Forward{{Dst: pkt.Src, Hdr: &hdr, Payload: sealed}}}, nil
+}
+
+// relayAnswer (relay SN): map the relay ID back to the client and return
+// the still-sealed answer.
+func (m *Module) relayAnswer(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
+	if len(pkt.Hdr.Data) != 9 {
+		return sn.Decision{}, ErrBadHeader
+	}
+	id := binary.BigEndian.Uint64(pkt.Hdr.Data[1:])
+	m.mu.Lock()
+	pq, ok := m.pending[id]
+	delete(m.pending, id)
+	m.mu.Unlock()
+	if !ok {
+		return sn.Decision{}, fmt.Errorf("odns: unknown relay ID %d", id)
+	}
+	hdr := wire.ILPHeader{Service: wire.SvcODNS, Conn: pq.conn, Data: []byte{kindAnswer}}
+	return sn.Decision{Forwards: []sn.Forward{{Dst: pq.client, Hdr: &hdr}}}, nil
+}
+
+// --- Client ------------------------------------------------------------------
+
+// Client performs oblivious queries from a host.
+type Client struct {
+	h           *host.Host
+	resolverPub []byte
+	timeout     time.Duration
+}
+
+// NewClient creates an oDNS client that trusts the resolver public key.
+func NewClient(h *host.Host, resolverPub []byte) *Client {
+	return &Client{h: h, resolverPub: resolverPub, timeout: 3 * time.Second}
+}
+
+// Query resolves a name obliviously via the host's first-hop SN.
+func (c *Client) Query(name string) (wire.Addr, error) {
+	respKey, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return wire.Addr{}, err
+	}
+	plain := make([]byte, 0, 32+1+len(name))
+	plain = append(plain, respKey.PublicKey().Bytes()...)
+	plain = append(plain, 0) // flags
+	plain = append(plain, name...)
+	sealed, err := cryptutil.SealTo(c.resolverPub, plain)
+	if err != nil {
+		return wire.Addr{}, err
+	}
+	conn, err := c.h.NewConn(wire.SvcODNS)
+	if err != nil {
+		return wire.Addr{}, err
+	}
+	defer conn.Close()
+	if err := conn.Send([]byte{kindQuery}, sealed); err != nil {
+		return wire.Addr{}, err
+	}
+	select {
+	case msg, ok := <-conn.Receive():
+		if !ok {
+			return wire.Addr{}, ErrQueryTimeout
+		}
+		answer, err := cryptutil.OpenFrom(respKey, msg.Payload)
+		if err != nil {
+			return wire.Addr{}, fmt.Errorf("odns: open answer: %w", err)
+		}
+		if len(answer) != 17 || answer[0] == 0 {
+			return wire.Addr{}, ErrNameNotFound
+		}
+		var b [16]byte
+		copy(b[:], answer[1:])
+		return netip.AddrFrom16(b).Unmap(), nil
+	case <-time.After(c.timeout):
+		return wire.Addr{}, ErrQueryTimeout
+	}
+}

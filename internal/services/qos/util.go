@@ -1,0 +1,7 @@
+package qos
+
+import "time"
+
+func durationFromSeconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,296 @@
+// Package relay implements a private-relay service (§1.2's "private relay
+// [5]", §6.2 privacy): traffic crosses two SNs such that the ingress SN
+// knows the client but not the destination, and the egress SN knows the
+// destination but not the client — the two-hop split Apple's iCloud
+// Private Relay popularized.
+//
+// The client seals the (destination ‖ payload) envelope to the egress SN's
+// relay key, so the ingress SN forwards opaque bytes. The ingress replaces
+// the client's identity with a session number before forwarding, so the
+// egress attributes traffic only to the ingress SN.
+package relay
+
+import (
+	"crypto/ecdh"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"interedge/internal/cryptutil"
+	"interedge/internal/host"
+	"interedge/internal/sn"
+	"interedge/internal/wire"
+)
+
+// Packet kinds in the first byte of header data.
+const (
+	kindIngress   byte = iota // client → ingress SN (data: kind ‖ egress SN addr)
+	kindEgress                // ingress SN → egress SN (data: kind ‖ sessionID)
+	kindDeliver               // egress SN → destination host (data: kind ‖ sessionID)
+	kindReplyUp               // destination host → egress SN (data: kind ‖ sessionID)
+	kindReplyMid              // egress SN → ingress SN (data: kind ‖ sessionID)
+	kindReplyDown             // ingress SN → client (data: kind)
+)
+
+// Errors returned by the service.
+var (
+	ErrBadHeader = errors.New("relay: malformed header data")
+	ErrNoKey     = errors.New("relay: this SN has no egress key")
+	ErrNoSession = errors.New("relay: unknown session")
+)
+
+// KeyDirectory publishes the relay public keys of egress SNs. In a full
+// deployment these would live in the global lookup service; the directory
+// keeps the dependency explicit.
+type KeyDirectory struct {
+	mu   sync.RWMutex
+	keys map[wire.Addr][]byte
+}
+
+// NewKeyDirectory creates an empty directory.
+func NewKeyDirectory() *KeyDirectory {
+	return &KeyDirectory{keys: make(map[wire.Addr][]byte)}
+}
+
+// Publish records an SN's relay public key.
+func (d *KeyDirectory) Publish(snAddr wire.Addr, pub []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.keys[snAddr] = append([]byte(nil), pub...)
+}
+
+// Lookup returns an SN's relay public key.
+func (d *KeyDirectory) Lookup(snAddr wire.Addr) ([]byte, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	k, ok := d.keys[snAddr]
+	return k, ok
+}
+
+type ingressSession struct {
+	client wire.Addr
+	conn   wire.ConnectionID
+}
+
+type egressSession struct {
+	ingress wire.Addr
+	id      uint64
+	dst     wire.Addr
+}
+
+// Module is the relay module; every SN can serve as ingress and egress.
+type Module struct {
+	key *ecdh.PrivateKey
+
+	mu       sync.Mutex
+	nextID   uint64
+	ingress  map[uint64]ingressSession // sessions where we are the ingress
+	egress   map[uint64]egressSession  // sessions where we are the egress
+	byDest   map[destKey]uint64        // (dst, conn) -> egress session
+	seenSrcs map[wire.Addr]struct{}
+}
+
+type destKey struct {
+	dst  wire.Addr
+	conn wire.ConnectionID
+}
+
+// New creates the relay module with a fresh egress keypair, publishing it
+// in the directory under snAddr.
+func New(dir *KeyDirectory, snAddr wire.Addr) (*Module, error) {
+	kp, err := cryptutil.NewStaticKeypair()
+	if err != nil {
+		return nil, err
+	}
+	dir.Publish(snAddr, kp.PublicKeyBytes())
+	return &Module{
+		key:      kp.Private,
+		ingress:  make(map[uint64]ingressSession),
+		egress:   make(map[uint64]egressSession),
+		byDest:   make(map[destKey]uint64),
+		seenSrcs: make(map[wire.Addr]struct{}),
+	}, nil
+}
+
+// Service implements sn.Module.
+func (*Module) Service() wire.ServiceID { return wire.SvcRelay }
+
+// Name implements sn.Module.
+func (*Module) Name() string { return "relay" }
+
+// Version implements sn.Module.
+func (*Module) Version() string { return "1.0" }
+
+// SeenSources lists observed packet sources (privacy assertions in tests).
+func (m *Module) SeenSources() []wire.Addr {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]wire.Addr, 0, len(m.seenSrcs))
+	for a := range m.seenSrcs {
+		out = append(out, a)
+	}
+	return out
+}
+
+// HandlePacket implements sn.Module.
+func (m *Module) HandlePacket(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
+	if len(pkt.Hdr.Data) < 1 {
+		return sn.Decision{}, ErrBadHeader
+	}
+	m.mu.Lock()
+	m.seenSrcs[pkt.Src] = struct{}{}
+	m.mu.Unlock()
+
+	switch pkt.Hdr.Data[0] {
+	case kindIngress:
+		return m.handleIngress(env, pkt)
+	case kindEgress:
+		return m.handleEgress(env, pkt)
+	case kindReplyUp:
+		return m.handleReplyUp(env, pkt)
+	case kindReplyMid:
+		return m.handleReplyMid(env, pkt)
+	default:
+		return sn.Decision{}, fmt.Errorf("relay: unexpected kind %d", pkt.Hdr.Data[0])
+	}
+}
+
+// handleIngress: allocate a session hiding the client, pass the sealed
+// envelope to the egress SN.
+func (m *Module) handleIngress(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
+	if len(pkt.Hdr.Data) != 17 {
+		return sn.Decision{}, ErrBadHeader
+	}
+	var b [16]byte
+	copy(b[:], pkt.Hdr.Data[1:])
+	egressSN := netip.AddrFrom16(b).Unmap()
+
+	m.mu.Lock()
+	m.nextID++
+	id := m.nextID
+	m.ingress[id] = ingressSession{client: pkt.Src, conn: pkt.Hdr.Conn}
+	m.mu.Unlock()
+
+	data := make([]byte, 9)
+	data[0] = kindEgress
+	binary.BigEndian.PutUint64(data[1:], id)
+	hdr := wire.ILPHeader{Service: wire.SvcRelay, Conn: pkt.Hdr.Conn, Data: data}
+	return sn.Decision{Forwards: []sn.Forward{{Dst: egressSN, Hdr: &hdr}}}, nil
+}
+
+// handleEgress: open the envelope, learn the destination, deliver the
+// inner payload.
+func (m *Module) handleEgress(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
+	if m.key == nil {
+		return sn.Decision{}, ErrNoKey
+	}
+	if len(pkt.Hdr.Data) != 9 {
+		return sn.Decision{}, ErrBadHeader
+	}
+	upstreamID := binary.BigEndian.Uint64(pkt.Hdr.Data[1:])
+	plain, err := cryptutil.OpenFrom(m.key, pkt.Payload)
+	if err != nil {
+		return sn.Decision{}, fmt.Errorf("relay: open envelope: %w", err)
+	}
+	if len(plain) < 16 {
+		return sn.Decision{}, ErrBadHeader
+	}
+	var b [16]byte
+	copy(b[:], plain[:16])
+	dst := netip.AddrFrom16(b).Unmap()
+	inner := plain[16:]
+
+	m.mu.Lock()
+	sess := egressSession{ingress: pkt.Src, id: upstreamID, dst: dst}
+	m.egress[upstreamID] = sess
+	m.byDest[destKey{dst, pkt.Hdr.Conn}] = upstreamID
+	m.mu.Unlock()
+
+	data := make([]byte, 9)
+	data[0] = kindDeliver
+	binary.BigEndian.PutUint64(data[1:], upstreamID)
+	hdr := wire.ILPHeader{Service: wire.SvcRelay, Conn: pkt.Hdr.Conn, Data: data}
+	return sn.Decision{Forwards: []sn.Forward{{Dst: dst, Hdr: &hdr, Payload: inner}}}, nil
+}
+
+// handleReplyUp (egress): destination host replies; map the session back
+// to the ingress SN.
+func (m *Module) handleReplyUp(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
+	if len(pkt.Hdr.Data) != 9 {
+		return sn.Decision{}, ErrBadHeader
+	}
+	id := binary.BigEndian.Uint64(pkt.Hdr.Data[1:])
+	m.mu.Lock()
+	sess, ok := m.egress[id]
+	m.mu.Unlock()
+	if !ok {
+		return sn.Decision{}, ErrNoSession
+	}
+	data := make([]byte, 9)
+	data[0] = kindReplyMid
+	binary.BigEndian.PutUint64(data[1:], id)
+	hdr := wire.ILPHeader{Service: wire.SvcRelay, Conn: pkt.Hdr.Conn, Data: data}
+	return sn.Decision{Forwards: []sn.Forward{{Dst: sess.ingress, Hdr: &hdr}}}, nil
+}
+
+// handleReplyMid (ingress): map the session back to the client.
+func (m *Module) handleReplyMid(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
+	if len(pkt.Hdr.Data) != 9 {
+		return sn.Decision{}, ErrBadHeader
+	}
+	id := binary.BigEndian.Uint64(pkt.Hdr.Data[1:])
+	m.mu.Lock()
+	sess, ok := m.ingress[id]
+	m.mu.Unlock()
+	if !ok {
+		return sn.Decision{}, ErrNoSession
+	}
+	hdr := wire.ILPHeader{Service: wire.SvcRelay, Conn: sess.conn, Data: []byte{kindReplyDown}}
+	return sn.Decision{Forwards: []sn.Forward{{Dst: sess.client, Hdr: &hdr}}}, nil
+}
+
+// --- Client and server helpers ----------------------------------------------
+
+// Send relays payload to dst through (ingressSN, egressSN). The returned
+// connection receives replies.
+func Send(h *host.Host, dir *KeyDirectory, egressSN, dst wire.Addr, payload []byte) (*host.Conn, error) {
+	egressPub, ok := dir.Lookup(egressSN)
+	if !ok {
+		return nil, fmt.Errorf("relay: no published key for egress SN %s", egressSN)
+	}
+	d := dst.As16()
+	envelope := append(append([]byte(nil), d[:]...), payload...)
+	sealed, err := cryptutil.SealTo(egressPub, envelope)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := h.NewConn(wire.SvcRelay)
+	if err != nil {
+		return nil, err
+	}
+	e16 := egressSN.As16()
+	data := append([]byte{kindIngress}, e16[:]...)
+	if err := conn.Send(data, sealed); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// Reply sends a response from a destination host back up the relay path.
+// msg must be the delivery message the host received (its header carries
+// the session ID).
+func Reply(h *host.Host, delivery host.Message, payload []byte) error {
+	if len(delivery.Hdr.Data) != 9 || delivery.Hdr.Data[0] != kindDeliver {
+		return ErrBadHeader
+	}
+	data := append([]byte(nil), delivery.Hdr.Data...)
+	data[0] = kindReplyUp
+	if err := h.Pipes().Connect(delivery.Src); err != nil {
+		return err
+	}
+	hdr := wire.ILPHeader{Service: wire.SvcRelay, Conn: delivery.Hdr.Conn, Data: data}
+	return h.Pipes().Send(delivery.Src, &hdr, payload)
+}

@@ -1,0 +1,232 @@
+// Package cache implements the SN decision cache described in §4 and
+// Appendix B: an exact-match match-action table keyed by (L3 source,
+// service ID, connection ID). Service modules populate it so the
+// pipe-terminus can act on packets without invoking the module.
+//
+// Per Appendix B.1, implementations may "arbitrarily evict entries, even
+// when the connections they are associated with are active" — correctness
+// never depends on an entry being present, and modules must be able to
+// recompute any decision. This implementation uses CLOCK (second-chance)
+// eviction, tracks per-entry hit counts, and exposes the "recently used"
+// API Appendix B.2 specifies for services managing their own connection
+// state.
+package cache
+
+import (
+	"sync"
+	"time"
+
+	"interedge/internal/wire"
+)
+
+// Action is the cached forwarding decision for a flow.
+type Action struct {
+	// Forward lists next-hop destinations; the pipe-terminus sends a copy
+	// of the packet to each ("the decision can specify multiple forwarding
+	// destinations", §4).
+	Forward []wire.Addr
+	// Drop discards the packet (used by e.g. DDoS protection). Drop takes
+	// precedence over Forward.
+	Drop bool
+	// Deliver hands the packet to the local delivery hook (for packets
+	// terminating at this SN, e.g. addressed to an attached host agent).
+	Deliver bool
+	// RewriteHeader, if non-nil, replaces the encoded ILP header on
+	// forwarded copies (services may rewrite per-hop metadata).
+	RewriteHeader []byte
+}
+
+// Stats aggregates cache counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Inserts   uint64
+	Size      int
+	Capacity  int
+}
+
+type entry struct {
+	key      wire.FlowKey
+	action   Action
+	hits     uint64
+	lastUsed time.Time
+	ref      bool // CLOCK reference bit
+	live     bool
+}
+
+// Cache is a fixed-capacity decision cache. It is safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	index   map[wire.FlowKey]int
+	slots   []entry
+	hand    int
+	now     func() time.Time
+	hits    uint64
+	misses  uint64
+	evicts  uint64
+	inserts uint64
+	enabled bool
+}
+
+// New creates a cache with the given capacity (entries). Capacity must be
+// positive.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		panic("cache: capacity must be positive")
+	}
+	return &Cache{
+		index:   make(map[wire.FlowKey]int, capacity),
+		slots:   make([]entry, capacity),
+		now:     time.Now,
+		enabled: true,
+	}
+}
+
+// SetNowFunc overrides the time source (tests).
+func (c *Cache) SetNowFunc(f func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = f
+}
+
+// SetEnabled turns the cache on or off. When disabled, Lookup always
+// misses; used by the ablation benchmarks.
+func (c *Cache) SetEnabled(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enabled = on
+}
+
+// Lookup returns the cached action for key, if any, recording a hit or
+// miss and marking the entry recently used.
+func (c *Cache) Lookup(key wire.FlowKey) (Action, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.enabled {
+		c.misses++
+		return Action{}, false
+	}
+	i, ok := c.index[key]
+	if !ok {
+		c.misses++
+		return Action{}, false
+	}
+	e := &c.slots[i]
+	e.hits++
+	e.ref = true
+	e.lastUsed = c.now()
+	c.hits++
+	return e.action, true
+}
+
+// Add installs (or replaces) the action for key, evicting via CLOCK if the
+// cache is full.
+func (c *Cache) Add(key wire.FlowKey, action Action) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inserts++
+	if i, ok := c.index[key]; ok {
+		c.slots[i].action = action
+		c.slots[i].ref = true
+		c.slots[i].lastUsed = c.now()
+		return
+	}
+	i := c.findSlot()
+	if c.slots[i].live {
+		delete(c.index, c.slots[i].key)
+		c.evicts++
+	}
+	// New entries start with the reference bit clear: only an actual
+	// Lookup grants a second chance, so one-shot flows evict first.
+	c.slots[i] = entry{key: key, action: action, lastUsed: c.now(), live: true}
+	c.index[key] = i
+}
+
+// findSlot returns a free slot index, running the CLOCK hand if the cache
+// is full. Must be called with mu held.
+func (c *Cache) findSlot() int {
+	for range c.slots {
+		e := &c.slots[c.hand]
+		i := c.hand
+		c.hand = (c.hand + 1) % len(c.slots)
+		if !e.live {
+			return i
+		}
+	}
+	// All live: second-chance scan.
+	for {
+		e := &c.slots[c.hand]
+		i := c.hand
+		c.hand = (c.hand + 1) % len(c.slots)
+		if e.ref {
+			e.ref = false
+			continue
+		}
+		return i
+	}
+}
+
+// Invalidate removes the entry for key, if present.
+func (c *Cache) Invalidate(key wire.FlowKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i, ok := c.index[key]; ok {
+		delete(c.index, key)
+		c.slots[i] = entry{}
+	}
+}
+
+// InvalidateSource removes all entries whose flow source is src (used when
+// a pipe to a peer is torn down).
+func (c *Cache) InvalidateSource(src wire.Addr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, i := range c.index {
+		if key.Src == src {
+			delete(c.index, key)
+			c.slots[i] = entry{}
+		}
+	}
+}
+
+// HitCount returns the entry's hit counter — the Appendix B.2 API
+// ("retrieving the hit-count for an entry") services use to learn whether
+// a connection is still active.
+func (c *Cache) HitCount(key wire.FlowKey) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i, ok := c.index[key]
+	if !ok {
+		return 0, false
+	}
+	return c.slots[i].hits, true
+}
+
+// RecentlyUsed reports whether the entry was hit within the given window.
+func (c *Cache) RecentlyUsed(key wire.FlowKey, window time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i, ok := c.index[key]
+	if !ok {
+		return false
+	}
+	return c.now().Sub(c.slots[i].lastUsed) <= window
+}
+
+// Snapshot returns current counters.
+func (c *Cache) Snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evicts, Inserts: c.inserts,
+		Size: len(c.index), Capacity: len(c.slots),
+	}
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.index)
+}

@@ -1,0 +1,373 @@
+package sn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"interedge/internal/enclave"
+)
+
+// Transport selects how packets travel between the pipe-terminus and a
+// service module — the design axis Table 1 and §6.3 discuss ("We used IPC
+// to send and receive data from services which obviously adds overhead").
+type Transport int
+
+const (
+	// TransportChan moves packets over Go channels — the "shared memory
+	// rings" alternative §6.3 alludes to. This is the default.
+	TransportChan Transport = iota
+	// TransportDirect invokes the module synchronously on the terminus
+	// goroutine (an upper bound: no hand-off at all).
+	TransportDirect
+	// TransportIPC interposes a real Unix-domain-socket round trip on the
+	// packet path, reproducing the paper prototype's IPC configuration.
+	// The module logic runs in this process; the data path pays true
+	// kernel syscall and copy costs per packet.
+	TransportIPC
+)
+
+// String names the transport for logs and benchmark labels.
+func (t Transport) String() string {
+	switch t {
+	case TransportChan:
+		return "chan"
+	case TransportDirect:
+		return "direct"
+	case TransportIPC:
+		return "ipc"
+	default:
+		return fmt.Sprintf("transport-%d", int(t))
+	}
+}
+
+// ModuleOption customizes module registration.
+type ModuleOption func(*moduleConfig)
+
+type moduleConfig struct {
+	transport  Transport
+	enclave    bool
+	workers    int
+	queueDepth int
+}
+
+// WithTransport selects the module transport (default TransportChan).
+func WithTransport(t Transport) ModuleOption {
+	return func(c *moduleConfig) { c.transport = t }
+}
+
+// WithEnclave runs the module inside a simulated secure enclave (§6.2
+// privacy; Appendix C Table 1).
+func WithEnclave() ModuleOption {
+	return func(c *moduleConfig) { c.enclave = true }
+}
+
+// WithWorkers sets the number of slow-path workers draining the module's
+// queue (default 1, matching the paper's one-core-per-service setup).
+func WithWorkers(n int) ModuleOption {
+	return func(c *moduleConfig) { c.workers = n }
+}
+
+// WithQueueDepth sets the slow-path queue depth (default 256; the paper's
+// benchmark keeps 64 packets outstanding).
+func WithQueueDepth(n int) ModuleOption {
+	return func(c *moduleConfig) { c.queueDepth = n }
+}
+
+// handleFunc produces a module's decision for one packet, including any
+// enclave boundary crossings.
+type handleFunc func(pkt *Packet) (*Decision, error)
+
+// newHandleFunc wraps a module invocation, optionally routing the packet
+// and decision bytes through the enclave boundary.
+func newHandleFunc(mod Module, env Env, encl *enclave.Enclave) handleFunc {
+	base := func(pkt *Packet) (*Decision, error) {
+		d, err := mod.HandlePacket(env, pkt)
+		if err != nil {
+			return nil, err
+		}
+		return &d, nil
+	}
+	if encl == nil {
+		return base
+	}
+	return func(pkt *Packet) (*Decision, error) {
+		in, err := encodePacket(nil, pkt)
+		if err != nil {
+			return nil, err
+		}
+		out, err := encl.Run(in, func(inside []byte) ([]byte, error) {
+			p, err := decodePacket(inside)
+			if err != nil {
+				return nil, err
+			}
+			d, err := base(p)
+			if err != nil {
+				return nil, err
+			}
+			return encodeDecision(nil, d)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return decodeDecision(out)
+	}
+}
+
+// invoker carries one packet across the module transport and returns the
+// module's decision.
+type invoker interface {
+	invoke(pkt *Packet) (*Decision, error)
+	close() error
+}
+
+// directInvoker calls the module with no hand-off.
+type directInvoker struct{ h handleFunc }
+
+func (d *directInvoker) invoke(pkt *Packet) (*Decision, error) { return d.h(pkt) }
+func (d *directInvoker) close() error                          { return nil }
+
+// chanInvoker hands packets to a module goroutine over channels —
+// the shared-memory-ring configuration.
+type chanInvoker struct {
+	req    chan chanReq
+	done   chan struct{}
+	closed atomic.Bool
+}
+
+type chanReq struct {
+	pkt   *Packet
+	reply chan chanResp
+}
+
+type chanResp struct {
+	d   *Decision
+	err error
+}
+
+func newChanInvoker(h handleFunc, serverWorkers int) *chanInvoker {
+	ci := &chanInvoker{
+		req:  make(chan chanReq, 64),
+		done: make(chan struct{}),
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < serverWorkers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range ci.req {
+				d, err := h(r.pkt)
+				r.reply <- chanResp{d: d, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(ci.done)
+	}()
+	return ci
+}
+
+var errInvokerClosed = errors.New("sn: module invoker closed")
+
+func (c *chanInvoker) invoke(pkt *Packet) (*Decision, error) {
+	if c.closed.Load() {
+		return nil, errInvokerClosed
+	}
+	reply := make(chan chanResp, 1)
+	c.req <- chanReq{pkt: pkt, reply: reply}
+	r := <-reply
+	return r.d, r.err
+}
+
+func (c *chanInvoker) close() error {
+	if c.closed.CompareAndSwap(false, true) {
+		close(c.req)
+		<-c.done
+	}
+	return nil
+}
+
+// ipcInvoker carries packets over a real Unix domain socket: each invoke
+// is a framed write plus a framed read, paying genuine kernel round-trip
+// costs like the paper prototype's IPC path.
+type ipcInvoker struct {
+	mu       sync.Mutex
+	conn     net.Conn
+	listener net.Listener
+	sockPath string
+	done     chan struct{}
+	closed   atomic.Bool
+}
+
+func newIPCInvoker(name string, h handleFunc) (*ipcInvoker, error) {
+	dir, err := os.MkdirTemp("", "interedge-ipc-")
+	if err != nil {
+		return nil, fmt.Errorf("sn: ipc tempdir: %w", err)
+	}
+	sockPath := filepath.Join(dir, name+".sock")
+	l, err := net.Listen("unix", sockPath)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, fmt.Errorf("sn: ipc listen: %w", err)
+	}
+	inv := &ipcInvoker{listener: l, sockPath: sockPath, done: make(chan struct{})}
+
+	// Module-side server: accept one connection, serve framed requests.
+	go func() {
+		defer close(inv.done)
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var lenBuf [4]byte
+		for {
+			if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+				return
+			}
+			n := binary.BigEndian.Uint32(lenBuf[:])
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				return
+			}
+			var resp []byte
+			pkt, err := decodePacket(buf)
+			if err == nil {
+				var d *Decision
+				if d, err = h(pkt); err == nil {
+					if enc, encErr := encodeDecision([]byte{0}, d); encErr == nil {
+						resp = enc
+					} else {
+						err = encErr
+					}
+				}
+			}
+			if resp == nil {
+				resp = append([]byte{1}, err.Error()...)
+			}
+			binary.BigEndian.PutUint32(lenBuf[:], uint32(len(resp)))
+			if _, err := conn.Write(lenBuf[:]); err != nil {
+				return
+			}
+			if _, err := conn.Write(resp); err != nil {
+				return
+			}
+		}
+	}()
+
+	conn, err := net.Dial("unix", sockPath)
+	if err != nil {
+		l.Close()
+		os.RemoveAll(dir)
+		return nil, fmt.Errorf("sn: ipc dial: %w", err)
+	}
+	inv.conn = conn
+	return inv, nil
+}
+
+func (i *ipcInvoker) invoke(pkt *Packet) (*Decision, error) {
+	if i.closed.Load() {
+		return nil, errInvokerClosed
+	}
+	req, err := encodePacket(nil, pkt)
+	if err != nil {
+		return nil, err
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(req)))
+	if _, err := i.conn.Write(lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("sn: ipc write: %w", err)
+	}
+	if _, err := i.conn.Write(req); err != nil {
+		return nil, fmt.Errorf("sn: ipc write: %w", err)
+	}
+	if _, err := io.ReadFull(i.conn, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("sn: ipc read: %w", err)
+	}
+	resp := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
+	if _, err := io.ReadFull(i.conn, resp); err != nil {
+		return nil, fmt.Errorf("sn: ipc read: %w", err)
+	}
+	if len(resp) < 1 {
+		return nil, errors.New("sn: ipc empty response")
+	}
+	if resp[0] != 0 {
+		return nil, fmt.Errorf("sn: module error: %s", resp[1:])
+	}
+	return decodeDecision(resp[1:])
+}
+
+func (i *ipcInvoker) close() error {
+	if !i.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	i.conn.Close()
+	i.listener.Close()
+	<-i.done
+	os.RemoveAll(filepath.Dir(i.sockPath))
+	return nil
+}
+
+// dispatcher is the slow-path queue between the pipe-terminus and one
+// module's invoker.
+type dispatcher struct {
+	queue   chan *Packet
+	inv     invoker
+	apply   func(pkt *Packet, d *Decision)
+	onError func(pkt *Packet, err error)
+	wg      sync.WaitGroup
+	dropped atomic.Uint64
+	handled atomic.Uint64
+}
+
+func newDispatcher(inv invoker, workers, depth int, apply func(*Packet, *Decision), onError func(*Packet, error)) *dispatcher {
+	d := &dispatcher{
+		queue:   make(chan *Packet, depth),
+		inv:     inv,
+		apply:   apply,
+		onError: onError,
+	}
+	for i := 0; i < workers; i++ {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for pkt := range d.queue {
+				dec, err := d.inv.invoke(pkt)
+				if err != nil {
+					d.onError(pkt, err)
+					continue
+				}
+				d.handled.Add(1)
+				d.apply(pkt, dec)
+			}
+		}()
+	}
+	return d
+}
+
+// submit enqueues a packet, dropping it if the slow path is saturated
+// (overload sheds load rather than stalling the terminus).
+func (d *dispatcher) submit(pkt *Packet) bool {
+	select {
+	case d.queue <- pkt:
+		return true
+	default:
+		d.dropped.Add(1)
+		return false
+	}
+}
+
+func (d *dispatcher) close() {
+	close(d.queue)
+	d.wg.Wait()
+	d.inv.close()
+}

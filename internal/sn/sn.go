@@ -1,0 +1,586 @@
+package sn
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"interedge/internal/clock"
+	"interedge/internal/enclave"
+	"interedge/internal/handshake"
+	"interedge/internal/netsim"
+	"interedge/internal/pipe"
+	"interedge/internal/sn/cache"
+	"interedge/internal/tpm"
+	"interedge/internal/wire"
+)
+
+// Config configures a service node.
+type Config struct {
+	// Transport attaches the SN to the substrate. Required.
+	Transport netsim.Transport
+	// Identity is the SN's signing identity. Required.
+	Identity handshake.Identity
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// CacheSize is the decision-cache capacity (default 65536 entries).
+	CacheSize int
+	// TPM is the node's TPM; created automatically when nil.
+	TPM *tpm.TPM
+	// Authorize filters pipe peers (default accept-all).
+	Authorize pipe.AuthorizePeer
+	// OnDeliver receives packets whose cached action is Deliver. Optional.
+	OnDeliver func(pkt *Packet)
+	// AutoConnect, when true (the default via NewConfig semantics: zero
+	// value false means *disabled*; most callers want DisableAutoConnect
+	// false), lets forwarding establish missing pipes on demand.
+	DisableAutoConnect bool
+	// Logf receives diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+	// EnclaveTerminus runs the pipe-terminus inside a simulated secure
+	// enclave: every packet crosses the enclave boundary on entry. This
+	// reproduces Appendix C's no-service-with-enclave configuration.
+	EnclaveTerminus bool
+	// HandshakeTimeout/Retries tune pipe establishment (see pipe.Config).
+	HandshakeTimeout time.Duration
+	HandshakeRetries int
+}
+
+// Counters aggregates SN data-path statistics.
+type Counters struct {
+	RxPackets     uint64 // packets entering the pipe-terminus
+	FastPathHits  uint64 // served entirely from the decision cache
+	SlowPathSent  uint64 // dispatched to a service module
+	SlowPathDrops uint64 // dropped: module queue full
+	NoModuleDrops uint64 // dropped: no module for service ID
+	RuleDrops     uint64 // dropped by a cached Drop action
+	Forwarded     uint64 // copies forwarded to next hops
+	Delivered     uint64 // packets handed to OnDeliver
+	ForwardErrors uint64 // forwarding failures (no pipe, send error)
+	ModuleErrors  uint64 // module invocations that returned an error
+}
+
+type registeredModule struct {
+	mod      Module
+	cfg      moduleConfig
+	disp     *dispatcher
+	env      *snEnv
+	enclave  *enclave.Enclave
+	ctrl     ControlHandler
+	stopOnce sync.Once
+}
+
+// ControlHandler is implemented by modules that accept out-of-band control
+// operations (§3.2's second invocation style: "services can be invoked by
+// the host out of band (via a control protocol between the host and its
+// first-hop SN)").
+type ControlHandler interface {
+	HandleControl(env Env, src wire.Addr, op string, args []byte) ([]byte, error)
+}
+
+// ControlRequest is the JSON envelope of a control-protocol request,
+// carried as the payload of a SvcControl packet.
+type ControlRequest struct {
+	Target wire.ServiceID  `json:"target"`
+	Op     string          `json:"op"`
+	Args   json.RawMessage `json:"args,omitempty"`
+}
+
+// ControlResponse is the JSON envelope of a control-protocol response.
+type ControlResponse struct {
+	OK    bool            `json:"ok"`
+	Error string          `json:"error,omitempty"`
+	Data  json.RawMessage `json:"data,omitempty"`
+}
+
+// SN is one InterEdge service node.
+type SN struct {
+	cfg             Config
+	mgr             *pipe.Manager
+	cache           *cache.Cache
+	tpm             *tpm.TPM
+	terminusEnclave *enclave.Enclave
+
+	mu          sync.Mutex
+	modules     map[wire.ServiceID]*registeredModule
+	configStore map[string][]byte
+	checkpoints map[string][]byte
+	closed      bool
+
+	rxPackets     atomic.Uint64
+	fastPathHits  atomic.Uint64
+	slowPathSent  atomic.Uint64
+	noModuleDrops atomic.Uint64
+	ruleDrops     atomic.Uint64
+	forwarded     atomic.Uint64
+	delivered     atomic.Uint64
+	forwardErrors atomic.Uint64
+	moduleErrors  atomic.Uint64
+}
+
+// New creates and starts a service node.
+func New(cfg Config) (*SN, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("sn: Config.Transport is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 65536
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.TPM == nil {
+		t, err := tpm.New()
+		if err != nil {
+			return nil, err
+		}
+		cfg.TPM = t
+	}
+	s := &SN{
+		cfg:         cfg,
+		cache:       cache.New(cfg.CacheSize),
+		tpm:         cfg.TPM,
+		modules:     make(map[wire.ServiceID]*registeredModule),
+		configStore: make(map[string][]byte),
+		checkpoints: make(map[string][]byte),
+	}
+	if cfg.EnclaveTerminus {
+		encl, err := enclave.New("pipe-terminus", "1.0", cfg.TPM)
+		if err != nil {
+			return nil, err
+		}
+		s.terminusEnclave = encl
+	}
+	mgr, err := pipe.New(pipe.Config{
+		Transport:        cfg.Transport,
+		Identity:         cfg.Identity,
+		Clock:            cfg.Clock,
+		Handler:          s.handlePacket,
+		Authorize:        cfg.Authorize,
+		HandshakeTimeout: cfg.HandshakeTimeout,
+		HandshakeRetries: cfg.HandshakeRetries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mgr = mgr
+	return s, nil
+}
+
+// Addr returns the SN's address.
+func (s *SN) Addr() wire.Addr { return s.mgr.LocalAddr() }
+
+// Identity returns the SN's identity.
+func (s *SN) Identity() handshake.Identity { return s.mgr.Identity() }
+
+// Pipes exposes the pipe manager (used by the peering layer and tests).
+func (s *SN) Pipes() *pipe.Manager { return s.mgr }
+
+// Cache exposes the decision cache (used by benchmarks and tests).
+func (s *SN) Cache() *cache.Cache { return s.cache }
+
+// TPM returns the node's TPM.
+func (s *SN) TPM() *tpm.TPM { return s.tpm }
+
+// Connect ensures a pipe to addr.
+func (s *SN) Connect(addr wire.Addr) error { return s.mgr.Connect(addr) }
+
+// Counters returns a snapshot of data-path statistics.
+func (s *SN) Counters() Counters {
+	var slowDrops uint64
+	s.mu.Lock()
+	for _, reg := range s.modules {
+		slowDrops += reg.disp.dropped.Load()
+	}
+	s.mu.Unlock()
+	return Counters{
+		RxPackets:     s.rxPackets.Load(),
+		FastPathHits:  s.fastPathHits.Load(),
+		SlowPathSent:  s.slowPathSent.Load(),
+		SlowPathDrops: slowDrops,
+		NoModuleDrops: s.noModuleDrops.Load(),
+		RuleDrops:     s.ruleDrops.Load(),
+		Forwarded:     s.forwarded.Load(),
+		Delivered:     s.delivered.Load(),
+		ForwardErrors: s.forwardErrors.Load(),
+		ModuleErrors:  s.moduleErrors.Load(),
+	}
+}
+
+// Register installs a service module on this SN. Modules must be
+// registered before traffic for their service arrives; registration after
+// Start is safe but packets received in between are dropped.
+func (s *SN) Register(mod Module, opts ...ModuleOption) error {
+	mc := moduleConfig{transport: TransportChan, workers: 1, queueDepth: 256}
+	for _, o := range opts {
+		o(&mc)
+	}
+	env := &snEnv{sn: s, module: mod.Name(), service: mod.Service()}
+
+	var encl *enclave.Enclave
+	if mc.enclave {
+		var err error
+		encl, err = enclave.New(mod.Name(), mod.Version(), s.tpm)
+		if err != nil {
+			return err
+		}
+	}
+	h := newHandleFunc(mod, env, encl)
+
+	var inv invoker
+	switch mc.transport {
+	case TransportDirect:
+		inv = &directInvoker{h: h}
+	case TransportChan:
+		inv = newChanInvoker(h, mc.workers)
+	case TransportIPC:
+		ipcInv, err := newIPCInvoker(mod.Name(), h)
+		if err != nil {
+			return err
+		}
+		inv = ipcInv
+	default:
+		return fmt.Errorf("sn: unknown transport %v", mc.transport)
+	}
+
+	reg := &registeredModule{mod: mod, cfg: mc, env: env, enclave: encl}
+	if ch, ok := mod.(ControlHandler); ok {
+		reg.ctrl = ch
+	}
+	reg.disp = newDispatcher(inv, mc.workers, mc.queueDepth,
+		func(pkt *Packet, d *Decision) { s.applyDecision(pkt, d) },
+		func(pkt *Packet, err error) {
+			s.moduleErrors.Add(1)
+			s.cfg.Logf("sn %s: module %s error on %s: %v", s.Addr(), mod.Name(), pkt.Key(), err)
+		})
+
+	s.mu.Lock()
+	if _, dup := s.modules[mod.Service()]; dup {
+		s.mu.Unlock()
+		reg.disp.close()
+		return fmt.Errorf("sn: service %s already registered", mod.Service())
+	}
+	s.modules[mod.Service()] = reg
+	s.mu.Unlock()
+
+	if st, ok := mod.(Starter); ok {
+		if err := st.Start(env); err != nil {
+			s.mu.Lock()
+			delete(s.modules, mod.Service())
+			s.mu.Unlock()
+			reg.disp.close()
+			return fmt.Errorf("sn: start module %s: %w", mod.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Module returns the registered module for a service, if any.
+func (s *SN) Module(svc wire.ServiceID) (Module, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reg, ok := s.modules[svc]
+	if !ok {
+		return nil, false
+	}
+	return reg.mod, true
+}
+
+// ModuleEnclave returns the enclave hosting a service, if it runs in one.
+func (s *SN) ModuleEnclave(svc wire.ServiceID) (*enclave.Enclave, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reg, ok := s.modules[svc]
+	if !ok || reg.enclave == nil {
+		return nil, false
+	}
+	return reg.enclave, true
+}
+
+// Inject runs a packet through the pipe-terminus as if it had arrived on a
+// pipe from src. The inter-edomain forwarder uses it to re-inject
+// decapsulated transit packets so local services see the original source.
+func (s *SN) Inject(src wire.Addr, hdr wire.ILPHeader, payload []byte) {
+	s.handlePacket(src, hdr, payload)
+}
+
+// handlePacket is the pipe-terminus (§4, Figure 2): decrypted packets
+// arrive here, consult the decision cache, and either execute the cached
+// action (fast path) or go to the service module (slow path).
+func (s *SN) handlePacket(src wire.Addr, hdr wire.ILPHeader, payload []byte) {
+	s.rxPackets.Add(1)
+	if s.terminusEnclave != nil {
+		// The packet crosses into (and back out of) enclave memory before
+		// terminus processing — the Appendix C enclave configuration.
+		crossed, err := s.terminusEnclave.Run(payload, func(in []byte) ([]byte, error) { return in, nil })
+		if err != nil {
+			return
+		}
+		payload = crossed
+	}
+	key := wire.FlowKey{Src: src, Service: hdr.Service, Conn: hdr.Conn}
+	if action, ok := s.cache.Lookup(key); ok {
+		s.fastPathHits.Add(1)
+		s.applyAction(&Packet{Src: src, Hdr: hdr, Payload: payload}, action)
+		return
+	}
+
+	if hdr.Service == wire.SvcControl {
+		s.handleControl(src, hdr, payload)
+		return
+	}
+
+	s.mu.Lock()
+	reg, ok := s.modules[hdr.Service]
+	s.mu.Unlock()
+	if !ok {
+		s.noModuleDrops.Add(1)
+		return
+	}
+	// hdr.Data and payload are freshly allocated per packet by the pipe
+	// layer (PSP Open allocates the header; the transport allocates the
+	// datagram), so the slow path may retain them without copying.
+	pkt := &Packet{Src: src, Hdr: hdr, Payload: payload}
+	if reg.disp.submit(pkt) {
+		s.slowPathSent.Add(1)
+	}
+}
+
+// applyAction executes a cached decision on the fast path.
+func (s *SN) applyAction(pkt *Packet, action cache.Action) {
+	if action.Drop {
+		s.ruleDrops.Add(1)
+		return
+	}
+	if action.Deliver {
+		s.delivered.Add(1)
+		if s.cfg.OnDeliver != nil {
+			s.cfg.OnDeliver(pkt)
+		}
+	}
+	if len(action.Forward) == 0 {
+		return
+	}
+	hdrBytes := action.RewriteHeader
+	if hdrBytes == nil {
+		enc, err := pkt.Hdr.Encode()
+		if err != nil {
+			s.forwardErrors.Add(1)
+			return
+		}
+		hdrBytes = enc
+	}
+	for _, dst := range action.Forward {
+		s.sendHeaderBytes(dst, hdrBytes, pkt.Payload)
+	}
+}
+
+// applyDecision executes a module's verdict after the slow path.
+func (s *SN) applyDecision(pkt *Packet, d *Decision) {
+	for _, r := range d.Rules {
+		s.cache.Add(r.Key, r.Action)
+	}
+	for _, k := range d.Invalidate {
+		s.cache.Invalidate(k)
+	}
+	var origHdr []byte
+	for i := range d.Forwards {
+		f := &d.Forwards[i]
+		var hdrBytes []byte
+		if f.Hdr != nil {
+			enc, err := f.Hdr.Encode()
+			if err != nil {
+				s.forwardErrors.Add(1)
+				continue
+			}
+			hdrBytes = enc
+		} else {
+			if origHdr == nil {
+				enc, err := pkt.Hdr.Encode()
+				if err != nil {
+					s.forwardErrors.Add(1)
+					continue
+				}
+				origHdr = enc
+			}
+			hdrBytes = origHdr
+		}
+		payload := pkt.Payload
+		if f.Payload != nil {
+			payload = f.Payload
+		} else if f.Empty {
+			payload = nil
+		}
+		s.sendHeaderBytes(f.Dst, hdrBytes, payload)
+	}
+}
+
+// sendHeaderBytes forwards one packet copy, optionally establishing the
+// pipe on demand. The on-demand connect runs asynchronously: this method
+// is called from the pipe-terminus receive loop, and a blocking handshake
+// there would deadlock (the handshake reply arrives on that same loop).
+func (s *SN) sendHeaderBytes(dst wire.Addr, hdrBytes, payload []byte) {
+	err := s.mgr.SendHeaderBytes(dst, hdrBytes, payload)
+	if errors.Is(err, pipe.ErrNoPipe) && !s.cfg.DisableAutoConnect {
+		go func() {
+			if cerr := s.mgr.Connect(dst); cerr != nil {
+				s.forwardErrors.Add(1)
+				s.cfg.Logf("sn %s: connect to %s failed: %v", s.Addr(), dst, cerr)
+				return
+			}
+			if serr := s.mgr.SendHeaderBytes(dst, hdrBytes, payload); serr != nil {
+				s.forwardErrors.Add(1)
+				s.cfg.Logf("sn %s: forward to %s failed: %v", s.Addr(), dst, serr)
+				return
+			}
+			s.forwarded.Add(1)
+		}()
+		return
+	}
+	if err != nil {
+		s.forwardErrors.Add(1)
+		s.cfg.Logf("sn %s: forward to %s failed: %v", s.Addr(), dst, err)
+		return
+	}
+	s.forwarded.Add(1)
+}
+
+// handleControl serves the out-of-band control protocol: a JSON request
+// naming a target service and operation, answered on the same connection
+// ID.
+func (s *SN) handleControl(src wire.Addr, hdr wire.ILPHeader, payload []byte) {
+	respond := func(resp ControlResponse) {
+		body, err := json.Marshal(resp)
+		if err != nil {
+			return
+		}
+		s.sendControl(src, hdr.Conn, body)
+	}
+	var req ControlRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		respond(ControlResponse{Error: "malformed control request"})
+		return
+	}
+	s.mu.Lock()
+	reg, ok := s.modules[req.Target]
+	s.mu.Unlock()
+	if !ok || reg.ctrl == nil {
+		respond(ControlResponse{Error: fmt.Sprintf("service %s has no control handler", req.Target)})
+		return
+	}
+	data, err := reg.ctrl.HandleControl(reg.env, src, req.Op, req.Args)
+	if err != nil {
+		respond(ControlResponse{Error: err.Error()})
+		return
+	}
+	respond(ControlResponse{OK: true, Data: data})
+}
+
+func (s *SN) sendControl(dst wire.Addr, conn wire.ConnectionID, body []byte) {
+	hdr := wire.ILPHeader{Service: wire.SvcControl, Conn: conn}
+	if err := s.mgr.Send(dst, &hdr, body); err != nil {
+		s.forwardErrors.Add(1)
+	}
+}
+
+// Close stops all modules and tears down the node.
+func (s *SN) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	mods := make([]*registeredModule, 0, len(s.modules))
+	for _, reg := range s.modules {
+		mods = append(mods, reg)
+	}
+	s.mu.Unlock()
+	err := s.mgr.Close()
+	for _, reg := range mods {
+		reg.stopOnce.Do(func() {
+			reg.disp.close()
+			if st, ok := reg.mod.(Stopper); ok {
+				if serr := st.Stop(); serr != nil && err == nil {
+					err = serr
+				}
+			}
+		})
+	}
+	return err
+}
+
+// snEnv implements Env for one registered module.
+type snEnv struct {
+	sn      *SN
+	module  string
+	service wire.ServiceID
+}
+
+func (e *snEnv) LocalAddr() wire.Addr                   { return e.sn.Addr() }
+func (e *snEnv) Now() time.Time                         { return e.sn.cfg.Clock.Now() }
+func (e *snEnv) After(d time.Duration) <-chan time.Time { return e.sn.cfg.Clock.After(d) }
+func (e *snEnv) Connect(dst wire.Addr) error            { return e.sn.mgr.Connect(dst) }
+func (e *snEnv) PeerIdentity(addr wire.Addr) (ed25519.PublicKey, bool) {
+	return e.sn.mgr.PeerIdentity(addr)
+}
+func (e *snEnv) AddRule(k wire.FlowKey, a cache.Action) { e.sn.cache.Add(k, a) }
+func (e *snEnv) InvalidateRule(k wire.FlowKey)          { e.sn.cache.Invalidate(k) }
+func (e *snEnv) RuleHitCount(k wire.FlowKey) (uint64, bool) {
+	return e.sn.cache.HitCount(k)
+}
+func (e *snEnv) RuleRecentlyUsed(k wire.FlowKey, w time.Duration) bool {
+	return e.sn.cache.RecentlyUsed(k, w)
+}
+
+func (e *snEnv) Send(dst wire.Addr, hdr *wire.ILPHeader, payload []byte) error {
+	err := e.sn.mgr.Send(dst, hdr, payload)
+	if errors.Is(err, pipe.ErrNoPipe) && !e.sn.cfg.DisableAutoConnect {
+		if cerr := e.sn.mgr.Connect(dst); cerr != nil {
+			return cerr
+		}
+		return e.sn.mgr.Send(dst, hdr, payload)
+	}
+	return err
+}
+
+func (e *snEnv) key(k string) string {
+	return fmt.Sprintf("%s/%s", e.module, k)
+}
+
+func (e *snEnv) Config(k string) ([]byte, bool) {
+	e.sn.mu.Lock()
+	defer e.sn.mu.Unlock()
+	v, ok := e.sn.configStore[e.key(k)]
+	return v, ok
+}
+
+func (e *snEnv) SetConfig(k string, v []byte) {
+	e.sn.mu.Lock()
+	defer e.sn.mu.Unlock()
+	e.sn.configStore[e.key(k)] = append([]byte(nil), v...)
+}
+
+func (e *snEnv) Checkpoint(k string, data []byte) {
+	e.sn.mu.Lock()
+	defer e.sn.mu.Unlock()
+	e.sn.checkpoints[e.key(k)] = append([]byte(nil), data...)
+}
+
+func (e *snEnv) Restore(k string) ([]byte, bool) {
+	e.sn.mu.Lock()
+	defer e.sn.mu.Unlock()
+	v, ok := e.sn.checkpoints[e.key(k)]
+	return v, ok
+}
+
+func (e *snEnv) Logf(format string, args ...any) {
+	e.sn.cfg.Logf("[%s/%s] %s", e.sn.Addr(), e.module, fmt.Sprintf(format, args...))
+}

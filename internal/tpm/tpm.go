@@ -1,0 +1,107 @@
+// Package tpm simulates the trusted platform module the paper assumes every
+// SN carries ("We assume that SNs have TPMs that can be used for
+// attestation", §3.1). It models the subset the InterEdge needs: an
+// endorsement identity, PCR-style measurement registers, and signed quotes
+// binding measurements to a verifier-chosen nonce.
+package tpm
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+
+	"interedge/internal/cryptutil"
+)
+
+// NumPCRs is the number of platform configuration registers.
+const NumPCRs = 8
+
+// TPM is one node's simulated TPM.
+type TPM struct {
+	mu   sync.Mutex
+	ek   cryptutil.SigningKeypair
+	pcrs [NumPCRs][sha256.Size]byte
+}
+
+// New creates a TPM with a fresh endorsement key and zeroed PCRs.
+func New() (*TPM, error) {
+	ek, err := cryptutil.NewSigningKeypair()
+	if err != nil {
+		return nil, fmt.Errorf("tpm: endorsement key: %w", err)
+	}
+	return &TPM{ek: ek}, nil
+}
+
+// EndorsementKey returns the TPM's public endorsement key.
+func (t *TPM) EndorsementKey() ed25519.PublicKey { return t.ek.Public }
+
+// Extend folds data into PCR idx: pcr = SHA-256(pcr ‖ SHA-256(data)).
+func (t *TPM) Extend(idx int, data []byte) error {
+	if idx < 0 || idx >= NumPCRs {
+		return fmt.Errorf("tpm: PCR index %d out of range", idx)
+	}
+	digest := sha256.Sum256(data)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := sha256.New()
+	h.Write(t.pcrs[idx][:])
+	h.Write(digest[:])
+	copy(t.pcrs[idx][:], h.Sum(nil))
+	return nil
+}
+
+// PCR returns the current value of a register.
+func (t *TPM) PCR(idx int) ([sha256.Size]byte, error) {
+	if idx < 0 || idx >= NumPCRs {
+		return [sha256.Size]byte{}, fmt.Errorf("tpm: PCR index %d out of range", idx)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pcrs[idx], nil
+}
+
+// Quote is a signed snapshot of all PCRs bound to a verifier nonce.
+type Quote struct {
+	PCRs  [NumPCRs][sha256.Size]byte
+	Nonce []byte
+	Sig   []byte
+}
+
+func quoteDigest(pcrs [NumPCRs][sha256.Size]byte, nonce []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("interedge-tpm-quote"))
+	for i := range pcrs {
+		h.Write(pcrs[i][:])
+	}
+	h.Write(nonce)
+	return h.Sum(nil)
+}
+
+// Quote produces a signed quote over the current PCR values and nonce.
+func (t *TPM) Quote(nonce []byte) Quote {
+	t.mu.Lock()
+	pcrs := t.pcrs
+	t.mu.Unlock()
+	return Quote{
+		PCRs:  pcrs,
+		Nonce: append([]byte(nil), nonce...),
+		Sig:   t.ek.Sign(quoteDigest(pcrs, nonce)),
+	}
+}
+
+// ErrBadQuote is returned when quote verification fails.
+var ErrBadQuote = errors.New("tpm: quote verification failed")
+
+// VerifyQuote checks a quote's signature against the claimed endorsement
+// key and the verifier's nonce.
+func VerifyQuote(ek ed25519.PublicKey, q Quote, nonce []byte) error {
+	if string(q.Nonce) != string(nonce) {
+		return ErrBadQuote
+	}
+	if !cryptutil.Verify(ek, quoteDigest(q.PCRs, q.Nonce), q.Sig) {
+		return ErrBadQuote
+	}
+	return nil
+}

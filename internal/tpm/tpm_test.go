@@ -1,0 +1,97 @@
+package tpm
+
+import (
+	"testing"
+)
+
+func TestQuoteRoundTrip(t *testing.T) {
+	tp, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := []byte("verifier-nonce")
+	q := tp.Quote(nonce)
+	if err := VerifyQuote(tp.EndorsementKey(), q, nonce); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuoteWrongNonce(t *testing.T) {
+	tp, _ := New()
+	q := tp.Quote([]byte("a"))
+	if err := VerifyQuote(tp.EndorsementKey(), q, []byte("b")); err != ErrBadQuote {
+		t.Fatalf("err = %v, want ErrBadQuote", err)
+	}
+}
+
+func TestQuoteWrongKey(t *testing.T) {
+	tp1, _ := New()
+	tp2, _ := New()
+	q := tp1.Quote([]byte("n"))
+	if err := VerifyQuote(tp2.EndorsementKey(), q, []byte("n")); err != ErrBadQuote {
+		t.Fatalf("err = %v, want ErrBadQuote", err)
+	}
+}
+
+func TestExtendChangesPCRAndQuote(t *testing.T) {
+	tp, _ := New()
+	before, err := tp.PCR(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Extend(0, []byte("measurement")); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := tp.PCR(0)
+	if before == after {
+		t.Fatal("Extend did not change PCR")
+	}
+	// Extends are order-sensitive.
+	tpA, _ := New()
+	tpB, _ := New()
+	tpA.Extend(1, []byte("x"))
+	tpA.Extend(1, []byte("y"))
+	tpB.Extend(1, []byte("y"))
+	tpB.Extend(1, []byte("x"))
+	a, _ := tpA.PCR(1)
+	b, _ := tpB.PCR(1)
+	if a == b {
+		t.Fatal("PCR extension not order-sensitive")
+	}
+}
+
+func TestExtendSameInputsDeterministic(t *testing.T) {
+	tpA, _ := New()
+	tpB, _ := New()
+	for _, m := range [][]byte{[]byte("m1"), []byte("m2")} {
+		tpA.Extend(2, m)
+		tpB.Extend(2, m)
+	}
+	a, _ := tpA.PCR(2)
+	b, _ := tpB.PCR(2)
+	if a != b {
+		t.Fatal("same extensions produced different PCRs")
+	}
+}
+
+func TestPCRIndexValidation(t *testing.T) {
+	tp, _ := New()
+	if err := tp.Extend(-1, nil); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := tp.Extend(NumPCRs, nil); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := tp.PCR(NumPCRs); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}
+
+func TestTamperedQuoteRejected(t *testing.T) {
+	tp, _ := New()
+	q := tp.Quote([]byte("n"))
+	q.PCRs[3][0] ^= 1
+	if err := VerifyQuote(tp.EndorsementKey(), q, []byte("n")); err != ErrBadQuote {
+		t.Fatalf("err = %v, want ErrBadQuote", err)
+	}
+}

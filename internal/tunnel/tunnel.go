@@ -1,0 +1,186 @@
+// Package tunnel implements WireGuard-style encrypted tunnels for the
+// Appendix C direct-peering benchmark: "we benchmark Wireguard, a widely
+// used VPN tunnel. A commodity (16-core) server could easily maintain
+// 98,000 simultaneous tunnels, each doing symmetric key rotation every
+// three minutes."
+//
+// Each tunnel keeps a chaining key in the WireGuard spirit: a rotation
+// generates a fresh ephemeral X25519 key, mixes the Diffie-Hellman result
+// into the chain with HKDF, and derives new symmetric send/receive keys.
+// The Manager maintains tens of thousands of tunnels, tracks rotation CPU
+// work and the handshake bytes that would cross the wire, and exposes the
+// numbers the benchmark reports.
+package tunnel
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"interedge/internal/cryptutil"
+)
+
+// HandshakeBytesPerRotation models WireGuard's handshake cost on the wire:
+// a 148-byte initiation plus a 92-byte response.
+const HandshakeBytesPerRotation = 148 + 92
+
+// Tunnel is one encrypted tunnel endpoint.
+type Tunnel struct {
+	mu      sync.Mutex
+	peerPub []byte
+	chain   []byte
+	sendKey cryptutil.Key
+	recvKey cryptutil.Key
+	lastRot time.Time
+	rotated uint64
+}
+
+// NewTunnel creates a tunnel to the peer with the given static public key,
+// performing the initial handshake rotation at time now.
+func NewTunnel(peerPub []byte, now time.Time) (*Tunnel, error) {
+	if len(peerPub) != 32 {
+		return nil, errors.New("tunnel: peer public key must be 32 bytes")
+	}
+	t := &Tunnel{
+		peerPub: append([]byte(nil), peerPub...),
+		chain:   []byte("interedge-tunnel-init"),
+	}
+	if err := t.Rotate(now); err != nil {
+		return nil, err
+	}
+	t.rotated = 0 // the initial handshake is not a "rotation"
+	return t, nil
+}
+
+// Rotate performs one symmetric key rotation: fresh ephemeral, DH with the
+// peer's static key, HKDF chain update, and new transport keys. This is
+// the real cryptographic work the Appendix C benchmark measures.
+func (t *Tunnel) Rotate(now time.Time) error {
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return fmt.Errorf("tunnel: ephemeral: %w", err)
+	}
+	dh, err := cryptutil.X25519Shared(eph, t.peerPub)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	chain, err := cryptutil.HKDF(dh, t.chain, []byte("interedge-tunnel-chain"), 32)
+	if err != nil {
+		return err
+	}
+	send, err := cryptutil.DeriveKey(chain, nil, "tunnel-send")
+	if err != nil {
+		return err
+	}
+	recv, err := cryptutil.DeriveKey(chain, nil, "tunnel-recv")
+	if err != nil {
+		return err
+	}
+	t.chain = chain
+	t.sendKey = send
+	t.recvKey = recv
+	t.lastRot = now
+	t.rotated++
+	return nil
+}
+
+// LastRotation returns the time of the last rotation.
+func (t *Tunnel) LastRotation() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastRot
+}
+
+// Rotations returns the number of rotations performed.
+func (t *Tunnel) Rotations() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rotated
+}
+
+// Keys returns the current transport keys (tests verify they change).
+func (t *Tunnel) Keys() (send, recv cryptutil.Key) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sendKey, t.recvKey
+}
+
+// Stats aggregates manager-wide counters.
+type Stats struct {
+	Tunnels        int
+	Rotations      uint64
+	HandshakeBytes uint64
+	// RotationCPU is the cumulative wall time spent inside Rotate calls —
+	// single-threaded, so it is also CPU time.
+	RotationCPU time.Duration
+}
+
+// Manager maintains a set of tunnels and rotates them on schedule.
+type Manager struct {
+	interval time.Duration
+
+	mu      sync.Mutex
+	tunnels []*Tunnel
+	stats   Stats
+}
+
+// NewManager creates a manager rotating each tunnel every interval.
+func NewManager(interval time.Duration) *Manager {
+	return &Manager{interval: interval}
+}
+
+// AddTunnel creates and tracks a tunnel to the given peer key.
+func (m *Manager) AddTunnel(peerPub []byte, now time.Time) (*Tunnel, error) {
+	t, err := NewTunnel(peerPub, now)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.tunnels = append(m.tunnels, t)
+	m.stats.Tunnels++
+	m.mu.Unlock()
+	return t, nil
+}
+
+// RotateDue rotates every tunnel whose interval has elapsed at now,
+// returning how many rotated. It records CPU time and handshake bytes.
+func (m *Manager) RotateDue(now time.Time) (int, error) {
+	m.mu.Lock()
+	due := make([]*Tunnel, 0)
+	for _, t := range m.tunnels {
+		if now.Sub(t.LastRotation()) >= m.interval {
+			due = append(due, t)
+		}
+	}
+	m.mu.Unlock()
+
+	start := time.Now()
+	for _, t := range due {
+		if err := t.Rotate(now); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	m.mu.Lock()
+	m.stats.Rotations += uint64(len(due))
+	m.stats.HandshakeBytes += uint64(len(due)) * HandshakeBytesPerRotation
+	m.stats.RotationCPU += elapsed
+	m.mu.Unlock()
+	return len(due), nil
+}
+
+// Snapshot returns current counters.
+func (m *Manager) Snapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Interval returns the rotation interval.
+func (m *Manager) Interval() time.Duration { return m.interval }

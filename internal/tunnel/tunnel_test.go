@@ -1,0 +1,138 @@
+package tunnel
+
+import (
+	"testing"
+	"time"
+
+	"interedge/internal/cryptutil"
+)
+
+func peerKey(t testing.TB) []byte {
+	t.Helper()
+	kp, err := cryptutil.NewStaticKeypair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp.PublicKeyBytes()
+}
+
+func TestNewTunnelDerivesKeys(t *testing.T) {
+	tn, err := NewTunnel(peerKey(t), time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	send, recv := tn.Keys()
+	if send.Zero() || recv.Zero() {
+		t.Fatal("zero transport keys")
+	}
+	if send.Equal(recv) {
+		t.Fatal("send and recv keys identical")
+	}
+}
+
+func TestBadPeerKeyRejected(t *testing.T) {
+	if _, err := NewTunnel([]byte("short"), time.Unix(0, 0)); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func TestRotationChangesKeys(t *testing.T) {
+	tn, err := NewTunnel(peerKey(t), time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, r1 := tn.Keys()
+	if err := tn.Rotate(time.Unix(180, 0)); err != nil {
+		t.Fatal(err)
+	}
+	s2, r2 := tn.Keys()
+	if s1.Equal(s2) || r1.Equal(r2) {
+		t.Fatal("rotation did not change keys")
+	}
+	if tn.Rotations() != 1 {
+		t.Fatalf("rotations = %d", tn.Rotations())
+	}
+}
+
+func TestManagerRotatesOnlyDueTunnels(t *testing.T) {
+	m := NewManager(3 * time.Minute)
+	start := time.Unix(0, 0)
+	t1, err := m.AddTunnel(peerKey(t), start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := m.AddTunnel(peerKey(t), start.Add(2*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At t=3min, only t1 is due.
+	n, err := m.RotateDue(start.Add(3 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || t1.Rotations() != 1 || t2.Rotations() != 0 {
+		t.Fatalf("n=%d r1=%d r2=%d", n, t1.Rotations(), t2.Rotations())
+	}
+	// At t=5min, t2 is due.
+	n, err = m.RotateDue(start.Add(5 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || t2.Rotations() != 1 {
+		t.Fatalf("n=%d r2=%d", n, t2.Rotations())
+	}
+}
+
+func TestManagerStats(t *testing.T) {
+	m := NewManager(time.Minute)
+	start := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		if _, err := m.AddTunnel(peerKey(t), start); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.RotateDue(start.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Snapshot()
+	if st.Tunnels != 10 || st.Rotations != 10 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.HandshakeBytes != 10*HandshakeBytesPerRotation {
+		t.Fatalf("handshake bytes %d", st.HandshakeBytes)
+	}
+	if st.RotationCPU <= 0 {
+		t.Fatal("no CPU time recorded")
+	}
+}
+
+// Independent tunnels derive independent keys.
+func TestTunnelsIndependent(t *testing.T) {
+	now := time.Unix(0, 0)
+	t1, err := NewTunnel(peerKey(t), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := NewTunnel(peerKey(t), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := t1.Keys()
+	s2, _ := t2.Keys()
+	if s1.Equal(s2) {
+		t.Fatal("two tunnels derived the same key")
+	}
+}
+
+func BenchmarkRotation(b *testing.B) {
+	tn, err := NewTunnel(peerKey(b), time.Unix(0, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tn.Rotate(time.Unix(int64(i), 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package wire
+
+// FrameType is the first byte of every datagram payload, distinguishing
+// pipe-establishment traffic from sealed ILP packets.
+type FrameType byte
+
+const (
+	// FrameHandshake1 carries the initiator's handshake message.
+	FrameHandshake1 FrameType = 0x01
+	// FrameHandshake2 carries the responder's handshake message.
+	FrameHandshake2 FrameType = 0x02
+	// FrameILP carries a PSP-sealed ILP packet.
+	FrameILP FrameType = 0x03
+)

@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestILPHeaderRoundTrip(t *testing.T) {
+	h := ILPHeader{Service: SvcPubSub, Conn: 0xdeadbeefcafe, Data: []byte("topic=news")}
+	enc, err := h.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ILPHeader
+	n, err := got.DecodeFromBytes(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d bytes, want %d", n, len(enc))
+	}
+	if got.Service != h.Service || got.Conn != h.Conn || !bytes.Equal(got.Data, h.Data) {
+		t.Fatalf("roundtrip mismatch: %+v != %+v", got, h)
+	}
+}
+
+func TestILPHeaderEmptyData(t *testing.T) {
+	h := ILPHeader{Service: SvcNull, Conn: 1}
+	enc, err := h.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != ILPHeaderFixedSize {
+		t.Fatalf("encoded size %d, want %d", len(enc), ILPHeaderFixedSize)
+	}
+	var got ILPHeader
+	if _, err := got.DecodeFromBytes(enc); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != 0 {
+		t.Fatalf("expected empty data, got %d bytes", len(got.Data))
+	}
+}
+
+func TestILPHeaderTruncated(t *testing.T) {
+	h := ILPHeader{Service: SvcEcho, Conn: 7, Data: []byte("hello")}
+	enc, _ := h.Encode()
+	for cut := 0; cut < len(enc); cut++ {
+		var got ILPHeader
+		if _, err := got.DecodeFromBytes(enc[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", cut, len(enc))
+		}
+	}
+}
+
+func TestILPHeaderOversizedData(t *testing.T) {
+	h := ILPHeader{Service: SvcEcho, Conn: 7, Data: make([]byte, MaxServiceData+1)}
+	if _, err := h.Encode(); err != ErrHeaderTooBig {
+		t.Fatalf("err = %v, want ErrHeaderTooBig", err)
+	}
+}
+
+func TestILPHeaderSerializeBufferTooSmall(t *testing.T) {
+	h := ILPHeader{Service: SvcEcho, Conn: 7, Data: []byte("xy")}
+	buf := make([]byte, h.EncodedSize()-1)
+	if _, err := h.SerializeTo(buf); err == nil {
+		t.Fatal("expected buffer-too-small error")
+	}
+}
+
+func TestPSPHeaderRoundTrip(t *testing.T) {
+	h := PSPHeader{SPI: 0x12345600, IV: 0xfeedfacecafebeef}
+	buf := make([]byte, PSPHeaderSize)
+	if _, err := h.SerializeTo(buf); err != nil {
+		t.Fatal(err)
+	}
+	var got PSPHeader
+	n, err := got.DecodeFromBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != PSPHeaderSize || got != h {
+		t.Fatalf("roundtrip mismatch: %+v != %+v", got, h)
+	}
+}
+
+func TestPSPHeaderTruncated(t *testing.T) {
+	var h PSPHeader
+	if _, err := h.DecodeFromBytes(make([]byte, PSPHeaderSize-1)); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDatagramRoundTripV4AndV6(t *testing.T) {
+	cases := []Datagram{
+		{Src: MustAddr("10.0.0.1"), Dst: MustAddr("10.0.0.2"), Payload: []byte("v4")},
+		{Src: MustAddr("fd00::1"), Dst: MustAddr("fd00::2"), Payload: []byte("v6 payload")},
+		{Src: MustAddr("fd00::1"), Dst: MustAddr("10.0.0.9"), Payload: nil},
+	}
+	for _, d := range cases {
+		enc, err := d.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Datagram
+		n, err := got.DecodeFromBytes(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d, want %d", n, len(enc))
+		}
+		if got.Src != d.Src || got.Dst != d.Dst || !bytes.Equal(got.Payload, d.Payload) {
+			t.Fatalf("roundtrip mismatch: %+v != %+v", got, d)
+		}
+	}
+}
+
+func TestDatagramOverMTU(t *testing.T) {
+	d := Datagram{Src: MustAddr("10.0.0.1"), Dst: MustAddr("10.0.0.2"), Payload: make([]byte, MTU+1)}
+	if _, err := d.Encode(); err == nil {
+		t.Fatal("expected MTU error")
+	}
+}
+
+func TestDatagramTruncated(t *testing.T) {
+	d := Datagram{Src: MustAddr("10.0.0.1"), Dst: MustAddr("10.0.0.2"), Payload: []byte("abc")}
+	enc, _ := d.Encode()
+	var got Datagram
+	if _, err := got.DecodeFromBytes(enc[:DatagramHeaderSize+2]); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestServiceIDString(t *testing.T) {
+	if SvcPubSub.String() != "pubsub" {
+		t.Fatalf("SvcPubSub.String() = %q", SvcPubSub.String())
+	}
+	if got := ServiceID(0x9999).String(); got != "svc-0x9999" {
+		t.Fatalf("unknown service string = %q", got)
+	}
+}
+
+func TestFlowKeyUsableAsMapKey(t *testing.T) {
+	m := map[FlowKey]int{}
+	k1 := FlowKey{Src: MustAddr("10.0.0.1"), Service: SvcNull, Conn: 1}
+	k2 := FlowKey{Src: MustAddr("10.0.0.1"), Service: SvcNull, Conn: 1}
+	m[k1] = 42
+	if m[k2] != 42 {
+		t.Fatal("equal flow keys did not collide in map")
+	}
+	if k1.String() == "" {
+		t.Fatal("empty FlowKey string")
+	}
+}
+
+// Property: ILP header roundtrips for arbitrary contents.
+func TestILPHeaderRoundTripProperty(t *testing.T) {
+	f := func(svc uint32, conn uint64, data []byte) bool {
+		if len(data) > MaxServiceData {
+			data = data[:MaxServiceData]
+		}
+		h := ILPHeader{Service: ServiceID(svc), Conn: ConnectionID(conn), Data: data}
+		enc, err := h.Encode()
+		if err != nil {
+			return false
+		}
+		var got ILPHeader
+		n, err := got.DecodeFromBytes(enc)
+		if err != nil || n != len(enc) {
+			return false
+		}
+		return got.Service == h.Service && got.Conn == h.Conn && bytes.Equal(got.Data, h.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding arbitrary bytes never panics and consumed bytes never
+// exceed input length.
+func TestILPHeaderDecodeNeverPanicsProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		var h ILPHeader
+		n, err := h.DecodeFromBytes(data)
+		if err != nil {
+			return n == 0
+		}
+		return n <= len(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
