@@ -11,6 +11,8 @@ package interedge_test
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -37,12 +39,32 @@ func reportTable1(b *testing.B, c bench.Table1Case) {
 	b.ReportMetric(res.ThroughputPPS, "pps")
 	b.ReportMetric(float64(res.MedianLatency.Nanoseconds())/1000, "median-us")
 	b.ReportMetric(float64(res.P99Latency.Nanoseconds())/1000, "p99-us")
+	b.ReportMetric(float64(res.Workers), "workers")
 }
 
 // --- Table 1 -----------------------------------------------------------------
 
 func BenchmarkTable1_NoService_Plain(b *testing.B) {
 	reportTable1(b, bench.DefaultTable1Case("no-service", false))
+}
+
+// BenchmarkTable1_NoService_Workers pins the SN receive-pipeline width.
+// Table 1 drives a single ingress flow, which hashes to one worker, so
+// workers-1 is the regression baseline for the sharded terminus and the
+// wider runs measure sharding overhead on a single flow (it should be
+// negligible).
+func BenchmarkTable1_NoService_Workers(b *testing.B) {
+	widths := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		widths = append(widths, n)
+	}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			c := bench.DefaultTable1Case("no-service", false)
+			c.RxWorkers = w
+			reportTable1(b, c)
+		})
+	}
 }
 
 func BenchmarkTable1_NoService_Enclave(b *testing.B) {
@@ -162,27 +184,84 @@ func BenchmarkFigure2_EncryptAndForward(b *testing.B) {
 }
 
 // BenchmarkFigure2_FullFastPath measures the whole Figure 2 pipeline at
-// once: decrypt → cache query → re-encrypt.
+// once: decrypt → cache query → re-encrypt, on one worker using the
+// zero-allocation scratch API (what each sharded terminus worker runs).
 func BenchmarkFigure2_FullFastPath(b *testing.B) {
 	tx, rx, pkt := figure2Pipe(b)
 	c := cache.New(65536)
 	key := wire.FlowKey{Src: wire.MustAddr("fd00::1"), Service: wire.SvcNone, Conn: 1}
 	c.Add(key, cache.Action{Forward: []wire.Addr{wire.MustAddr("fd00::2")}})
 	buf := make([]byte, 0, len(pkt))
+	var rxs, txs psp.Scratch
 	b.SetBytes(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		hdrBytes, payload, err := rx.Open(pkt)
+		hdrBytes, payload, err := rx.OpenScratch(&rxs, pkt)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if _, ok := c.Lookup(key); !ok {
 			b.Fatal("miss")
 		}
-		if _, err := tx.Seal(buf[:0], hdrBytes, payload); err != nil {
+		if _, err := tx.SealScratch(&txs, buf[:0], hdrBytes, payload); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pps")
+	b.ReportMetric(1, "workers")
+}
+
+// BenchmarkFigure2_FullFastPathParallel runs the same pipeline from
+// GOMAXPROCS goroutines against one shared striped cache — the sharded
+// pipe-terminus workload: independent flows (distinct sources, keys, and
+// crypto state) processed concurrently. On a multi-core machine aggregate
+// pps should scale well past the single-worker figure.
+func BenchmarkFigure2_FullFastPathParallel(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	c := cache.NewSharded(65536, workers)
+	var flow atomic.Uint32
+	b.SetBytes(1024)
+	b.RunParallel(func(pb *testing.PB) {
+		id := flow.Add(1)
+		master := cryptutil.NewRandomKey()
+		tx, err := psp.NewTX(master, psp.DirInitiatorToResponder, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rx, err := psp.NewRX(master, psp.DirInitiatorToResponder, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rx.SetReplayCheck(false)
+		src := wire.MustAddr(fmt.Sprintf("fd00::%x", id))
+		key := wire.FlowKey{Src: src, Service: wire.SvcNone, Conn: wire.ConnectionID(id)}
+		c.Add(key, cache.Action{Forward: []wire.Addr{wire.MustAddr("fd00::2")}})
+		hdr := wire.ILPHeader{Service: wire.SvcNone, Conn: key.Conn}
+		enc, err := hdr.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkt, err := tx.Seal(nil, enc, make([]byte, 1024))
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 0, len(pkt))
+		var rxs, txs psp.Scratch
+		for pb.Next() {
+			hdrBytes, payload, err := rx.OpenScratch(&rxs, pkt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := c.Lookup(key); !ok {
+				b.Fatal("miss")
+			}
+			if _, err := tx.SealScratch(&txs, buf[:0], hdrBytes, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pps")
+	b.ReportMetric(float64(workers), "workers")
 }
 
 // --- Ablations ------------------------------------------------------------------

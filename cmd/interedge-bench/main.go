@@ -68,6 +68,7 @@ func runTable1(packets int) {
 		lat float64
 	}
 	got := map[string]measured{}
+	workers := 0
 	for _, row := range rows {
 		c := bench.DefaultTable1Case(row.mode, row.enclave)
 		c.Packets = packets
@@ -82,8 +83,10 @@ func runTable1(packets int) {
 		fmt.Printf("%-14s %-9v %18.1f %15.1f %15.1f / %.1f\n",
 			row.mode, row.enclave, res.ThroughputPPS,
 			float64(res.MedianLatency.Nanoseconds())/1000, p[0], p[1])
+		workers = res.Workers
 	}
 	fmt.Println()
+	fmt.Printf("SN receive-pipeline width: %d worker(s)\n", workers)
 	noPlain, noEncl := got["no-service/false"], got["no-service/true"]
 	nullPlain, nullEncl := got["null-service/false"], got["null-service/true"]
 	fmt.Printf("Shape checks (paper's qualitative claims):\n")

@@ -6,9 +6,13 @@
 //
 //   - internal/wire, internal/psp, internal/handshake — the ILP
 //     interposition-layer protocol and its PSP-style per-packet encryption;
-//   - internal/pipe — host↔SN and SN↔SN pipes;
-//   - internal/sn — the service node: pipe-terminus, decision cache, and
-//     the common execution environment for service modules;
+//   - internal/pipe — host↔SN and SN↔SN pipes, with receive processing
+//     sharded across workers by source address (per-source order is
+//     preserved; independent peers decrypt concurrently);
+//   - internal/sn — the service node: pipe-terminus, striped decision
+//     cache, and the common execution environment for service modules
+//     (see DESIGN.md "Concurrent fast path" for the sharding scheme and
+//     its ordering guarantee);
 //   - internal/edomain, internal/lookup, internal/peering — edomains,
 //     the global lookup service, and settlement-free full-mesh peering;
 //   - internal/host — InterEdge host support and the extended network API;

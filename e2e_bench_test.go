@@ -35,6 +35,7 @@ func BenchmarkEndToEndEchoRTT(b *testing.B) {
 	}
 	defer conn.Close()
 	payload := make([]byte, 256)
+	b.ReportMetric(float64(ed.SNs[0].Pipes().RxWorkers()), "workers")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := conn.Send(nil, payload); err != nil {

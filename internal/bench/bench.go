@@ -41,6 +41,11 @@ type Table1Case struct {
 	Outstanding int
 	// PayloadSize is the packet payload in bytes.
 	PayloadSize int
+	// RxWorkers sets the SN's receive-pipeline width (0 = GOMAXPROCS).
+	// Single-flow rows are unaffected by sharding — every packet from one
+	// ingress hashes to the same worker — so workers=1 is the apples-to-
+	// apples baseline for them.
+	RxWorkers int
 }
 
 // DefaultTable1Case fills in the paper's parameters.
@@ -61,6 +66,8 @@ type Table1Result struct {
 	ThroughputPPS float64
 	MedianLatency time.Duration
 	P99Latency    time.Duration
+	// Workers is the effective SN receive-pipeline width used for the run.
+	Workers int
 }
 
 // RunTable1 measures one Table 1 row in two phases, mirroring the paper:
@@ -86,6 +93,7 @@ func RunTable1(c Table1Case) (Table1Result, error) {
 		ThroughputPPS: loaded.ThroughputPPS,
 		MedianLatency: lat.MedianLatency,
 		P99Latency:    lat.P99Latency,
+		Workers:       loaded.Workers,
 	}, nil
 }
 
@@ -108,6 +116,7 @@ func runTable1Once(c Table1Case) (Table1Result, error) {
 		Transport:       snTr,
 		Identity:        snID,
 		EnclaveTerminus: c.Mode == "no-service" && c.Enclave,
+		RxWorkers:       c.RxWorkers,
 	})
 	if err != nil {
 		return Table1Result{}, err
@@ -130,7 +139,10 @@ func runTable1Once(c Table1Case) (Table1Result, error) {
 	egress, err := pipe.New(pipe.Config{
 		Transport: egressTr,
 		Identity:  egressID,
-		Handler: func(src wire.Addr, hdr wire.ILPHeader, payload []byte) {
+		// One worker: the measurement varies the SN's pipeline width, and
+		// the handler appends to latencies without a lock.
+		RxWorkers: 1,
+		Handler: func(src wire.Addr, hdr wire.ILPHeader, _ []byte, payload []byte) {
 			if len(payload) >= 8 {
 				sent := time.Unix(0, int64(binary.BigEndian.Uint64(payload[:8])))
 				latencies = append(latencies, time.Since(sent))
@@ -220,6 +232,7 @@ func runTable1Once(c Table1Case) (Table1Result, error) {
 	res := Table1Result{
 		Case:          c,
 		ThroughputPPS: float64(received.Load()) / elapsed.Seconds(),
+		Workers:       node.Pipes().RxWorkers(),
 	}
 	if len(latencies) > 0 {
 		res.MedianLatency = latencies[len(latencies)/2]

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"interedge/internal/clock"
@@ -30,9 +31,17 @@ type Transport interface {
 	LocalAddr() wire.Addr
 	// Send transmits one datagram. Send never blocks on the receiver; a
 	// full receive queue drops the datagram, as a NIC would.
+	//
+	// Ownership: the transport must not retain dg.Payload after Send
+	// returns — callers may reuse the buffer immediately (the pipe layer
+	// pools its send buffers). Implementations that defer transmission
+	// must copy first.
 	Send(dg wire.Datagram) error
 	// Receive returns the channel of inbound datagrams. The channel is
 	// closed when the transport closes.
+	//
+	// Ownership: each received Datagram's Payload is owned by the
+	// receiver; the transport never reuses or mutates it after delivery.
 	Receive() <-chan wire.Datagram
 	// Close detaches the node.
 	Close() error
@@ -86,7 +95,7 @@ type Network struct {
 	links      map[linkKey]*linkState
 	defaults   LinkProfile
 	partitions map[linkKey]bool
-	stats      Stats
+	stats      atomicStats
 }
 
 type linkKey struct{ from, to wire.Addr }
@@ -105,6 +114,28 @@ type Stats struct {
 	DroppedQueue uint64
 	DroppedDead  uint64 // destination not attached
 	BytesSent    uint64
+}
+
+// atomicStats holds the fabric counters as atomics so the per-packet send
+// path never needs the network's exclusive lock.
+type atomicStats struct {
+	sent         atomic.Uint64
+	delivered    atomic.Uint64
+	droppedLoss  atomic.Uint64
+	droppedQueue atomic.Uint64
+	droppedDead  atomic.Uint64
+	bytesSent    atomic.Uint64
+}
+
+func (a *atomicStats) snapshot() Stats {
+	return Stats{
+		Sent:         a.sent.Load(),
+		Delivered:    a.delivered.Load(),
+		DroppedLoss:  a.droppedLoss.Load(),
+		DroppedQueue: a.droppedQueue.Load(),
+		DroppedDead:  a.droppedDead.Load(),
+		BytesSent:    a.bytesSent.Load(),
+	}
 }
 
 // NewNetwork creates an empty fabric. By default links are ideal: zero
@@ -162,9 +193,7 @@ func (n *Network) Heal(a, b wire.Addr) {
 
 // Snapshot returns current fabric counters.
 func (n *Network) Snapshot() Stats {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.stats
+	return n.stats.snapshot()
 }
 
 // Attach connects a new node at addr and returns its transport.
@@ -197,23 +226,24 @@ func (n *Network) linkFor(from, to wire.Addr) *linkState {
 	return nil
 }
 
-// send routes a datagram from src.
+// send routes a datagram from src. Routing state is read under the shared
+// lock and counters are atomic, so concurrent senders never serialize here.
 func (n *Network) send(dg wire.Datagram) error {
 	if len(dg.Payload) > wire.MTU {
 		return fmt.Errorf("netsim: payload %d exceeds MTU", len(dg.Payload))
 	}
-	n.mu.Lock()
-	n.stats.Sent++
-	n.stats.BytesSent += uint64(len(dg.Payload))
+	n.stats.sent.Add(1)
+	n.stats.bytesSent.Add(uint64(len(dg.Payload)))
+	n.mu.RLock()
 	if n.partitions[linkKey{dg.Src, dg.Dst}] {
-		n.stats.DroppedDead++
-		n.mu.Unlock()
+		n.mu.RUnlock()
+		n.stats.droppedDead.Add(1)
 		return nil // silently dropped, like a black-holed route
 	}
 	dst, ok := n.nodes[dg.Dst]
 	if !ok {
-		n.stats.DroppedDead++
-		n.mu.Unlock()
+		n.mu.RUnlock()
+		n.stats.droppedDead.Add(1)
 		return ErrUnknownDestination
 	}
 	link := n.linkFor(dg.Src, dg.Dst)
@@ -221,14 +251,14 @@ func (n *Network) send(dg wire.Datagram) error {
 	if link != nil {
 		profile = link.profile
 	}
-	n.mu.Unlock()
+	n.mu.RUnlock()
 
 	if profile.LossRate > 0 {
 		n.rngMu.Lock()
 		drop := n.rng.Float64() < profile.LossRate
 		n.rngMu.Unlock()
 		if drop {
-			n.count(func(s *Stats) { s.DroppedLoss++ })
+			n.stats.droppedLoss.Add(1)
 			return nil
 		}
 	}
@@ -251,7 +281,9 @@ func (n *Network) send(dg wire.Datagram) error {
 		}
 	}
 
-	// Copy the payload: the sender may reuse its buffer immediately.
+	// Copy the payload before handing it to the receiver: the Send
+	// contract lets the sender reuse its buffer as soon as we return, and
+	// the Receive contract gives the receiver sole ownership.
 	cp := dg
 	cp.Payload = append([]byte(nil), dg.Payload...)
 
@@ -273,23 +305,17 @@ func (n *Network) deliver(dst *simTransport, dg wire.Datagram) {
 	dst.mu.Lock()
 	if dst.closed {
 		dst.mu.Unlock()
-		n.count(func(s *Stats) { s.DroppedDead++ })
+		n.stats.droppedDead.Add(1)
 		return
 	}
 	select {
 	case dst.rx <- dg:
 		dst.mu.Unlock()
-		n.count(func(s *Stats) { s.Delivered++ })
+		n.stats.delivered.Add(1)
 	default:
 		dst.mu.Unlock()
-		n.count(func(s *Stats) { s.DroppedQueue++ })
+		n.stats.droppedQueue.Add(1)
 	}
-}
-
-func (n *Network) count(f func(*Stats)) {
-	n.mu.Lock()
-	f(&n.stats)
-	n.mu.Unlock()
 }
 
 type simTransport struct {

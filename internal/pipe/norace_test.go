@@ -1,0 +1,5 @@
+//go:build !race
+
+package pipe
+
+const raceEnabled = false

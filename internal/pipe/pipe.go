@@ -10,15 +10,22 @@
 //   - per-peer PSP seal/open state and epoch rotation;
 //   - dispatch of decrypted (header, payload) pairs to a PacketHandler.
 //
-// The PacketHandler runs on the manager's single receive goroutine; callers
-// needing concurrency (e.g. the SN module runtime) hand off internally.
+// Receive processing is sharded across RxWorkers goroutines by source
+// address: all datagrams from one peer (handshakes and ILP alike) are
+// handled by the same worker in arrival order, so per-peer packet order is
+// preserved while independent peers decrypt concurrently. The PacketHandler
+// therefore runs concurrently for packets from different sources; callers
+// needing further concurrency (e.g. the SN module runtime) hand off
+// internally.
 package pipe
 
 import (
 	"crypto/ed25519"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"interedge/internal/clock"
@@ -28,9 +35,14 @@ import (
 	"interedge/internal/wire"
 )
 
-// PacketHandler receives every decrypted inbound ILP packet. hdr.Data and
-// payload alias internal buffers and must be copied if retained.
-type PacketHandler func(src wire.Addr, hdr wire.ILPHeader, payload []byte)
+// PacketHandler receives every decrypted inbound ILP packet. hdrRaw is the
+// encoded form of hdr, handed to the handler so a forwarding fast path can
+// re-seal it without re-encoding. hdr.Data, hdrRaw, and payload alias
+// internal buffers and must be copied if retained: hdr.Data and hdrRaw are
+// overwritten when the same worker processes its next packet. Handlers run
+// concurrently for packets from different source addresses but serially,
+// in arrival order, for any single source.
+type PacketHandler func(src wire.Addr, hdr wire.ILPHeader, hdrRaw, payload []byte)
 
 // AuthorizePeer decides whether to accept a pipe with the given peer. It is
 // consulted on both initiation and response.
@@ -66,6 +78,11 @@ type Config struct {
 	// HandshakeRetries is the number of msg1 transmissions before giving
 	// up (default 5).
 	HandshakeRetries int
+	// RxWorkers is the number of receive-pipeline workers inbound
+	// datagrams are sharded onto by source address (default GOMAXPROCS).
+	// With 1 worker every packet is processed inline on the receive
+	// goroutine, matching the pre-sharding single-core pipeline.
+	RxWorkers int
 }
 
 // PeerInfo reports the state of one established pipe.
@@ -85,11 +102,10 @@ type peer struct {
 	crypto   *psp.PipeCrypto
 	up       time.Time
 
-	mu        sync.Mutex
-	txPackets uint64
-	rxPackets uint64
-	txBytes   uint64
-	rxBytes   uint64
+	txPackets atomic.Uint64
+	rxPackets atomic.Uint64
+	txBytes   atomic.Uint64
+	rxBytes   atomic.Uint64
 }
 
 type pendingConn struct {
@@ -98,21 +114,41 @@ type pendingConn struct {
 	err  error
 }
 
+// peerMap is the copy-on-write peer table: readers load it atomically and
+// never lock; writers clone it under Manager.mu.
+type peerMap map[wire.Addr]*peer
+
+// sealBuf bundles the reusable buffers for one in-flight send: the framed
+// output packet and the PSP seal scratch.
+type sealBuf struct {
+	buf     []byte
+	scratch psp.Scratch
+}
+
+// rxWorkerQueueDepth bounds each worker's backlog. A full queue blocks the
+// receive loop (backpressure into the transport queue, which drops like a
+// NIC would) rather than reordering or dropping here.
+const rxWorkerQueueDepth = 512
+
 // Manager owns all pipes of one node.
 type Manager struct {
 	cfg   Config
 	local wire.Addr
 
-	mu      sync.Mutex
-	peers   map[wire.Addr]*peer
+	peers atomic.Pointer[peerMap]
+
+	mu      sync.Mutex // guards pending, closed, and peer-map writes
 	pending map[wire.Addr]*pendingConn
 	closed  bool
+
+	workers  []chan wire.Datagram
+	sealBufs sync.Pool
 
 	done chan struct{}
 	wg   sync.WaitGroup
 }
 
-// New creates a Manager and starts its receive loop.
+// New creates a Manager and starts its receive pipeline.
 func New(cfg Config) (*Manager, error) {
 	if cfg.Transport == nil {
 		return nil, errors.New("pipe: Config.Transport is required")
@@ -129,12 +165,29 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.HandshakeRetries == 0 {
 		cfg.HandshakeRetries = 5
 	}
+	if cfg.RxWorkers == 0 {
+		cfg.RxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.RxWorkers < 1 {
+		cfg.RxWorkers = 1
+	}
 	m := &Manager{
 		cfg:     cfg,
 		local:   cfg.Transport.LocalAddr(),
-		peers:   make(map[wire.Addr]*peer),
 		pending: make(map[wire.Addr]*pendingConn),
 		done:    make(chan struct{}),
+	}
+	empty := make(peerMap)
+	m.peers.Store(&empty)
+	m.sealBufs.New = func() any { return new(sealBuf) }
+	if cfg.RxWorkers > 1 {
+		m.workers = make([]chan wire.Datagram, cfg.RxWorkers)
+		for i := range m.workers {
+			ch := make(chan wire.Datagram, rxWorkerQueueDepth)
+			m.workers[i] = ch
+			m.wg.Add(1)
+			go m.runWorker(ch)
+		}
 	}
 	m.wg.Add(1)
 	go m.receiveLoop()
@@ -147,22 +200,58 @@ func (m *Manager) LocalAddr() wire.Addr { return m.local }
 // Identity returns the node's identity.
 func (m *Manager) Identity() handshake.Identity { return m.cfg.Identity }
 
+// RxWorkers returns the effective receive-pipeline width.
+func (m *Manager) RxWorkers() int { return m.cfg.RxWorkers }
+
+// shardFor maps a source address onto a worker index (FNV-1a over the
+// 16-byte address), so one peer's traffic always lands on one worker.
+func shardFor(src wire.Addr, n int) int {
+	const offset, prime = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset
+	b := src.As16()
+	for _, c := range b {
+		h = (h ^ uint64(c)) * prime
+	}
+	return int(h % uint64(n))
+}
+
 func (m *Manager) receiveLoop() {
 	defer m.wg.Done()
+	var scratch psp.Scratch // used only on the inline (1-worker) path
+	n := len(m.workers)
 	for dg := range m.cfg.Transport.Receive() {
 		if len(dg.Payload) < 1 {
 			continue
 		}
-		frame := wire.FrameType(dg.Payload[0])
-		body := dg.Payload[1:]
-		switch frame {
-		case wire.FrameHandshake1:
-			m.handleMsg1(dg.Src, body)
-		case wire.FrameHandshake2:
-			m.handleMsg2(dg.Src, body)
-		case wire.FrameILP:
-			m.handleILP(dg.Src, body)
+		if n == 0 {
+			m.dispatch(dg, &scratch)
+			continue
 		}
+		m.workers[shardFor(dg.Src, n)] <- dg
+	}
+	for _, ch := range m.workers {
+		close(ch)
+	}
+}
+
+func (m *Manager) runWorker(ch chan wire.Datagram) {
+	defer m.wg.Done()
+	var scratch psp.Scratch
+	for dg := range ch {
+		m.dispatch(dg, &scratch)
+	}
+}
+
+func (m *Manager) dispatch(dg wire.Datagram, scratch *psp.Scratch) {
+	frame := wire.FrameType(dg.Payload[0])
+	body := dg.Payload[1:]
+	switch frame {
+	case wire.FrameHandshake1:
+		m.handleMsg1(dg.Src, body)
+	case wire.FrameHandshake2:
+		m.handleMsg2(dg.Src, body)
+	case wire.FrameILP:
+		m.handleILP(dg.Src, body, scratch)
 	}
 }
 
@@ -215,6 +304,28 @@ func (m *Manager) handleMsg2(src wire.Addr, body []byte) {
 	m.establish(src, res)
 }
 
+// peer returns the established peer for addr from the copy-on-write table,
+// or nil. Lock-free: the data-path readers never contend with each other.
+func (m *Manager) peer(addr wire.Addr) *peer {
+	return (*m.peers.Load())[addr]
+}
+
+// setPeer clones the peer table with addr set (p != nil) or removed
+// (p == nil). Must be called with m.mu held.
+func (m *Manager) setPeer(addr wire.Addr, p *peer) {
+	old := *m.peers.Load()
+	next := make(peerMap, len(old)+1)
+	for a, v := range old {
+		next[a] = v
+	}
+	if p == nil {
+		delete(next, addr)
+	} else {
+		next[addr] = p
+	}
+	m.peers.Store(&next)
+}
+
 // establish installs the pipe and wakes any Connect waiters.
 func (m *Manager) establish(addr wire.Addr, res *handshake.Result) {
 	crypto, err := psp.NewPipeCrypto(res.Master, res.Initiator, res.BaseSPI)
@@ -228,7 +339,7 @@ func (m *Manager) establish(addr wire.Addr, res *handshake.Result) {
 		up:       m.cfg.Clock.Now(),
 	}
 	m.mu.Lock()
-	m.peers[addr] = p
+	m.setPeer(addr, p)
 	if pc, ok := m.pending[addr]; ok {
 		delete(m.pending, addr)
 		close(pc.done)
@@ -239,27 +350,23 @@ func (m *Manager) establish(addr wire.Addr, res *handshake.Result) {
 	}
 }
 
-func (m *Manager) handleILP(src wire.Addr, body []byte) {
-	m.mu.Lock()
-	p, ok := m.peers[src]
-	m.mu.Unlock()
-	if !ok {
+func (m *Manager) handleILP(src wire.Addr, body []byte, scratch *psp.Scratch) {
+	p := m.peer(src)
+	if p == nil {
 		return
 	}
-	hdrBytes, payload, err := p.crypto.RX.Open(body)
+	hdrBytes, payload, err := p.crypto.RX.OpenScratch(scratch, body)
 	if err != nil {
 		return
 	}
-	p.mu.Lock()
-	p.rxPackets++
-	p.rxBytes += uint64(len(body))
-	p.mu.Unlock()
+	p.rxPackets.Add(1)
+	p.rxBytes.Add(uint64(len(body)))
 	var hdr wire.ILPHeader
 	if _, err := hdr.DecodeFromBytes(hdrBytes); err != nil {
 		return
 	}
 	if m.cfg.Handler != nil {
-		m.cfg.Handler(src, hdr, payload)
+		m.cfg.Handler(src, hdr, hdrBytes, payload)
 	}
 }
 
@@ -271,7 +378,7 @@ func (m *Manager) Connect(addr wire.Addr) error {
 		m.mu.Unlock()
 		return ErrManagerClosed
 	}
-	if _, ok := m.peers[addr]; ok {
+	if m.peer(addr) != nil {
 		m.mu.Unlock()
 		return nil
 	}
@@ -325,35 +432,27 @@ func (m *Manager) failPending(addr wire.Addr, pc *pendingConn, err error) {
 
 // HasPeer reports whether a pipe to addr is established.
 func (m *Manager) HasPeer(addr wire.Addr) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	_, ok := m.peers[addr]
-	return ok
+	return m.peer(addr) != nil
 }
 
 // Peers lists established pipes.
 func (m *Manager) Peers() []PeerInfo {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]PeerInfo, 0, len(m.peers))
-	for _, p := range m.peers {
-		p.mu.Lock()
+	pm := *m.peers.Load()
+	out := make([]PeerInfo, 0, len(pm))
+	for _, p := range pm {
 		out = append(out, PeerInfo{
 			Addr: p.addr, Identity: p.identity, Established: p.up,
-			TxPackets: p.txPackets, RxPackets: p.rxPackets,
-			TxBytes: p.txBytes, RxBytes: p.rxBytes,
+			TxPackets: p.txPackets.Load(), RxPackets: p.rxPackets.Load(),
+			TxBytes: p.txBytes.Load(), RxBytes: p.rxBytes.Load(),
 		})
-		p.mu.Unlock()
 	}
 	return out
 }
 
 // PeerIdentity returns the verified identity of an established peer.
 func (m *Manager) PeerIdentity(addr wire.Addr) (ed25519.PublicKey, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	p, ok := m.peers[addr]
-	if !ok {
+	p := m.peer(addr)
+	if p == nil {
 		return nil, false
 	}
 	return p.identity, true
@@ -370,39 +469,40 @@ func (m *Manager) Send(dst wire.Addr, hdr *wire.ILPHeader, payload []byte) error
 
 // SendHeaderBytes sends an already-encoded ILP header with payload over the
 // pipe to dst. This is the forwarding fast path used by the pipe-terminus,
-// which re-seals decrypted header bytes without re-parsing them.
+// which re-seals decrypted header bytes without re-parsing them. The framed
+// output packet is built in a pooled buffer, so the steady state performs
+// no allocations beyond the transport's own datagram copy.
 func (m *Manager) SendHeaderBytes(dst wire.Addr, hdrBytes, payload []byte) error {
-	m.mu.Lock()
-	p, ok := m.peers[dst]
-	m.mu.Unlock()
-	if !ok {
+	p := m.peer(dst)
+	if p == nil {
 		return fmt.Errorf("%w: %s", ErrNoPipe, dst)
 	}
-	buf := make([]byte, 1, 1+psp.SealedSize(len(hdrBytes), len(payload)))
-	buf[0] = byte(wire.FrameILP)
-	sealed, err := p.crypto.TX.Seal(buf, hdrBytes, payload)
+	sb := m.sealBufs.Get().(*sealBuf)
+	buf := append(sb.buf[:0], byte(wire.FrameILP))
+	sealed, err := p.crypto.TX.SealScratch(&sb.scratch, buf, hdrBytes, payload)
+	if err != nil {
+		sb.buf = buf
+		m.sealBufs.Put(sb)
+		return err
+	}
+	// Transports must not retain dg.Payload after Send returns (netsim
+	// copies it into the receiver's queue; UDP encodes before writing), so
+	// the buffer can go straight back into the pool.
+	err = m.cfg.Transport.Send(wire.Datagram{Dst: dst, Payload: sealed})
+	n := len(sealed)
+	sb.buf = sealed
+	m.sealBufs.Put(sb)
 	if err != nil {
 		return err
 	}
-	if err := m.cfg.Transport.Send(wire.Datagram{Dst: dst, Payload: sealed}); err != nil {
-		return err
-	}
-	p.mu.Lock()
-	p.txPackets++
-	p.txBytes += uint64(len(sealed))
-	p.mu.Unlock()
+	p.txPackets.Add(1)
+	p.txBytes.Add(uint64(n))
 	return nil
 }
 
 // RotateAll advances the sending key epoch on every pipe (§4 key rotation).
 func (m *Manager) RotateAll() error {
-	m.mu.Lock()
-	peers := make([]*peer, 0, len(m.peers))
-	for _, p := range m.peers {
-		peers = append(peers, p)
-	}
-	m.mu.Unlock()
-	for _, p := range peers {
+	for _, p := range *m.peers.Load() {
 		if err := p.crypto.TX.Rotate(); err != nil {
 			return err
 		}
@@ -414,7 +514,7 @@ func (m *Manager) RotateAll() error {
 // and by Redial).
 func (m *Manager) DropPeer(addr wire.Addr) {
 	m.mu.Lock()
-	delete(m.peers, addr)
+	m.setPeer(addr, nil)
 	m.mu.Unlock()
 }
 

@@ -68,11 +68,31 @@ func epochKey(master cryptutil.Key, dir Direction, epoch uint32) (cipher.AEAD, e
 	return cipher.NewGCM(block)
 }
 
-func nonce(spi uint32, iv uint64) []byte {
-	var n [12]byte
+func fillNonce(n *[12]byte, spi uint32, iv uint64) {
 	binary.BigEndian.PutUint32(n[0:4], spi)
 	binary.BigEndian.PutUint64(n[4:12], iv)
-	return n[:]
+}
+
+// Scratch holds the reusable working buffers (AAD assembly, decrypted
+// header, nonce) for the zero-allocation Seal/Open fast path. Each
+// pipeline worker owns one Scratch and threads it through every packet it
+// processes; a Scratch is NOT safe for concurrent use. Header bytes
+// returned by OpenScratch alias the Scratch and are overwritten by the
+// next OpenScratch call.
+type Scratch struct {
+	aad   []byte
+	hdr   []byte
+	nonce [12]byte
+}
+
+// grow returns dst extended by need bytes, reusing capacity when
+// available. The extension is returned uninitialized; callers must
+// overwrite every byte.
+func grow(dst []byte, need int) []byte {
+	if n := len(dst) + need; n <= cap(dst) {
+		return dst[:n]
+	}
+	return append(dst, make([]byte, need)...)
 }
 
 // TX is the sending half of one direction of a pipe. It is safe for
@@ -130,6 +150,14 @@ func SealedSize(hdrLen, payloadLen int) int { return Overhead + hdrLen + payload
 // Seal encrypts hdrPlain and authenticates payload, appending the full wire
 // packet to dst and returning the extended slice. Each call consumes one IV.
 func (t *TX) Seal(dst, hdrPlain, payload []byte) ([]byte, error) {
+	var s Scratch
+	return t.SealScratch(&s, dst, hdrPlain, payload)
+}
+
+// SealScratch is Seal with caller-provided working buffers: with a warm
+// Scratch and a dst of sufficient capacity it performs no allocations.
+// This is the pipe-terminus re-encrypt fast path.
+func (t *TX) SealScratch(s *Scratch, dst, hdrPlain, payload []byte) ([]byte, error) {
 	t.mu.Lock()
 	spi := t.baseSPI | (t.epoch & epochMask)
 	iv := t.iv
@@ -140,7 +168,7 @@ func (t *TX) Seal(dst, hdrPlain, payload []byte) ([]byte, error) {
 	ph := wire.PSPHeader{SPI: spi, IV: iv}
 	start := len(dst)
 	need := SealedSize(len(hdrPlain), len(payload))
-	dst = append(dst, make([]byte, need)...)
+	dst = grow(dst, need)
 	out := dst[start:]
 	if _, err := ph.SerializeTo(out); err != nil {
 		return nil, err
@@ -148,14 +176,17 @@ func (t *TX) Seal(dst, hdrPlain, payload []byte) ([]byte, error) {
 	ctLen := len(hdrPlain) + 16
 	binary.BigEndian.PutUint16(out[wire.PSPHeaderSize:], uint16(ctLen))
 	// AAD covers the cleartext prefix and the payload, binding them to the
-	// encrypted header.
+	// encrypted header. The two regions are not contiguous on the wire
+	// (the ciphertext sits between them), so they are assembled in the
+	// scratch buffer.
 	aadEnd := wire.PSPHeaderSize + 2
 	payloadStart := aadEnd + ctLen
 	copy(out[payloadStart:], payload)
-	aad := make([]byte, 0, aadEnd+len(payload))
-	aad = append(aad, out[:aadEnd]...)
+	aad := append(s.aad[:0], out[:aadEnd]...)
 	aad = append(aad, payload...)
-	ct := aead.Seal(out[aadEnd:aadEnd], nonce(spi, iv), hdrPlain, aad)
+	s.aad = aad
+	fillNonce(&s.nonce, spi, iv)
+	ct := aead.Seal(out[aadEnd:aadEnd], s.nonce[:], hdrPlain, aad)
 	if len(ct) != ctLen {
 		return nil, fmt.Errorf("psp: internal: ciphertext length %d != %d", len(ct), ctLen)
 	}
@@ -301,6 +332,15 @@ func (r *RX) aeadForEpoch(epoch uint32) (cipher.AEAD, *replayWindow, error) {
 // Open parses and authenticates a sealed packet, returning the decrypted
 // ILP header bytes and the (aliased) payload bytes.
 func (r *RX) Open(packet []byte) (hdrPlain, payload []byte, err error) {
+	var s Scratch
+	return r.OpenScratch(&s, packet)
+}
+
+// OpenScratch is Open with caller-provided working buffers: with a warm
+// Scratch it performs no steady-state allocations. The returned header
+// bytes alias the Scratch and are only valid until its next use; the
+// payload aliases packet as with Open.
+func (r *RX) OpenScratch(s *Scratch, packet []byte) (hdrPlain, payload []byte, err error) {
 	var ph wire.PSPHeader
 	n, err := ph.DecodeFromBytes(packet)
 	if err != nil {
@@ -346,13 +386,15 @@ func (r *RX) Open(packet []byte) (hdrPlain, payload []byte, err error) {
 	}
 	r.mu.Unlock()
 
-	aad := make([]byte, 0, aadEnd+len(payload))
-	aad = append(aad, packet[:aadEnd]...)
+	aad := append(s.aad[:0], packet[:aadEnd]...)
 	aad = append(aad, payload...)
-	hdrPlain, err = aead.Open(nil, nonce(ph.SPI, ph.IV), ct, aad)
+	s.aad = aad
+	fillNonce(&s.nonce, ph.SPI, ph.IV)
+	hdrPlain, err = aead.Open(s.hdr[:0], s.nonce[:], ct, aad)
 	if err != nil {
 		return nil, nil, ErrAuthFailed
 	}
+	s.hdr = hdrPlain
 
 	if r.replayCheck {
 		r.mu.Lock()

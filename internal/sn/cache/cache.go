@@ -10,9 +10,17 @@
 // eviction, tracks per-entry hit counts, and exposes the "recently used"
 // API Appendix B.2 specifies for services managing their own connection
 // state.
+//
+// To keep the sharded pipe-terminus workers from serializing on a single
+// lock, the table is striped across 2^k independent CLOCK shards selected
+// by a hash of the flow key. Each shard has its own lock, slots, hand, and
+// counters; Snapshot merges the per-shard counters. Striping is invisible
+// to correctness: eviction was already allowed to be arbitrary (B.1), so
+// per-shard CLOCK sweeps are just one more admissible eviction order.
 package cache
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -36,7 +44,7 @@ type Action struct {
 	RewriteHeader []byte
 }
 
-// Stats aggregates cache counters.
+// Stats aggregates cache counters across all shards.
 type Stats struct {
 	Hits      uint64
 	Misses    uint64
@@ -55,8 +63,8 @@ type entry struct {
 	live     bool
 }
 
-// Cache is a fixed-capacity decision cache. It is safe for concurrent use.
-type Cache struct {
+// shard is one independently locked CLOCK cache.
+type shard struct {
 	mu      sync.Mutex
 	index   map[wire.FlowKey]int
 	slots   []entry
@@ -69,96 +77,172 @@ type Cache struct {
 	enabled bool
 }
 
-// New creates a cache with the given capacity (entries). Capacity must be
-// positive.
+// minShardCapacity is the smallest per-shard slot count auto-striping will
+// produce; small caches stay single-shard so their eviction behavior (and
+// the tests pinning it) is unchanged.
+const minShardCapacity = 1024
+
+// Cache is a fixed-capacity decision cache striped over power-of-two many
+// CLOCK shards. It is safe for concurrent use.
+type Cache struct {
+	shards []*shard
+	mask   uint64
+}
+
+// New creates a cache with the given total capacity (entries) and an
+// automatic shard count: the largest power of two ≤ GOMAXPROCS that keeps
+// every shard at or above minShardCapacity. Capacity must be positive.
 func New(capacity int) *Cache {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	for n > 1 && capacity/n < minShardCapacity {
+		n >>= 1
+	}
+	return NewSharded(capacity, n)
+}
+
+// NewSharded creates a cache with an explicit shard count (rounded up to a
+// power of two, clamped so every shard holds at least one entry). Capacity
+// is the total across shards and must be positive.
+func NewSharded(capacity, shards int) *Cache {
 	if capacity <= 0 {
 		panic("cache: capacity must be positive")
 	}
-	return &Cache{
-		index:   make(map[wire.FlowKey]int, capacity),
-		slots:   make([]entry, capacity),
-		now:     time.Now,
-		enabled: true,
+	if shards < 1 {
+		shards = 1
 	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	for n > capacity {
+		n >>= 1
+	}
+	c := &Cache{shards: make([]*shard, n), mask: uint64(n - 1)}
+	base, rem := capacity/n, capacity%n
+	for i := range c.shards {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		c.shards[i] = &shard{
+			index:   make(map[wire.FlowKey]int, sz),
+			slots:   make([]entry, sz),
+			now:     time.Now,
+			enabled: true,
+		}
+	}
+	return c
+}
+
+// ShardCount returns the number of independent CLOCK shards.
+func (c *Cache) ShardCount() int { return len(c.shards) }
+
+// hashKey mixes the full flow key with FNV-1a; the low bits select the
+// shard. Allocation-free (Addr.As16 returns a value array).
+func hashKey(k wire.FlowKey) uint64 {
+	const prime = uint64(1099511628211)
+	h := uint64(14695981039346656037)
+	a := k.Src.As16()
+	for _, b := range a {
+		h = (h ^ uint64(b)) * prime
+	}
+	h = (h ^ uint64(k.Service)) * prime
+	h = (h ^ uint64(k.Conn)) * prime
+	return h
+}
+
+func (c *Cache) shardFor(key wire.FlowKey) *shard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	return c.shards[hashKey(key)&c.mask]
 }
 
 // SetNowFunc overrides the time source (tests).
 func (c *Cache) SetNowFunc(f func() time.Time) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.now = f
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.now = f
+		s.mu.Unlock()
+	}
 }
 
 // SetEnabled turns the cache on or off. When disabled, Lookup always
 // misses; used by the ablation benchmarks.
 func (c *Cache) SetEnabled(on bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.enabled = on
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.enabled = on
+		s.mu.Unlock()
+	}
 }
 
 // Lookup returns the cached action for key, if any, recording a hit or
 // miss and marking the entry recently used.
 func (c *Cache) Lookup(key wire.FlowKey) (Action, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.enabled {
-		c.misses++
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.enabled {
+		s.misses++
 		return Action{}, false
 	}
-	i, ok := c.index[key]
+	i, ok := s.index[key]
 	if !ok {
-		c.misses++
+		s.misses++
 		return Action{}, false
 	}
-	e := &c.slots[i]
+	e := &s.slots[i]
 	e.hits++
 	e.ref = true
-	e.lastUsed = c.now()
-	c.hits++
+	e.lastUsed = s.now()
+	s.hits++
 	return e.action, true
 }
 
-// Add installs (or replaces) the action for key, evicting via CLOCK if the
-// cache is full.
+// Add installs (or replaces) the action for key, evicting via CLOCK within
+// the key's shard if that shard is full.
 func (c *Cache) Add(key wire.FlowKey, action Action) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.inserts++
-	if i, ok := c.index[key]; ok {
-		c.slots[i].action = action
-		c.slots[i].ref = true
-		c.slots[i].lastUsed = c.now()
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inserts++
+	if i, ok := s.index[key]; ok {
+		s.slots[i].action = action
+		s.slots[i].ref = true
+		s.slots[i].lastUsed = s.now()
 		return
 	}
-	i := c.findSlot()
-	if c.slots[i].live {
-		delete(c.index, c.slots[i].key)
-		c.evicts++
+	i := s.findSlot()
+	if s.slots[i].live {
+		delete(s.index, s.slots[i].key)
+		s.evicts++
 	}
 	// New entries start with the reference bit clear: only an actual
 	// Lookup grants a second chance, so one-shot flows evict first.
-	c.slots[i] = entry{key: key, action: action, lastUsed: c.now(), live: true}
-	c.index[key] = i
+	s.slots[i] = entry{key: key, action: action, lastUsed: s.now(), live: true}
+	s.index[key] = i
 }
 
-// findSlot returns a free slot index, running the CLOCK hand if the cache
-// is full. Must be called with mu held.
-func (c *Cache) findSlot() int {
-	for range c.slots {
-		e := &c.slots[c.hand]
-		i := c.hand
-		c.hand = (c.hand + 1) % len(c.slots)
+// findSlot returns a free slot index, running the CLOCK hand if the shard
+// is full. Must be called with s.mu held.
+func (s *shard) findSlot() int {
+	for range s.slots {
+		e := &s.slots[s.hand]
+		i := s.hand
+		s.hand = (s.hand + 1) % len(s.slots)
 		if !e.live {
 			return i
 		}
 	}
 	// All live: second-chance scan.
 	for {
-		e := &c.slots[c.hand]
-		i := c.hand
-		c.hand = (c.hand + 1) % len(c.slots)
+		e := &s.slots[s.hand]
+		i := s.hand
+		s.hand = (s.hand + 1) % len(s.slots)
 		if e.ref {
 			e.ref = false
 			continue
@@ -169,24 +253,27 @@ func (c *Cache) findSlot() int {
 
 // Invalidate removes the entry for key, if present.
 func (c *Cache) Invalidate(key wire.FlowKey) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if i, ok := c.index[key]; ok {
-		delete(c.index, key)
-		c.slots[i] = entry{}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.index[key]; ok {
+		delete(s.index, key)
+		s.slots[i] = entry{}
 	}
 }
 
 // InvalidateSource removes all entries whose flow source is src (used when
 // a pipe to a peer is torn down).
 func (c *Cache) InvalidateSource(src wire.Addr) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for key, i := range c.index {
-		if key.Src == src {
-			delete(c.index, key)
-			c.slots[i] = entry{}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for key, i := range s.index {
+			if key.Src == src {
+				delete(s.index, key)
+				s.slots[i] = entry{}
+			}
 		}
+		s.mu.Unlock()
 	}
 }
 
@@ -194,39 +281,51 @@ func (c *Cache) InvalidateSource(src wire.Addr) {
 // ("retrieving the hit-count for an entry") services use to learn whether
 // a connection is still active.
 func (c *Cache) HitCount(key wire.FlowKey) (uint64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	i, ok := c.index[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.index[key]
 	if !ok {
 		return 0, false
 	}
-	return c.slots[i].hits, true
+	return s.slots[i].hits, true
 }
 
 // RecentlyUsed reports whether the entry was hit within the given window.
 func (c *Cache) RecentlyUsed(key wire.FlowKey, window time.Duration) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	i, ok := c.index[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.index[key]
 	if !ok {
 		return false
 	}
-	return c.now().Sub(c.slots[i].lastUsed) <= window
+	return s.now().Sub(s.slots[i].lastUsed) <= window
 }
 
-// Snapshot returns current counters.
+// Snapshot returns current counters merged across all shards.
 func (c *Cache) Snapshot() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{
-		Hits: c.hits, Misses: c.misses, Evictions: c.evicts, Inserts: c.inserts,
-		Size: len(c.index), Capacity: len(c.slots),
+	var st Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evicts
+		st.Inserts += s.inserts
+		st.Size += len(s.index)
+		st.Capacity += len(s.slots)
+		s.mu.Unlock()
 	}
+	return st
 }
 
-// Len returns the number of live entries.
+// Len returns the number of live entries across all shards.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.index)
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.index)
+		s.mu.Unlock()
+	}
+	return n
 }

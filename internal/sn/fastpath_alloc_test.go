@@ -1,0 +1,73 @@
+package sn
+
+import (
+	"testing"
+
+	"interedge/internal/handshake"
+	"interedge/internal/netsim"
+	"interedge/internal/pipe"
+	"interedge/internal/sn/cache"
+	"interedge/internal/wire"
+)
+
+// TestFastPathForwardAllocs pins the full cache-hit forward path's
+// allocation budget: terminus entry → cache lookup → re-seal with the raw
+// inbound header → transport send. With pooled seal buffers and the scratch
+// crypto API the only steady-state allocation is the netsim transport's
+// per-delivery datagram copy, which the Send contract makes transport-owned.
+func TestFastPathForwardAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime changes sync.Pool retention and alloc counts")
+	}
+	net := netsim.NewNetwork()
+	node := newTestSN(t, net, "fd00::5")
+
+	// Egress with a no-op handler so its receive side is allocation-free
+	// after warmup and does not pollute the measurement.
+	egressTr, err := net.Attach(wire.MustAddr("fd00::e"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	egressID, err := handshake.NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	egress, err := pipe.New(pipe.Config{
+		Transport: egressTr,
+		Identity:  egressID,
+		RxWorkers: 1,
+		Handler:   func(wire.Addr, wire.ILPHeader, []byte, []byte) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { egress.Close() })
+	if err := egress.Connect(node.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	src := wire.MustAddr("fd00::1")
+	hdr := wire.ILPHeader{Service: wire.SvcNone, Conn: 7}
+	raw, err := hdr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Cache().Add(
+		wire.FlowKey{Src: src, Service: wire.SvcNone, Conn: 7},
+		cache.Action{Forward: []wire.Addr{egress.LocalAddr()}},
+	)
+	payload := make([]byte, 256)
+
+	for i := 0; i < 32; i++ { // warm pool, crypto scratches, and egress side
+		node.handlePacket(src, hdr, raw, payload)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		node.handlePacket(src, hdr, raw, payload)
+	})
+	if allocs > 1 {
+		t.Fatalf("fast-path forward allocated %.1f times per op, want <= 1 (transport copy)", allocs)
+	}
+	if fwd := node.Counters().Forwarded; fwd == 0 {
+		t.Fatal("nothing was forwarded; fast path not exercised")
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package sn
+
+const raceEnabled = false

@@ -45,6 +45,10 @@ type Config struct {
 	// enclave: every packet crosses the enclave boundary on entry. This
 	// reproduces Appendix C's no-service-with-enclave configuration.
 	EnclaveTerminus bool
+	// RxWorkers is the number of parallel pipe-terminus workers inbound
+	// datagrams are sharded onto by source address (default GOMAXPROCS;
+	// see pipe.Config.RxWorkers).
+	RxWorkers int
 	// HandshakeTimeout/Retries tune pipe establishment (see pipe.Config).
 	HandshakeTimeout time.Duration
 	HandshakeRetries int
@@ -166,6 +170,7 @@ func New(cfg Config) (*SN, error) {
 		Authorize:        cfg.Authorize,
 		HandshakeTimeout: cfg.HandshakeTimeout,
 		HandshakeRetries: cfg.HandshakeRetries,
+		RxWorkers:        cfg.RxWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -308,13 +313,22 @@ func (s *SN) ModuleEnclave(svc wire.ServiceID) (*enclave.Enclave, bool) {
 // pipe from src. The inter-edomain forwarder uses it to re-inject
 // decapsulated transit packets so local services see the original source.
 func (s *SN) Inject(src wire.Addr, hdr wire.ILPHeader, payload []byte) {
-	s.handlePacket(src, hdr, payload)
+	raw, err := hdr.Encode()
+	if err != nil {
+		return
+	}
+	s.handlePacket(src, hdr, raw, payload)
 }
 
 // handlePacket is the pipe-terminus (§4, Figure 2): decrypted packets
 // arrive here, consult the decision cache, and either execute the cached
-// action (fast path) or go to the service module (slow path).
-func (s *SN) handlePacket(src wire.Addr, hdr wire.ILPHeader, payload []byte) {
+// action (fast path) or go to the service module (slow path). It runs
+// concurrently on the pipe manager's sharded rx workers — one worker per
+// source address — so per-flow order is preserved without any lock here.
+// hdrRaw is the encoded header as it arrived; hdr.Data and hdrRaw alias
+// the calling worker's scratch buffer and are only valid until return,
+// while payload is a transport-owned per-datagram buffer safe to retain.
+func (s *SN) handlePacket(src wire.Addr, hdr wire.ILPHeader, hdrRaw, payload []byte) {
 	s.rxPackets.Add(1)
 	if s.terminusEnclave != nil {
 		// The packet crosses into (and back out of) enclave memory before
@@ -328,7 +342,7 @@ func (s *SN) handlePacket(src wire.Addr, hdr wire.ILPHeader, payload []byte) {
 	key := wire.FlowKey{Src: src, Service: hdr.Service, Conn: hdr.Conn}
 	if action, ok := s.cache.Lookup(key); ok {
 		s.fastPathHits.Add(1)
-		s.applyAction(&Packet{Src: src, Hdr: hdr, Payload: payload}, action)
+		s.applyFastAction(src, &hdr, hdrRaw, payload, &action)
 		return
 	}
 
@@ -344,17 +358,23 @@ func (s *SN) handlePacket(src wire.Addr, hdr wire.ILPHeader, payload []byte) {
 		s.noModuleDrops.Add(1)
 		return
 	}
-	// hdr.Data and payload are freshly allocated per packet by the pipe
-	// layer (PSP Open allocates the header; the transport allocates the
-	// datagram), so the slow path may retain them without copying.
+	// The slow path retains the packet past this call, so the
+	// scratch-aliased header data must be copied; payload is per-datagram
+	// (transport-owned) and may be kept as-is.
 	pkt := &Packet{Src: src, Hdr: hdr, Payload: payload}
+	if len(hdr.Data) > 0 {
+		pkt.Hdr.Data = append([]byte(nil), hdr.Data...)
+	}
 	if reg.disp.submit(pkt) {
 		s.slowPathSent.Add(1)
 	}
 }
 
-// applyAction executes a cached decision on the fast path.
-func (s *SN) applyAction(pkt *Packet, action cache.Action) {
+// applyFastAction executes a cached decision on the fast path. Forwarding
+// with no header rewrite reuses the raw inbound header bytes, so the whole
+// hit path — decrypt, lookup, re-encrypt, send — allocates nothing beyond
+// the transport's own datagram copy.
+func (s *SN) applyFastAction(src wire.Addr, hdr *wire.ILPHeader, hdrRaw, payload []byte, action *cache.Action) {
 	if action.Drop {
 		s.ruleDrops.Add(1)
 		return
@@ -362,6 +382,10 @@ func (s *SN) applyAction(pkt *Packet, action cache.Action) {
 	if action.Deliver {
 		s.delivered.Add(1)
 		if s.cfg.OnDeliver != nil {
+			pkt := &Packet{Src: src, Hdr: *hdr, Payload: payload}
+			if len(hdr.Data) > 0 {
+				pkt.Hdr.Data = append([]byte(nil), hdr.Data...)
+			}
 			s.cfg.OnDeliver(pkt)
 		}
 	}
@@ -370,15 +394,10 @@ func (s *SN) applyAction(pkt *Packet, action cache.Action) {
 	}
 	hdrBytes := action.RewriteHeader
 	if hdrBytes == nil {
-		enc, err := pkt.Hdr.Encode()
-		if err != nil {
-			s.forwardErrors.Add(1)
-			return
-		}
-		hdrBytes = enc
+		hdrBytes = hdrRaw
 	}
 	for _, dst := range action.Forward {
-		s.sendHeaderBytes(dst, hdrBytes, pkt.Payload)
+		s.sendHeaderBytes(dst, hdrBytes, payload)
 	}
 }
 
@@ -429,6 +448,10 @@ func (s *SN) applyDecision(pkt *Packet, d *Decision) {
 func (s *SN) sendHeaderBytes(dst wire.Addr, hdrBytes, payload []byte) {
 	err := s.mgr.SendHeaderBytes(dst, hdrBytes, payload)
 	if errors.Is(err, pipe.ErrNoPipe) && !s.cfg.DisableAutoConnect {
+		// The async retry outlives this call, but hdrBytes may alias the rx
+		// worker's scratch buffer — snapshot both before handing off.
+		hdrBytes = append([]byte(nil), hdrBytes...)
+		payload = append([]byte(nil), payload...)
 		go func() {
 			if cerr := s.mgr.Connect(dst); cerr != nil {
 				s.forwardErrors.Add(1)

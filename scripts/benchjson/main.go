@@ -1,0 +1,79 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array on stdout, one object per benchmark result line. Metrics beyond
+// ns/op (pps, workers, MB/s, ...) are collected into a "metrics" map keyed
+// by unit. scripts/check.sh uses it to emit BENCH_*.json artifacts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the caller still sees the run
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		// Remaining fields come in "<value> <unit>" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				r.NsPerOp = v
+			} else {
+				r.Metrics[fields[i+1]] = v
+			}
+		}
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	out := os.Stdout
+	if path := os.Getenv("BENCHJSON_OUT"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# CI gate: static checks, full build, race-detected tests, and a benchmark
+# smoke run whose results land in BENCH_1.json at the repo root.
+#
+# Usage: scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> benchmark smoke run (Figure 2 pipeline)"
+go test -run '^$' -bench Figure2 -benchtime 100x . |
+	BENCHJSON_OUT=BENCH_1.json go run ./scripts/benchjson
+
+echo "==> wrote BENCH_1.json"
