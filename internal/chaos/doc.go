@@ -1,0 +1,22 @@
+// Package chaos is the fault-injection soak suite for the full InterEdge
+// stack. It drives pipes, SNs, and multi-edomain lab topologies through
+// the netsim fault classes — seeded reordering, duplication, single-bit
+// corruption, latency jitter, loss bursts, flapping partitions, and
+// progressive link degradation — and asserts the system's liveness and
+// integrity invariants:
+//
+//   - no corrupted payload ever reaches a pipe handler or service module
+//     (PSP authentication covers header and payload);
+//   - no datagram is ever double-delivered, even across a key rotation
+//     (per-epoch replay windows);
+//   - per-source packet order observed by handlers matches arrival order
+//     (sharded rx workers preserve it within a shard);
+//   - pipes torn down by dead-peer detection re-establish automatically
+//     once connectivity returns, with fresh key epochs;
+//   - the topology re-converges after scripted fault schedules end, with
+//     no goroutine leaks and bounded memory.
+//
+// Every run is reproducible: fault randomness comes from netsim's seeded
+// RNG (the suite pins a fixed seed set) and backoff jitter derives from
+// per-node address hashes.
+package chaos

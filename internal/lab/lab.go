@@ -41,6 +41,7 @@ type Topology struct {
 	edomains map[edomain.ID]*Edomain
 	hosts    []*host.Host
 	closers  []func() error
+	snEdits  []func(*sn.Config)
 }
 
 // Option configures a Topology.
@@ -55,6 +56,13 @@ func WithNetwork(n *netsim.Network) Option {
 // WithClock sets the clock handed to SNs and hosts.
 func WithClock(c clock.Clock) Option {
 	return func(t *Topology) { t.Clock = c }
+}
+
+// WithSNConfig applies a config edit to every SN the topology creates
+// (including those built by AddEdomain). The chaos suite uses it to turn
+// on pipe keepalives and tune handshake retry behavior fleet-wide.
+func WithSNConfig(edit func(*sn.Config)) Option {
+	return func(t *Topology) { t.snEdits = append(t.snEdits, edit) }
 }
 
 // New creates an empty topology.
@@ -91,6 +99,9 @@ func (t *Topology) NewSN(cfgEdit ...func(*sn.Config)) (*sn.SN, error) {
 		return nil, err
 	}
 	cfg := sn.Config{Transport: tr, Identity: id, Clock: t.Clock}
+	for _, e := range t.snEdits {
+		e(&cfg)
+	}
 	for _, e := range cfgEdit {
 		e(&cfg)
 	}

@@ -1,0 +1,163 @@
+package netsim
+
+import (
+	"interedge/internal/wire"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FaultProfile describes pathological behaviours injected on a directed
+// link, on top of the link's LinkProfile. All decisions draw from the
+// network's seeded RNG, so a fixed WithSeed makes the fault pattern
+// reproducible.
+type FaultProfile struct {
+	// ReorderRate in [0,1) holds individual datagrams back by an extra
+	// random delay in [ReorderDelayMin, ReorderDelayMax), letting datagrams
+	// sent later overtake them.
+	ReorderRate     float64
+	ReorderDelayMin time.Duration
+	ReorderDelayMax time.Duration
+	// DuplicateRate in [0,1) delivers a second, independent copy of the
+	// datagram.
+	DuplicateRate float64
+	// CorruptRate in [0,1) flips one random bit of the delivered payload
+	// copy (the sender's buffer is never touched).
+	CorruptRate float64
+	// JitterMax, when nonzero, adds a uniform random [0, JitterMax) to each
+	// datagram's one-way latency.
+	JitterMax time.Duration
+}
+
+// active reports whether any fault class is enabled.
+func (f FaultProfile) active() bool {
+	return f.ReorderRate > 0 || f.DuplicateRate > 0 || f.CorruptRate > 0 || f.JitterMax > 0
+}
+
+// SetDefaultFaults sets the fault profile applied to links with no explicit
+// fault profile.
+func (n *Network) SetDefaultFaults(f FaultProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defaultFaults = f
+}
+
+// SetFaults sets the fault profile of the directed link from→to.
+func (n *Network) SetFaults(from, to wire.Addr, f FaultProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults[linkKey{from, to}] = f
+}
+
+// SetFaultsBoth sets the fault profile in both directions.
+func (n *Network) SetFaultsBoth(a, b wire.Addr, f FaultProfile) {
+	n.SetFaults(a, b, f)
+	n.SetFaults(b, a, f)
+}
+
+// ClearFaults removes per-link fault profiles in both directions (the
+// default profile still applies).
+func (n *Network) ClearFaults(a, b wire.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.faults, linkKey{a, b})
+	delete(n.faults, linkKey{b, a})
+}
+
+// FaultEvent is one step of a scripted fault schedule: Do is applied to the
+// network once At has elapsed since Schedule was called.
+type FaultEvent struct {
+	At time.Duration
+	Do func(n *Network)
+}
+
+// Schedule plays a scripted fault sequence against the network, timed on
+// the network's own clock so a Manual clock drives it deterministically.
+// It returns a channel closed after the last event fires and a cancel
+// function that stops the remaining events.
+func (n *Network) Schedule(events []FaultEvent) (done <-chan struct{}, cancel func()) {
+	evs := append([]FaultEvent(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	// Register every timer synchronously, before returning: a Manual clock
+	// advanced right after Schedule returns must still fire the events.
+	timers := make([]<-chan time.Time, len(evs))
+	for i, ev := range evs {
+		if ev.At > 0 {
+			timers[i] = n.clk.After(ev.At)
+		}
+	}
+	d := make(chan struct{})
+	stop := make(chan struct{})
+	var once sync.Once
+	go func() {
+		defer close(d)
+		for i, ev := range evs {
+			// Check cancellation first so a cancel that raced a due timer
+			// reliably suppresses the remaining events.
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if timers[i] != nil {
+				select {
+				case <-timers[i]:
+				case <-stop:
+					return
+				}
+			}
+			ev.Do(n)
+		}
+	}()
+	return d, func() { once.Do(func() { close(stop) }) }
+}
+
+// FlapPartition builds a schedule that severs a↔b at start and then heals
+// and re-severs it every period, ending healed after flaps cycles.
+func FlapPartition(a, b wire.Addr, start, period time.Duration, flaps int) []FaultEvent {
+	var evs []FaultEvent
+	at := start
+	for i := 0; i < flaps; i++ {
+		evs = append(evs,
+			FaultEvent{At: at, Do: func(n *Network) { n.Partition(a, b) }},
+			FaultEvent{At: at + period, Do: func(n *Network) { n.Heal(a, b) }},
+		)
+		at += 2 * period
+	}
+	return evs
+}
+
+// LossBurst builds a schedule that raises a↔b loss to rate during
+// [start, start+dur), restoring the base profile afterwards.
+func LossBurst(a, b wire.Addr, base LinkProfile, rate float64, start, dur time.Duration) []FaultEvent {
+	burst := base
+	burst.LossRate = rate
+	return []FaultEvent{
+		{At: start, Do: func(n *Network) { n.SetLinkBoth(a, b, burst) }},
+		{At: start + dur, Do: func(n *Network) { n.SetLinkBoth(a, b, base) }},
+	}
+}
+
+// Degrade builds a schedule that walks the a↔b link from base to worst in
+// steps equal increments of latency and loss, one every interval starting
+// at start. The link is left in the worst state; append a restoring event
+// (or use LossBurst) to recover.
+func Degrade(a, b wire.Addr, base, worst LinkProfile, start, interval time.Duration, steps int) []FaultEvent {
+	if steps < 1 {
+		steps = 1
+	}
+	var evs []FaultEvent
+	for i := 1; i <= steps; i++ {
+		frac := float64(i) / float64(steps)
+		p := LinkProfile{
+			Latency:      base.Latency + time.Duration(frac*float64(worst.Latency-base.Latency)),
+			BandwidthBps: base.BandwidthBps + frac*(worst.BandwidthBps-base.BandwidthBps),
+			LossRate:     base.LossRate + frac*(worst.LossRate-base.LossRate),
+		}
+		evs = append(evs, FaultEvent{
+			At: start + time.Duration(i-1)*interval,
+			Do: func(n *Network) { n.SetLinkBoth(a, b, p) },
+		})
+	}
+	return evs
+}

@@ -6,6 +6,14 @@
 //     This is the testbed substitute for the paper's CloudLab/Fabric
 //     deployments: it exercises identical code above the Transport
 //     interface while remaining deterministic under test.
+//     Beyond the steady-state LinkProfile, per-link FaultProfiles inject
+//     hostile-substrate behaviour — seeded reordering (extra per-datagram
+//     delay), duplication, single-bit payload corruption, and latency
+//     jitter (see faults.go) — and scripted fault schedules replay
+//     flapping partitions, loss bursts, and progressive link degradation
+//     over simulated time (Schedule, FlapPartition, LossBurst, Degrade).
+//     All randomness comes from the WithSeed RNG and all timing from the
+//     WithClock clock, so chaos runs are reproducible.
 //   - UDP transport (udp.go): maps wire addresses onto real UDP sockets for
 //     cross-process deployments of the same nodes.
 //
@@ -86,16 +94,18 @@ func WithQueueDepth(d int) NetworkOption {
 
 // Network is the in-process datagram fabric.
 type Network struct {
-	mu         sync.RWMutex
-	clk        clock.Clock
-	rng        *rand.Rand
-	rngMu      sync.Mutex
-	queueDepth int
-	nodes      map[wire.Addr]*simTransport
-	links      map[linkKey]*linkState
-	defaults   LinkProfile
-	partitions map[linkKey]bool
-	stats      atomicStats
+	mu            sync.RWMutex
+	clk           clock.Clock
+	rng           *rand.Rand
+	rngMu         sync.Mutex
+	queueDepth    int
+	nodes         map[wire.Addr]*simTransport
+	links         map[linkKey]*linkState
+	defaults      LinkProfile
+	faults        map[linkKey]FaultProfile
+	defaultFaults FaultProfile
+	partitions    map[linkKey]bool
+	stats         atomicStats
 }
 
 type linkKey struct{ from, to wire.Addr }
@@ -114,6 +124,9 @@ type Stats struct {
 	DroppedQueue uint64
 	DroppedDead  uint64 // destination not attached
 	BytesSent    uint64
+	Duplicated   uint64 // extra copies injected by DuplicateRate
+	Reordered    uint64 // datagrams held back by ReorderRate
+	Corrupted    uint64 // delivered copies with an injected bit flip
 }
 
 // atomicStats holds the fabric counters as atomics so the per-packet send
@@ -125,6 +138,9 @@ type atomicStats struct {
 	droppedQueue atomic.Uint64
 	droppedDead  atomic.Uint64
 	bytesSent    atomic.Uint64
+	duplicated   atomic.Uint64
+	reordered    atomic.Uint64
+	corrupted    atomic.Uint64
 }
 
 func (a *atomicStats) snapshot() Stats {
@@ -135,6 +151,9 @@ func (a *atomicStats) snapshot() Stats {
 		DroppedQueue: a.droppedQueue.Load(),
 		DroppedDead:  a.droppedDead.Load(),
 		BytesSent:    a.bytesSent.Load(),
+		Duplicated:   a.duplicated.Load(),
+		Reordered:    a.reordered.Load(),
+		Corrupted:    a.corrupted.Load(),
 	}
 }
 
@@ -147,6 +166,7 @@ func NewNetwork(opts ...NetworkOption) *Network {
 		queueDepth: 4096,
 		nodes:      make(map[wire.Addr]*simTransport),
 		links:      make(map[linkKey]*linkState),
+		faults:     make(map[linkKey]FaultProfile),
 		partitions: make(map[linkKey]bool),
 	}
 	for _, o := range opts {
@@ -251,6 +271,10 @@ func (n *Network) send(dg wire.Datagram) error {
 	if link != nil {
 		profile = link.profile
 	}
+	faults := n.defaultFaults
+	if f, ok := n.faults[linkKey{dg.Src, dg.Dst}]; ok {
+		faults = f
+	}
 	n.mu.RUnlock()
 
 	if profile.LossRate > 0 {
@@ -281,15 +305,62 @@ func (n *Network) send(dg wire.Datagram) error {
 		}
 	}
 
-	// Copy the payload before handing it to the receiver: the Send
-	// contract lets the sender reuse its buffer as soon as we return, and
-	// the Receive contract gives the receiver sole ownership.
+	// Fault injection: all random draws happen here, under the shared RNG
+	// lock, so a fixed seed yields a reproducible fault pattern for a
+	// given send sequence.
+	var extra, dupExtra time.Duration
+	duplicate, corrupt := false, false
+	if faults.active() {
+		n.rngMu.Lock()
+		if faults.ReorderRate > 0 && n.rng.Float64() < faults.ReorderRate {
+			d := faults.ReorderDelayMin
+			if span := faults.ReorderDelayMax - faults.ReorderDelayMin; span > 0 {
+				d += time.Duration(n.rng.Int63n(int64(span)))
+			}
+			extra += d
+			n.stats.reordered.Add(1)
+		}
+		if faults.JitterMax > 0 {
+			extra += time.Duration(n.rng.Int63n(int64(faults.JitterMax)))
+		}
+		if faults.DuplicateRate > 0 && n.rng.Float64() < faults.DuplicateRate {
+			duplicate = true
+			if faults.JitterMax > 0 {
+				dupExtra = time.Duration(n.rng.Int63n(int64(faults.JitterMax)))
+			}
+		}
+		if faults.CorruptRate > 0 && n.rng.Float64() < faults.CorruptRate {
+			corrupt = true
+		}
+		n.rngMu.Unlock()
+	}
+
+	n.transmit(dst, dg, delay+extra, corrupt)
+	if duplicate {
+		n.stats.duplicated.Add(1)
+		n.transmit(dst, dg, delay+dupExtra, false)
+	}
+	return nil
+}
+
+// transmit copies the payload (the Send contract lets the sender reuse its
+// buffer as soon as Send returns, and the Receive contract gives the
+// receiver sole ownership), optionally flips one bit of the copy, and
+// delivers it after delay.
+func (n *Network) transmit(dst *simTransport, dg wire.Datagram, delay time.Duration, corrupt bool) {
 	cp := dg
 	cp.Payload = append([]byte(nil), dg.Payload...)
-
+	if corrupt && len(cp.Payload) > 0 {
+		n.rngMu.Lock()
+		i := n.rng.Intn(len(cp.Payload))
+		bit := byte(1) << n.rng.Intn(8)
+		n.rngMu.Unlock()
+		cp.Payload[i] ^= bit
+		n.stats.corrupted.Add(1)
+	}
 	if delay <= 0 {
 		n.deliver(dst, cp)
-		return nil
+		return
 	}
 	// Register the timer synchronously so that a Manual clock advanced
 	// right after Send returns still fires this delivery.
@@ -298,7 +369,6 @@ func (n *Network) send(dg wire.Datagram) error {
 		<-timer
 		n.deliver(dst, cp)
 	}()
-	return nil
 }
 
 func (n *Network) deliver(dst *simTransport, dg wire.Datagram) {

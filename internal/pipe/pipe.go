@@ -23,6 +23,7 @@ import (
 	"crypto/ed25519"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,11 @@ type AuthorizePeer func(addr wire.Addr, identity ed25519.PublicKey) bool
 // PeerUpHandler is notified when a pipe becomes established.
 type PeerUpHandler func(addr wire.Addr, identity ed25519.PublicKey)
 
+// PeerDownHandler is notified when dead-peer detection tears a pipe down
+// (no authenticated traffic within DeadAfter despite keepalive probes).
+// It runs on the keepalive goroutine; implementations must not block.
+type PeerDownHandler func(addr wire.Addr, identity ed25519.PublicKey)
+
 // Errors returned by the Manager.
 var (
 	ErrNoPipe           = errors.New("pipe: no established pipe to destination")
@@ -72,12 +78,36 @@ type Config struct {
 	Authorize AuthorizePeer
 	// OnPeerUp is optional.
 	OnPeerUp PeerUpHandler
-	// HandshakeTimeout is the per-attempt retransmission interval
-	// (default 250ms).
+	// OnPeerDown is notified when dead-peer detection removes a pipe.
+	// Optional; only fires when KeepaliveInterval > 0.
+	OnPeerDown PeerDownHandler
+	// HandshakeTimeout is the retransmission interval of the FIRST msg1
+	// attempt (default 250ms). Subsequent attempts back off exponentially
+	// with jitter, capped at HandshakeBackoffMax.
 	HandshakeTimeout time.Duration
+	// HandshakeBackoffMax caps the per-attempt backoff (default
+	// 8×HandshakeTimeout).
+	HandshakeBackoffMax time.Duration
 	// HandshakeRetries is the number of msg1 transmissions before giving
 	// up (default 5).
 	HandshakeRetries int
+	// KeepaliveInterval, when nonzero, enables pipe liveness: a sealed
+	// probe is sent on any pipe idle longer than the interval, and a pipe
+	// with no authenticated inbound traffic for DeadAfter is torn down
+	// (OnPeerDown fires, and with Reestablish set a fresh handshake is
+	// attempted automatically).
+	KeepaliveInterval time.Duration
+	// DeadAfter is the idle window after which a peer is declared dead
+	// (default 4×KeepaliveInterval).
+	DeadAfter time.Duration
+	// Reestablish re-handshakes dead peers automatically with capped
+	// exponential backoff until the pipe is back or the manager closes.
+	// The new pipe has a fresh master secret, so its key epochs restart.
+	Reestablish bool
+	// JitterSeed seeds the backoff-jitter RNG; 0 derives a per-node seed
+	// from the local address, keeping simulations deterministic while
+	// decorrelating retry times across nodes.
+	JitterSeed int64
 	// RxWorkers is the number of receive-pipeline workers inbound
 	// datagrams are sharded onto by source address (default GOMAXPROCS).
 	// With 1 worker every packet is processed inline on the receive
@@ -106,6 +136,9 @@ type peer struct {
 	rxPackets atomic.Uint64
 	txBytes   atomic.Uint64
 	rxBytes   atomic.Uint64
+	// lastRx is the UnixNano timestamp of the last authenticated inbound
+	// packet; keepalive liveness is judged against it.
+	lastRx atomic.Int64
 }
 
 type pendingConn struct {
@@ -130,6 +163,16 @@ type sealBuf struct {
 // NIC would) rather than reordering or dropping here.
 const rxWorkerQueueDepth = 512
 
+// Stats aggregates manager-wide pipe metrics.
+type Stats struct {
+	HandshakeAttempts uint64 // msg1 transmissions, including retries
+	HandshakeFailures uint64 // Connect calls that exhausted their retries
+	KeepalivesSent    uint64 // liveness probes transmitted
+	KeepalivesRcvd    uint64 // probes answered for peers
+	PeersLost         uint64 // pipes torn down by dead-peer detection
+	Reestablished     uint64 // automatic re-handshakes that succeeded
+}
+
 // Manager owns all pipes of one node.
 type Manager struct {
 	cfg   Config
@@ -137,12 +180,23 @@ type Manager struct {
 
 	peers atomic.Pointer[peerMap]
 
-	mu      sync.Mutex // guards pending, closed, and peer-map writes
-	pending map[wire.Addr]*pendingConn
-	closed  bool
+	mu        sync.Mutex // guards pending, redialing, closed, and peer-map writes
+	pending   map[wire.Addr]*pendingConn
+	redialing map[wire.Addr]bool
+	closed    bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // backoff jitter
 
 	workers  []chan wire.Datagram
 	sealBufs sync.Pool
+
+	handshakeAttempts atomic.Uint64
+	handshakeFailures atomic.Uint64
+	keepalivesSent    atomic.Uint64
+	keepalivesRcvd    atomic.Uint64
+	peersLost         atomic.Uint64
+	reestablished     atomic.Uint64
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -162,8 +216,14 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.HandshakeTimeout == 0 {
 		cfg.HandshakeTimeout = 250 * time.Millisecond
 	}
+	if cfg.HandshakeBackoffMax == 0 {
+		cfg.HandshakeBackoffMax = 8 * cfg.HandshakeTimeout
+	}
 	if cfg.HandshakeRetries == 0 {
 		cfg.HandshakeRetries = 5
+	}
+	if cfg.DeadAfter == 0 {
+		cfg.DeadAfter = 4 * cfg.KeepaliveInterval
 	}
 	if cfg.RxWorkers == 0 {
 		cfg.RxWorkers = runtime.GOMAXPROCS(0)
@@ -171,11 +231,24 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.RxWorkers < 1 {
 		cfg.RxWorkers = 1
 	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		// Derive a deterministic per-node seed so retry jitter is
+		// reproducible in simulation yet decorrelated across nodes.
+		b := cfg.Transport.LocalAddr().As16()
+		h := uint64(14695981039346656037)
+		for _, c := range b {
+			h = (h ^ uint64(c)) * 1099511628211
+		}
+		seed = int64(h)
+	}
 	m := &Manager{
-		cfg:     cfg,
-		local:   cfg.Transport.LocalAddr(),
-		pending: make(map[wire.Addr]*pendingConn),
-		done:    make(chan struct{}),
+		cfg:       cfg,
+		local:     cfg.Transport.LocalAddr(),
+		pending:   make(map[wire.Addr]*pendingConn),
+		redialing: make(map[wire.Addr]bool),
+		rng:       rand.New(rand.NewSource(seed)),
+		done:      make(chan struct{}),
 	}
 	empty := make(peerMap)
 	m.peers.Store(&empty)
@@ -191,6 +264,10 @@ func New(cfg Config) (*Manager, error) {
 	}
 	m.wg.Add(1)
 	go m.receiveLoop()
+	if cfg.KeepaliveInterval > 0 {
+		m.wg.Add(1)
+		go m.keepaliveLoop()
+	}
 	return m, nil
 }
 
@@ -338,6 +415,7 @@ func (m *Manager) establish(addr wire.Addr, res *handshake.Result) {
 		crypto:   crypto,
 		up:       m.cfg.Clock.Now(),
 	}
+	p.lastRx.Store(p.up.UnixNano())
 	m.mu.Lock()
 	m.setPeer(addr, p)
 	if pc, ok := m.pending[addr]; ok {
@@ -361,12 +439,163 @@ func (m *Manager) handleILP(src wire.Addr, body []byte, scratch *psp.Scratch) {
 	}
 	p.rxPackets.Add(1)
 	p.rxBytes.Add(uint64(len(body)))
+	if m.cfg.KeepaliveInterval > 0 {
+		p.lastRx.Store(m.cfg.Clock.Now().UnixNano())
+	}
 	var hdr wire.ILPHeader
 	if _, err := hdr.DecodeFromBytes(hdrBytes); err != nil {
 		return
 	}
+	switch hdr.Service {
+	case wire.SvcPipeProbe:
+		// Liveness probe: answer through the pipe so the ack proves we
+		// still hold the keys. Never dispatched to the handler.
+		m.keepalivesRcvd.Add(1)
+		ack := wire.ILPHeader{Service: wire.SvcPipeProbeAck, Conn: hdr.Conn}
+		_ = m.Send(src, &ack, nil)
+		return
+	case wire.SvcPipeProbeAck:
+		return // lastRx already refreshed above
+	}
 	if m.cfg.Handler != nil {
 		m.cfg.Handler(src, hdr, hdrBytes, payload)
+	}
+}
+
+// keepaliveLoop probes idle pipes and tears down dead ones. It ticks at
+// half the keepalive interval on the configured clock, so a Manual clock
+// drives liveness deterministically in tests.
+func (m *Manager) keepaliveLoop() {
+	defer m.wg.Done()
+	tick := m.cfg.KeepaliveInterval / 2
+	if tick <= 0 {
+		tick = m.cfg.KeepaliveInterval
+	}
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-m.cfg.Clock.After(tick):
+		}
+		now := m.cfg.Clock.Now()
+		for addr, p := range *m.peers.Load() {
+			idle := now.Sub(time.Unix(0, p.lastRx.Load()))
+			switch {
+			case idle >= m.cfg.DeadAfter:
+				m.peerDead(addr, p)
+			case idle >= m.cfg.KeepaliveInterval:
+				m.keepalivesSent.Add(1)
+				probe := wire.ILPHeader{Service: wire.SvcPipeProbe}
+				_ = m.Send(addr, &probe, nil)
+			}
+		}
+	}
+}
+
+// peerDead removes a pipe that failed liveness, notifies OnPeerDown, and
+// (when configured) starts the automatic re-establishment loop.
+func (m *Manager) peerDead(addr wire.Addr, p *peer) {
+	m.mu.Lock()
+	if m.peer(addr) != p {
+		// Already replaced or removed by a concurrent path.
+		m.mu.Unlock()
+		return
+	}
+	m.setPeer(addr, nil)
+	m.mu.Unlock()
+	m.peersLost.Add(1)
+	if m.cfg.OnPeerDown != nil {
+		m.cfg.OnPeerDown(addr, p.identity)
+	}
+	if m.cfg.Reestablish {
+		m.reestablishAsync(addr)
+	}
+}
+
+// reestablishAsync starts (at most one) background re-handshake loop for
+// addr.
+func (m *Manager) reestablishAsync(addr wire.Addr) {
+	m.mu.Lock()
+	if m.closed || m.redialing[addr] {
+		m.mu.Unlock()
+		return
+	}
+	m.redialing[addr] = true
+	m.wg.Add(1)
+	m.mu.Unlock()
+	go m.reestablish(addr)
+}
+
+// reestablish re-handshakes addr with capped exponential backoff between
+// rounds until the pipe is up (by any path) or the manager closes. The
+// fresh handshake derives a new master secret, so the re-established
+// pipe's key epochs restart from zero.
+func (m *Manager) reestablish(addr wire.Addr) {
+	defer m.wg.Done()
+	defer func() {
+		m.mu.Lock()
+		delete(m.redialing, addr)
+		m.mu.Unlock()
+	}()
+	for round := 0; ; round++ {
+		if m.HasPeer(addr) {
+			m.reestablished.Add(1)
+			return
+		}
+		err := m.Connect(addr)
+		if err == nil {
+			m.reestablished.Add(1)
+			return
+		}
+		if errors.Is(err, ErrManagerClosed) {
+			return
+		}
+		// Each Connect already retried with backoff; wait a further
+		// jittered max-backoff round before trying again so a long
+		// partition doesn't turn into a handshake flood.
+		select {
+		case <-m.cfg.Clock.After(m.jitter(m.cfg.HandshakeBackoffMax)):
+		case <-m.done:
+			return
+		}
+	}
+}
+
+// backoff returns the jittered wait after handshake attempt number
+// attempt (0-based): HandshakeTimeout doubled per attempt, capped at
+// HandshakeBackoffMax, then jittered to [d/2, d).
+func (m *Manager) backoff(attempt int) time.Duration {
+	d := m.cfg.HandshakeTimeout
+	for i := 0; i < attempt && d < m.cfg.HandshakeBackoffMax; i++ {
+		d *= 2
+	}
+	if d > m.cfg.HandshakeBackoffMax {
+		d = m.cfg.HandshakeBackoffMax
+	}
+	return m.jitter(d)
+}
+
+// jitter maps d onto a uniformly random duration in [d/2, d).
+func (m *Manager) jitter(d time.Duration) time.Duration {
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	m.rngMu.Lock()
+	j := time.Duration(m.rng.Int63n(int64(half)))
+	m.rngMu.Unlock()
+	return half + j
+}
+
+// Stats returns a snapshot of manager-wide pipe metrics.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		HandshakeAttempts: m.handshakeAttempts.Load(),
+		HandshakeFailures: m.handshakeFailures.Load(),
+		KeepalivesSent:    m.keepalivesSent.Load(),
+		KeepalivesRcvd:    m.keepalivesRcvd.Load(),
+		PeersLost:         m.peersLost.Load(),
+		Reestablished:     m.reestablished.Load(),
 	}
 }
 
@@ -398,6 +627,7 @@ func (m *Manager) Connect(addr wire.Addr) error {
 
 	msg1 := append([]byte{byte(wire.FrameHandshake1)}, hs.Msg1()...)
 	for attempt := 0; attempt < m.cfg.HandshakeRetries; attempt++ {
+		m.handshakeAttempts.Add(1)
 		if err := m.cfg.Transport.Send(wire.Datagram{Dst: addr, Payload: msg1}); err != nil {
 			// Keep retrying: the peer may attach shortly (e.g. SN restart).
 			if errors.Is(err, netsim.ErrClosed) {
@@ -405,16 +635,22 @@ func (m *Manager) Connect(addr wire.Addr) error {
 				return err
 			}
 		}
+		// Exponential backoff with jitter between retransmissions, so a
+		// crowd of nodes re-dialing a recovered peer doesn't synchronize
+		// into repeated handshake bursts.
 		select {
 		case <-pc.done:
 			return pc.err
-		case <-m.cfg.Clock.After(m.cfg.HandshakeTimeout):
+		case <-m.cfg.Clock.After(m.backoff(attempt)):
 		case <-m.done:
 			m.failPending(addr, pc, ErrManagerClosed)
 			return ErrManagerClosed
 		}
 	}
 	m.failPending(addr, pc, ErrHandshakeTimeout)
+	if pc.err != nil {
+		m.handshakeFailures.Add(1)
+	}
 	return pc.err
 }
 

@@ -300,13 +300,19 @@ func (r *RX) SetReplayCheck(on bool) {
 	r.replayCheck = on
 }
 
+// aeadForEpoch returns the AEAD and replay window for an already-tracked
+// epoch, or derives a tentative AEAD (win == nil) for an acceptable but
+// unseen one — any newer epoch (the sender may have rotated several times
+// before sending) or the immediately previous epoch; anything older is
+// rejected. It never mutates receiver state: the epoch cache, the windows,
+// and the sliding current epoch are only touched by commitEpoch AFTER the
+// packet authenticates. Committing on first sight would let a single
+// corrupted or forged SPI byte advance the epoch and evict the live keys,
+// permanently killing the pipe.
 func (r *RX) aeadForEpoch(epoch uint32) (cipher.AEAD, *replayWindow, error) {
 	if aead, ok := r.aeads[epoch]; ok {
 		return aead, r.windows[epoch], nil
 	}
-	// Accept any newer epoch on first sight (the sender may have rotated
-	// several times before sending) and the immediately previous epoch;
-	// reject anything older.
 	if epoch+1 < r.epoch {
 		return nil, nil, ErrBadEpoch
 	}
@@ -314,11 +320,22 @@ func (r *RX) aeadForEpoch(epoch uint32) (cipher.AEAD, *replayWindow, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	return aead, nil, nil
+}
+
+// commitEpoch records an authenticated packet's epoch: caches its key,
+// creates its replay window, advances the current epoch, and drops epochs
+// older than the previous one. Idempotent (concurrent opens of the same
+// new epoch both commit). Must be called with r.mu held.
+func (r *RX) commitEpoch(epoch uint32, aead cipher.AEAD) *replayWindow {
+	if w, ok := r.windows[epoch]; ok {
+		return w
+	}
 	r.aeads[epoch] = aead
-	r.windows[epoch] = &replayWindow{}
+	w := &replayWindow{}
+	r.windows[epoch] = w
 	if epoch > r.epoch {
 		r.epoch = epoch
-		// Drop epochs older than previous.
 		for e := range r.aeads {
 			if e+1 < epoch {
 				delete(r.aeads, e)
@@ -326,7 +343,7 @@ func (r *RX) aeadForEpoch(epoch uint32) (cipher.AEAD, *replayWindow, error) {
 			}
 		}
 	}
-	return aead, r.windows[epoch], nil
+	return w
 }
 
 // Open parses and authenticates a sealed packet, returning the decrypted
@@ -378,7 +395,9 @@ func (r *RX) OpenScratch(s *Scratch, packet []byte) (hdrPlain, payload []byte, e
 		r.mu.Unlock()
 		return nil, nil, aerr
 	}
-	if r.replayCheck {
+	// win is nil for a not-yet-committed epoch (no replays possible yet);
+	// the authoritative check happens after authentication in any case.
+	if r.replayCheck && win != nil {
 		if rerr := win.check(ph.IV); rerr != nil {
 			r.mu.Unlock()
 			return nil, nil, rerr
@@ -396,8 +415,9 @@ func (r *RX) OpenScratch(s *Scratch, packet []byte) (hdrPlain, payload []byte, e
 	}
 	s.hdr = hdrPlain
 
+	r.mu.Lock()
+	win = r.commitEpoch(epoch, aead)
 	if r.replayCheck {
-		r.mu.Lock()
 		// Re-validate under lock: a concurrent Open of the same IV may have
 		// won the race between check and mark.
 		if rerr := win.check(ph.IV); rerr != nil {
@@ -405,8 +425,8 @@ func (r *RX) OpenScratch(s *Scratch, packet []byte) (hdrPlain, payload []byte, e
 			return nil, nil, rerr
 		}
 		win.mark(ph.IV)
-		r.mu.Unlock()
 	}
+	r.mu.Unlock()
 	return hdrPlain, payload, nil
 }
 

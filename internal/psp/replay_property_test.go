@@ -1,0 +1,188 @@
+package psp
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"interedge/internal/cryptutil"
+)
+
+// TestDuplicatesNeverDoubleDeliver is the property behind the chaos
+// suite's no-double-delivery guarantee: however a hostile substrate
+// duplicates and locally reorders packets — including across a key
+// rotation — the replay window lets each sealed packet authenticate at
+// most once, so a pipe handler can never observe the same packet twice.
+func TestDuplicatesNeverDoubleDeliver(t *testing.T) {
+	var master cryptutil.Key
+	for i := range master {
+		master[i] = byte(i)
+	}
+	const baseSPI = 0xBEEF00
+	tx, err := NewTX(master, DirInitiatorToResponder, baseSPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same direction on both ends: this test exercises the replay window,
+	// not the handshake's direction split.
+	rx, err := NewRX(master, DirInitiatorToResponder, baseSPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		packets      = 1000
+		rotateEvery  = 300 // rekey three times mid-stream
+		shuffleSpan  = 32  // local reorder, well inside the replay window
+		duplicateFan = 3   // every packet delivered three times
+	)
+	type sealed struct {
+		id  uint64
+		pkt []byte
+	}
+	stream := make([]sealed, 0, packets)
+	hdr := make([]byte, 8)
+	for i := 0; i < packets; i++ {
+		if i > 0 && i%rotateEvery == 0 {
+			if err := tx.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		binary.BigEndian.PutUint64(hdr, uint64(i))
+		pkt, err := tx.Seal(nil, hdr, []byte("body"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, sealed{id: uint64(i), pkt: pkt})
+	}
+
+	// Delivery schedule: every packet duplicateFan times, then a bounded
+	// local shuffle (deterministic seed) so duplicates and originals
+	// interleave out of order but never drift past a whole epoch.
+	schedule := make([]sealed, 0, packets*duplicateFan)
+	for _, s := range stream {
+		for c := 0; c < duplicateFan; c++ {
+			schedule = append(schedule, s)
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := range schedule {
+		lo := i - shuffleSpan
+		if lo < 0 {
+			lo = 0
+		}
+		j := lo + rng.Intn(i-lo+1)
+		schedule[i], schedule[j] = schedule[j], schedule[i]
+	}
+
+	delivered := make(map[uint64]int, packets)
+	for _, s := range schedule {
+		gotHdr, _, err := rx.Open(s.pkt)
+		if err != nil {
+			if err != ErrReplay {
+				t.Fatalf("packet %d: unexpected error %v", s.id, err)
+			}
+			continue
+		}
+		id := binary.BigEndian.Uint64(gotHdr)
+		if id != s.id {
+			t.Fatalf("packet %d authenticated as %d", s.id, id)
+		}
+		delivered[id]++
+	}
+	for id, n := range delivered {
+		if n != 1 {
+			t.Fatalf("packet %d delivered %d times", id, n)
+		}
+	}
+	if len(delivered) != packets {
+		t.Fatalf("delivered %d distinct packets, want %d", len(delivered), packets)
+	}
+}
+
+// TestCorruptEpochByteDoesNotKillPipe pins a hardening fix the chaos suite
+// flushed out: a packet whose SPI epoch byte was corrupted (or forged) must
+// not advance the receiver's epoch state — that happened pre-auth once, so
+// one flipped bit evicted the live epoch's keys and every later genuine
+// packet was rejected with ErrBadEpoch, permanently killing the pipe.
+func TestCorruptEpochByteDoesNotKillPipe(t *testing.T) {
+	var master cryptutil.Key
+	for i := range master {
+		master[i] = byte(i * 3)
+	}
+	const baseSPI = 0xABCD00
+	tx, err := NewTX(master, DirInitiatorToResponder, baseSPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewRX(master, DirInitiatorToResponder, baseSPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seal := func(i int) []byte {
+		pkt, err := tx.Seal(nil, []byte{byte(i)}, []byte("body"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pkt
+	}
+	if _, _, err := rx.Open(seal(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the SPI's epoch byte (packet byte 3) to claim a far-future
+	// epoch. Authentication must fail — and nothing else may change.
+	evil := seal(1)
+	evil[3] ^= 0x40
+	if _, _, err := rx.Open(evil); err == nil {
+		t.Fatal("corrupted packet authenticated")
+	}
+	// Genuine epoch-0 traffic must still flow.
+	for i := 2; i < 10; i++ {
+		if _, _, err := rx.Open(seal(i)); err != nil {
+			t.Fatalf("genuine packet %d after corrupt-epoch packet: %v", i, err)
+		}
+	}
+	// And a real rotation must still be accepted.
+	if err := tx.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rx.Open(seal(10)); err != nil {
+		t.Fatalf("post-rotate packet: %v", err)
+	}
+}
+
+// TestReplayAcrossRekeyRejected pins the narrower guarantee: a packet
+// from epoch e, already delivered, must still be rejected when replayed
+// after the sender rekeys to e+1 — each epoch keeps its own window.
+func TestReplayAcrossRekeyRejected(t *testing.T) {
+	var master cryptutil.Key
+	tx, err := NewTX(master, DirInitiatorToResponder, 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewRX(master, DirInitiatorToResponder, 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := tx.Seal(nil, []byte("h0"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rx.Open(old); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := tx.Seal(nil, []byte("h1"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rx.Open(fresh); err != nil {
+		t.Fatal(err)
+	}
+	// The receiver now tracks epoch 1 but must remember epoch 0's window.
+	if _, _, err := rx.Open(old); err != ErrReplay {
+		t.Fatalf("replay across rekey: err = %v, want ErrReplay", err)
+	}
+}

@@ -277,6 +277,26 @@ func (c *Cache) InvalidateSource(src wire.Addr) {
 	}
 }
 
+// InvalidateDest removes all entries whose cached action forwards to dst
+// (used when the pipe to a next hop dies: the stale route must fall back
+// to the slow path so the module can re-decide it once the pipe — with
+// fresh keys and epochs — is re-established).
+func (c *Cache) InvalidateDest(dst wire.Addr) {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for key, i := range s.index {
+			for _, fwd := range s.slots[i].action.Forward {
+				if fwd == dst {
+					delete(s.index, key)
+					s.slots[i] = entry{}
+					break
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
 // HitCount returns the entry's hit counter — the Appendix B.2 API
 // ("retrieving the hit-count for an entry") services use to learn whether
 // a connection is still active.

@@ -52,6 +52,21 @@ type Config struct {
 	// HandshakeTimeout/Retries tune pipe establishment (see pipe.Config).
 	HandshakeTimeout time.Duration
 	HandshakeRetries int
+	// KeepaliveInterval enables pipe liveness probes with dead-peer
+	// detection (see pipe.Config.KeepaliveInterval); 0 disables them.
+	// When a peer dies, every decision-cache entry sourced from it or
+	// forwarding to it is invalidated, and (unless DisableAutoConnect)
+	// the pipe is re-established automatically with a fresh key epoch.
+	KeepaliveInterval time.Duration
+	// DeadAfter is the idle window before a peer is declared dead
+	// (default 4×KeepaliveInterval).
+	DeadAfter time.Duration
+	// OnPeerDown is notified after dead-peer cache invalidation. Optional.
+	OnPeerDown pipe.PeerDownHandler
+	// RequeueDepth bounds the per-destination queue of forwarded packets
+	// held while a pipe (re-)establishes instead of dropping them
+	// (default 1024).
+	RequeueDepth int
 }
 
 // Counters aggregates SN data-path statistics.
@@ -66,6 +81,9 @@ type Counters struct {
 	Delivered     uint64 // packets handed to OnDeliver
 	ForwardErrors uint64 // forwarding failures (no pipe, send error)
 	ModuleErrors  uint64 // module invocations that returned an error
+	Requeued      uint64 // forwards held while a pipe (re-)establishes
+	RequeueDrops  uint64 // forwards dropped: requeue bound reached
+	PeersLost     uint64 // pipes torn down by dead-peer detection
 }
 
 type registeredModule struct {
@@ -113,7 +131,11 @@ type SN struct {
 	modules     map[wire.ServiceID]*registeredModule
 	configStore map[string][]byte
 	checkpoints map[string][]byte
-	closed      bool
+	// pendingSends holds forwards awaiting a pipe, per destination;
+	// dialing marks destinations with an establish-and-flush goroutine.
+	pendingSends map[wire.Addr][]queuedSend
+	dialing      map[wire.Addr]bool
+	closed       bool
 
 	rxPackets     atomic.Uint64
 	fastPathHits  atomic.Uint64
@@ -124,6 +146,16 @@ type SN struct {
 	delivered     atomic.Uint64
 	forwardErrors atomic.Uint64
 	moduleErrors  atomic.Uint64
+	requeued      atomic.Uint64
+	requeueDrops  atomic.Uint64
+	peersLost     atomic.Uint64
+}
+
+// queuedSend is one forward held back while its destination pipe
+// (re-)establishes.
+type queuedSend struct {
+	hdr     []byte
+	payload []byte
 }
 
 // New creates and starts a service node.
@@ -147,13 +179,18 @@ func New(cfg Config) (*SN, error) {
 		}
 		cfg.TPM = t
 	}
+	if cfg.RequeueDepth == 0 {
+		cfg.RequeueDepth = 1024
+	}
 	s := &SN{
-		cfg:         cfg,
-		cache:       cache.New(cfg.CacheSize),
-		tpm:         cfg.TPM,
-		modules:     make(map[wire.ServiceID]*registeredModule),
-		configStore: make(map[string][]byte),
-		checkpoints: make(map[string][]byte),
+		cfg:          cfg,
+		cache:        cache.New(cfg.CacheSize),
+		tpm:          cfg.TPM,
+		modules:      make(map[wire.ServiceID]*registeredModule),
+		configStore:  make(map[string][]byte),
+		checkpoints:  make(map[string][]byte),
+		pendingSends: make(map[wire.Addr][]queuedSend),
+		dialing:      make(map[wire.Addr]bool),
 	}
 	if cfg.EnclaveTerminus {
 		encl, err := enclave.New("pipe-terminus", "1.0", cfg.TPM)
@@ -163,14 +200,18 @@ func New(cfg Config) (*SN, error) {
 		s.terminusEnclave = encl
 	}
 	mgr, err := pipe.New(pipe.Config{
-		Transport:        cfg.Transport,
-		Identity:         cfg.Identity,
-		Clock:            cfg.Clock,
-		Handler:          s.handlePacket,
-		Authorize:        cfg.Authorize,
-		HandshakeTimeout: cfg.HandshakeTimeout,
-		HandshakeRetries: cfg.HandshakeRetries,
-		RxWorkers:        cfg.RxWorkers,
+		Transport:         cfg.Transport,
+		Identity:          cfg.Identity,
+		Clock:             cfg.Clock,
+		Handler:           s.handlePacket,
+		Authorize:         cfg.Authorize,
+		HandshakeTimeout:  cfg.HandshakeTimeout,
+		HandshakeRetries:  cfg.HandshakeRetries,
+		RxWorkers:         cfg.RxWorkers,
+		KeepaliveInterval: cfg.KeepaliveInterval,
+		DeadAfter:         cfg.DeadAfter,
+		Reestablish:       cfg.KeepaliveInterval > 0 && !cfg.DisableAutoConnect,
+		OnPeerDown:        s.onPeerDown,
 	})
 	if err != nil {
 		return nil, err
@@ -216,6 +257,9 @@ func (s *SN) Counters() Counters {
 		Delivered:     s.delivered.Load(),
 		ForwardErrors: s.forwardErrors.Load(),
 		ModuleErrors:  s.moduleErrors.Load(),
+		Requeued:      s.requeued.Load(),
+		RequeueDrops:  s.requeueDrops.Load(),
+		PeersLost:     s.peersLost.Load(),
 	}
 }
 
@@ -441,30 +485,30 @@ func (s *SN) applyDecision(pkt *Packet, d *Decision) {
 	}
 }
 
+// onPeerDown reacts to dead-peer detection: every cached decision sourced
+// from the dead peer or forwarding through it is invalidated, so those
+// flows fall back to the slow path and are re-decided against the
+// re-established pipe (which carries a fresh master secret and epoch).
+func (s *SN) onPeerDown(addr wire.Addr, identity ed25519.PublicKey) {
+	s.peersLost.Add(1)
+	s.cache.InvalidateSource(addr)
+	s.cache.InvalidateDest(addr)
+	s.cfg.Logf("sn %s: pipe to %s died; decision cache invalidated for it", s.Addr(), addr)
+	if s.cfg.OnPeerDown != nil {
+		s.cfg.OnPeerDown(addr, identity)
+	}
+}
+
 // sendHeaderBytes forwards one packet copy, optionally establishing the
-// pipe on demand. The on-demand connect runs asynchronously: this method
-// is called from the pipe-terminus receive loop, and a blocking handshake
-// there would deadlock (the handshake reply arrives on that same loop).
+// pipe on demand. When no pipe exists the packet is requeued (bounded per
+// destination) rather than dropped, and a single establish-and-flush
+// goroutine per destination performs the handshake: this method is called
+// from the pipe-terminus receive loop, and a blocking handshake there
+// would deadlock (the handshake reply arrives on that same loop).
 func (s *SN) sendHeaderBytes(dst wire.Addr, hdrBytes, payload []byte) {
 	err := s.mgr.SendHeaderBytes(dst, hdrBytes, payload)
 	if errors.Is(err, pipe.ErrNoPipe) && !s.cfg.DisableAutoConnect {
-		// The async retry outlives this call, but hdrBytes may alias the rx
-		// worker's scratch buffer — snapshot both before handing off.
-		hdrBytes = append([]byte(nil), hdrBytes...)
-		payload = append([]byte(nil), payload...)
-		go func() {
-			if cerr := s.mgr.Connect(dst); cerr != nil {
-				s.forwardErrors.Add(1)
-				s.cfg.Logf("sn %s: connect to %s failed: %v", s.Addr(), dst, cerr)
-				return
-			}
-			if serr := s.mgr.SendHeaderBytes(dst, hdrBytes, payload); serr != nil {
-				s.forwardErrors.Add(1)
-				s.cfg.Logf("sn %s: forward to %s failed: %v", s.Addr(), dst, serr)
-				return
-			}
-			s.forwarded.Add(1)
-		}()
+		s.requeue(dst, hdrBytes, payload)
 		return
 	}
 	if err != nil {
@@ -473,6 +517,69 @@ func (s *SN) sendHeaderBytes(dst wire.Addr, hdrBytes, payload []byte) {
 		return
 	}
 	s.forwarded.Add(1)
+}
+
+// requeue holds one forward while dst's pipe (re-)establishes. hdrBytes
+// may alias the rx worker's scratch buffer, so both buffers are
+// snapshotted before the packet outlives the call.
+func (s *SN) requeue(dst wire.Addr, hdrBytes, payload []byte) {
+	q := queuedSend{
+		hdr:     append([]byte(nil), hdrBytes...),
+		payload: append([]byte(nil), payload...),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.forwardErrors.Add(1)
+		return
+	}
+	if len(s.pendingSends[dst]) >= s.cfg.RequeueDepth {
+		s.mu.Unlock()
+		s.requeueDrops.Add(1)
+		return
+	}
+	s.pendingSends[dst] = append(s.pendingSends[dst], q)
+	spawn := !s.dialing[dst]
+	if spawn {
+		s.dialing[dst] = true
+	}
+	s.mu.Unlock()
+	s.requeued.Add(1)
+	if spawn {
+		go s.establishAndFlush(dst)
+	}
+}
+
+// establishAndFlush connects to dst (the pipe manager applies handshake
+// backoff) and drains the destination's requeued forwards, including any
+// that arrived while flushing.
+func (s *SN) establishAndFlush(dst wire.Addr) {
+	err := s.mgr.Connect(dst)
+	if err != nil {
+		s.cfg.Logf("sn %s: connect to %s failed: %v", s.Addr(), dst, err)
+	}
+	for {
+		s.mu.Lock()
+		q := s.pendingSends[dst]
+		delete(s.pendingSends, dst)
+		if len(q) == 0 {
+			delete(s.dialing, dst)
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		for _, p := range q {
+			if err != nil {
+				s.forwardErrors.Add(1)
+				continue
+			}
+			if serr := s.mgr.SendHeaderBytes(dst, p.hdr, p.payload); serr != nil {
+				s.forwardErrors.Add(1)
+			} else {
+				s.forwarded.Add(1)
+			}
+		}
+	}
 }
 
 // handleControl serves the out-of-band control protocol: a JSON request

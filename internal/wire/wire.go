@@ -59,6 +59,12 @@ const (
 	SvcControl ServiceID = 0x01
 	// SvcPeering carries inter-edomain peering maintenance traffic.
 	SvcPeering ServiceID = 0x02
+	// SvcPipeProbe and SvcPipeProbeAck carry pipe-liveness keepalives.
+	// They are sealed like any ILP packet — an ack proves the peer still
+	// holds the pipe keys — but are consumed inside the pipe manager and
+	// never reach a PacketHandler.
+	SvcPipeProbe    ServiceID = 0x03
+	SvcPipeProbeAck ServiceID = 0x04
 
 	SvcNull      ServiceID = 0x100
 	SvcIPFwd     ServiceID = 0x101
@@ -95,31 +101,33 @@ func (s ServiceID) String() string {
 }
 
 var serviceNames = map[ServiceID]string{
-	SvcNone:      "none",
-	SvcControl:   "control",
-	SvcPeering:   "peering",
-	SvcNull:      "null",
-	SvcIPFwd:     "ipfwd",
-	SvcPubSub:    "pubsub",
-	SvcMulticast: "multicast",
-	SvcAnycast:   "anycast",
-	SvcODNS:      "odns",
-	SvcRelay:     "relay",
-	SvcMixnet:    "mixnet",
-	SvcDDoS:      "ddos",
-	SvcQoS:       "qos",
-	SvcCDNCache:  "cdncache",
-	SvcMsgQueue:  "msgqueue",
-	SvcOrdered:   "ordered",
-	SvcBulk:      "bulk",
-	SvcVPN:       "vpn",
-	SvcZTNA:      "ztna",
-	SvcSDWAN:     "sdwan",
-	SvcFirewall:  "firewall",
-	SvcAttest:    "attest",
-	SvcMobility:  "mobility",
-	SvcEcho:      "echo",
-	SvcWebBundle: "webbundle",
+	SvcNone:         "none",
+	SvcControl:      "control",
+	SvcPeering:      "peering",
+	SvcPipeProbe:    "pipe-probe",
+	SvcPipeProbeAck: "pipe-probe-ack",
+	SvcNull:         "null",
+	SvcIPFwd:        "ipfwd",
+	SvcPubSub:       "pubsub",
+	SvcMulticast:    "multicast",
+	SvcAnycast:      "anycast",
+	SvcODNS:         "odns",
+	SvcRelay:        "relay",
+	SvcMixnet:       "mixnet",
+	SvcDDoS:         "ddos",
+	SvcQoS:          "qos",
+	SvcCDNCache:     "cdncache",
+	SvcMsgQueue:     "msgqueue",
+	SvcOrdered:      "ordered",
+	SvcBulk:         "bulk",
+	SvcVPN:          "vpn",
+	SvcZTNA:         "ztna",
+	SvcSDWAN:        "sdwan",
+	SvcFirewall:     "firewall",
+	SvcAttest:       "attest",
+	SvcMobility:     "mobility",
+	SvcEcho:         "echo",
+	SvcWebBundle:    "webbundle",
 }
 
 // MTU is the maximum L3 datagram payload the substrate carries. ILP places

@@ -16,6 +16,14 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> chaos suite (race-detected, fixed seeds, bounded)"
+go test -race -count=1 -timeout 180s ./internal/chaos/
+
+echo "==> fuzz smoke runs (wire decode, PSP open)"
+go test -run '^$' -fuzz 'FuzzILPHeaderDecode' -fuzztime 5s ./internal/wire/
+go test -run '^$' -fuzz 'FuzzDatagramDecode' -fuzztime 5s ./internal/wire/
+go test -run '^$' -fuzz 'FuzzPSPOpen' -fuzztime 5s ./internal/psp/
+
 echo "==> benchmark smoke run (Figure 2 pipeline)"
 go test -run '^$' -bench Figure2 -benchtime 100x . |
 	BENCHJSON_OUT=BENCH_1.json go run ./scripts/benchjson
