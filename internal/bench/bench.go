@@ -142,7 +142,7 @@ func runTable1Once(c Table1Case) (Table1Result, error) {
 		// One worker: the measurement varies the SN's pipeline width, and
 		// the handler appends to latencies without a lock.
 		RxWorkers: 1,
-		Handler: func(src wire.Addr, hdr wire.ILPHeader, _ []byte, payload []byte) {
+		Handler: func(_ pipe.Sender, src wire.Addr, hdr wire.ILPHeader, _ []byte, payload []byte) {
 			if len(payload) >= 8 {
 				sent := time.Unix(0, int64(binary.BigEndian.Uint64(payload[:8])))
 				latencies = append(latencies, time.Since(sent))

@@ -219,7 +219,7 @@ func (h *Host) SNIdentity(sn wire.Addr) (ed25519.PublicKey, bool) {
 // handlePacket demultiplexes inbound packets: control replies, open
 // connections, then service handlers. It may run concurrently for packets
 // from different pipe peers; everything it delivers is copied first.
-func (h *Host) handlePacket(src wire.Addr, hdr wire.ILPHeader, _ []byte, payload []byte) {
+func (h *Host) handlePacket(_ pipe.Sender, src wire.Addr, hdr wire.ILPHeader, _ []byte, payload []byte) {
 	msg := Message{
 		Src:     src,
 		Hdr:     wire.ILPHeader{Service: hdr.Service, Conn: hdr.Conn, Data: append([]byte(nil), hdr.Data...)},

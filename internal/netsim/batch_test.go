@@ -1,0 +1,326 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"interedge/internal/wire"
+)
+
+// loopTransport hides the BatchSender implementation of a Transport, so the
+// package-level SendBatch helper must take its per-Send fallback path.
+type loopTransport struct {
+	inner Transport
+	sends int
+}
+
+func (l *loopTransport) LocalAddr() wire.Addr          { return l.inner.LocalAddr() }
+func (l *loopTransport) Receive() <-chan wire.Datagram { return l.inner.Receive() }
+func (l *loopTransport) Close() error                  { return l.inner.Close() }
+func (l *loopTransport) Send(dg wire.Datagram) error {
+	l.sends++
+	return l.inner.Send(dg)
+}
+
+func mkBatch(dst wire.Addr, n int) []wire.Datagram {
+	dgs := make([]wire.Datagram, n)
+	for i := range dgs {
+		dgs[i] = wire.Datagram{Dst: dst, Payload: []byte(fmt.Sprintf("pkt-%03d", i))}
+	}
+	return dgs
+}
+
+func drainN(t *testing.T, rx <-chan wire.Datagram, n int) []wire.Datagram {
+	t.Helper()
+	out := make([]wire.Datagram, 0, n)
+	for len(out) < n {
+		select {
+		case dg := <-rx:
+			out = append(out, dg)
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timeout after %d/%d datagrams", len(out), n)
+		}
+	}
+	return out
+}
+
+func TestFabricSendBatchOrderAndStats(t *testing.T) {
+	n := NewNetwork()
+	a, _ := n.Attach(wire.MustAddr("fd00::1"))
+	b, _ := n.Attach(wire.MustAddr("fd00::2"))
+	const count = 50
+	sent, err := SendBatch(a, mkBatch(b.LocalAddr(), count))
+	if err != nil || sent != count {
+		t.Fatalf("SendBatch = %d, %v", sent, err)
+	}
+	got := drainN(t, b.Receive(), count)
+	for i, dg := range got {
+		if want := fmt.Sprintf("pkt-%03d", i); string(dg.Payload) != want {
+			t.Fatalf("datagram %d = %q, want %q (order broken)", i, dg.Payload, want)
+		}
+		if dg.Src != a.LocalAddr() {
+			t.Fatalf("datagram %d Src = %s", i, dg.Src)
+		}
+	}
+	st := n.Snapshot()
+	if st.Batches != 1 {
+		t.Fatalf("Batches = %d, want 1 (native vectored path)", st.Batches)
+	}
+	if st.Sent != count || st.Delivered != count {
+		t.Fatalf("Sent/Delivered = %d/%d, want %d/%d", st.Sent, st.Delivered, count, count)
+	}
+}
+
+func TestSendBatchHelperFallsBackToSend(t *testing.T) {
+	n := NewNetwork()
+	a, _ := n.Attach(wire.MustAddr("fd00::1"))
+	b, _ := n.Attach(wire.MustAddr("fd00::2"))
+	lt := &loopTransport{inner: a}
+	const count = 7
+	sent, err := SendBatch(lt, mkBatch(b.LocalAddr(), count))
+	if err != nil || sent != count {
+		t.Fatalf("SendBatch = %d, %v", sent, err)
+	}
+	if lt.sends != count {
+		t.Fatalf("fallback Sends = %d, want %d", lt.sends, count)
+	}
+	drainN(t, b.Receive(), count)
+	if st := n.Snapshot(); st.Batches != 0 {
+		t.Fatalf("Batches = %d, want 0 (helper must not claim a native batch)", st.Batches)
+	}
+}
+
+func TestFabricSendBatchUnknownDestinationMidBatch(t *testing.T) {
+	n := NewNetwork()
+	a, _ := n.Attach(wire.MustAddr("fd00::1"))
+	b, _ := n.Attach(wire.MustAddr("fd00::2"))
+	dgs := mkBatch(b.LocalAddr(), 5)
+	dgs[3].Dst = wire.MustAddr("fd00::dead") // not attached
+	sent, err := SendBatch(a, dgs)
+	if !errors.Is(err, ErrUnknownDestination) {
+		t.Fatalf("err = %v", err)
+	}
+	if sent != 3 {
+		t.Fatalf("sent = %d, want 3 (dgs[n:] not sent on error)", sent)
+	}
+	drainN(t, b.Receive(), 3)
+}
+
+func TestFabricSendBatchPartitionCountsConsumed(t *testing.T) {
+	n := NewNetwork()
+	a, _ := n.Attach(wire.MustAddr("fd00::1"))
+	b, _ := n.Attach(wire.MustAddr("fd00::2"))
+	n.Partition(a.LocalAddr(), b.LocalAddr())
+	sent, err := SendBatch(a, mkBatch(b.LocalAddr(), 4))
+	if err != nil || sent != 4 {
+		t.Fatalf("SendBatch = %d, %v (black-holed datagrams count as consumed)", sent, err)
+	}
+	if st := n.Snapshot(); st.DroppedDead != 4 {
+		t.Fatalf("DroppedDead = %d, want 4", st.DroppedDead)
+	}
+}
+
+// TestFabricBatchFaultDeterminism checks that a batch observes the same
+// seeded loss/duplicate pattern the equivalent Send sequence would: the
+// random draws are strictly per-datagram, in order, on both paths.
+func TestFabricBatchFaultDeterminism(t *testing.T) {
+	run := func(batch bool) Stats {
+		n := NewNetwork(WithSeed(42))
+		a, _ := n.Attach(wire.MustAddr("fd00::1"))
+		b, _ := n.Attach(wire.MustAddr("fd00::2"))
+		n.SetLinkBoth(a.LocalAddr(), b.LocalAddr(), LinkProfile{LossRate: 0.3})
+		n.SetFaultsBoth(a.LocalAddr(), b.LocalAddr(), FaultProfile{DuplicateRate: 0.2, CorruptRate: 0.1})
+		dgs := mkBatch(b.LocalAddr(), 200)
+		if batch {
+			if _, err := SendBatch(a, dgs); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			for _, dg := range dgs {
+				if err := a.Send(dg); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// All deliveries are synchronous on an ideal-latency link except
+		// duplicates, which transmit() hands to a goroutine; wait for the
+		// accounting to converge.
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			st := n.Snapshot()
+			if st.Delivered+st.DroppedQueue == st.Sent-st.DroppedLoss+st.Duplicated {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		st := n.Snapshot()
+		st.Batches = 0 // the one counter that legitimately differs
+		return st
+	}
+	seq, bat := run(false), run(true)
+	if seq != bat {
+		t.Fatalf("fault pattern diverged:\n sequential: %+v\n batch:      %+v", seq, bat)
+	}
+}
+
+func TestUDPSendBatchRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []UDPOption
+	}{
+		{"vectored", nil},
+		{"fallback", []UDPOption{WithoutMMsg()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := NewUDPDirectory()
+			addrA, addrB := wire.MustAddr("fd00::a"), wire.MustAddr("fd00::b")
+			ta, err := NewUDPTransport(addrA, "127.0.0.1:0", dir, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ta.Close()
+			tb, err := NewUDPTransport(addrB, "127.0.0.1:0", dir, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tb.Close()
+
+			const count = 40 // > rxBatch, so the vectored read loop wraps
+			sent, err := SendBatch(ta, mkBatch(addrB, count))
+			if err != nil || sent != count {
+				t.Fatalf("SendBatch = %d, %v", sent, err)
+			}
+			seen := make(map[string]bool, count)
+			for _, dg := range drainN(t, tb.Receive(), count) {
+				if dg.Src != addrA {
+					t.Fatalf("Src = %s", dg.Src)
+				}
+				seen[string(dg.Payload)] = true
+			}
+			if len(seen) != count {
+				t.Fatalf("received %d distinct payloads, want %d", len(seen), count)
+			}
+			st := ta.Stats()
+			if st.TxPackets != count || st.TxBatches != 1 {
+				t.Fatalf("TxPackets/TxBatches = %d/%d, want %d/1", st.TxPackets, st.TxBatches, count)
+			}
+			if rs := tb.Stats(); rs.RxPackets != count || rs.RxMalformed != 0 || rs.RxDropped != 0 {
+				t.Fatalf("receiver stats = %+v", rs)
+			}
+		})
+	}
+}
+
+func TestUDPSendBatchMixedDestinations(t *testing.T) {
+	dir := NewUDPDirectory()
+	addrA, addrB, addrC := wire.MustAddr("fd00::a"), wire.MustAddr("fd00::b"), wire.MustAddr("fd00::c")
+	ta, err := NewUDPTransport(addrA, "127.0.0.1:0", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	tb, _ := NewUDPTransport(addrB, "127.0.0.1:0", dir)
+	defer tb.Close()
+	tc, _ := NewUDPTransport(addrC, "127.0.0.1:0", dir)
+	defer tc.Close()
+
+	dgs := []wire.Datagram{
+		{Dst: addrB, Payload: []byte("b0")},
+		{Dst: addrC, Payload: []byte("c0")},
+		{Dst: addrB, Payload: []byte("b1")},
+	}
+	if sent, err := SendBatch(ta, dgs); err != nil || sent != 3 {
+		t.Fatalf("SendBatch = %d, %v", sent, err)
+	}
+	gotB := drainN(t, tb.Receive(), 2)
+	if string(gotB[0].Payload) != "b0" || string(gotB[1].Payload) != "b1" {
+		t.Fatalf("b order = %q, %q", gotB[0].Payload, gotB[1].Payload)
+	}
+	if gotC := drainN(t, tc.Receive(), 1); string(gotC[0].Payload) != "c0" {
+		t.Fatalf("c = %q", gotC[0].Payload)
+	}
+}
+
+func TestUDPSendBatchUnknownDestination(t *testing.T) {
+	dir := NewUDPDirectory()
+	addrA, addrB := wire.MustAddr("fd00::a"), wire.MustAddr("fd00::b")
+	ta, err := NewUDPTransport(addrA, "127.0.0.1:0", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	tb, _ := NewUDPTransport(addrB, "127.0.0.1:0", dir)
+	defer tb.Close()
+
+	dgs := mkBatch(addrB, 4)
+	dgs[2].Dst = wire.MustAddr("fd00::dead")
+	sent, err := SendBatch(ta, dgs)
+	if !errors.Is(err, ErrUnknownDestination) || sent != 2 {
+		t.Fatalf("SendBatch = %d, %v; want 2, ErrUnknownDestination", sent, err)
+	}
+	drainN(t, tb.Receive(), 2)
+}
+
+func TestUDPRxMalformedAndDropCounters(t *testing.T) {
+	dir := NewUDPDirectory()
+	addr := wire.MustAddr("fd00::a")
+	// Queue depth 1: the second well-formed datagram that arrives while
+	// nothing reads the channel must be counted as dropped.
+	tr, err := NewUDPTransport(addr, "127.0.0.1:0", dir, WithUDPQueueDepth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	ep, _ := dir.Lookup(addr)
+	raw, err := net.DialUDP("udp", nil, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+
+	// Malformed: too short to hold a datagram header.
+	if _, err := raw.Write([]byte{0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor := func(what string, get func() uint64, want uint64) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for get() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s = %d, want >= %d", what, get(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor("RxMalformed", func() uint64 { return tr.Stats().RxMalformed }, 1)
+
+	good := wire.Datagram{Src: wire.MustAddr("fd00::b"), Dst: addr, Payload: []byte("x")}
+	enc, err := good.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := raw.Write(enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor("RxDropped", func() uint64 { return tr.Stats().RxDropped }, 1)
+	if st := tr.Stats(); st.RxPackets == 0 {
+		t.Fatalf("RxPackets = 0, want > 0; stats %+v", st)
+	}
+}
+
+func TestUDPSendBatchAfterClose(t *testing.T) {
+	dir := NewUDPDirectory()
+	tr, err := NewUDPTransport(wire.MustAddr("fd00::a"), "127.0.0.1:0", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	if _, err := SendBatch(tr, mkBatch(wire.MustAddr("fd00::b"), 2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}

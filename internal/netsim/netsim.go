@@ -55,6 +55,41 @@ type Transport interface {
 	Close() error
 }
 
+// BatchSender is the optional vectored-egress extension of Transport. Both
+// built-in transports implement it natively: the sim fabric resolves
+// routing once per destination run and delivers a whole batch under one
+// receiver lock, and the UDP transport turns a batch into a single
+// sendmmsg(2) on Linux. Third-party transports need not implement it; the
+// SendBatch helper falls back to looping Send.
+type BatchSender interface {
+	// SendBatch transmits dgs in order, returning the number of datagrams
+	// consumed by the substrate and the first error encountered; on error,
+	// dgs[n:] were not sent. Datagrams accepted and then lost, dropped at a
+	// full receive queue, or black-holed by a partition count as consumed,
+	// exactly as the corresponding Send would have returned nil.
+	//
+	// Ownership matches Send: the transport may set each datagram's Src but
+	// must not retain dgs or any Payload after SendBatch returns.
+	SendBatch(dgs []wire.Datagram) (int, error)
+}
+
+// SendBatch transmits a batch through t, using the transport's native
+// vectored path when it implements BatchSender and falling back to one
+// Send per datagram otherwise. This is the adapter every batching caller
+// (the pipe egress coalescer, benchmarks) goes through, so transports
+// outside this package keep working unmodified.
+func SendBatch(t Transport, dgs []wire.Datagram) (int, error) {
+	if bs, ok := t.(BatchSender); ok {
+		return bs.SendBatch(dgs)
+	}
+	for i := range dgs {
+		if err := t.Send(dgs[i]); err != nil {
+			return i, err
+		}
+	}
+	return len(dgs), nil
+}
+
 // ErrClosed is returned by Send after Close.
 var ErrClosed = errors.New("netsim: transport closed")
 
@@ -127,6 +162,7 @@ type Stats struct {
 	Duplicated   uint64 // extra copies injected by DuplicateRate
 	Reordered    uint64 // datagrams held back by ReorderRate
 	Corrupted    uint64 // delivered copies with an injected bit flip
+	Batches      uint64 // native SendBatch calls on the fabric
 }
 
 // atomicStats holds the fabric counters as atomics so the per-packet send
@@ -141,6 +177,7 @@ type atomicStats struct {
 	duplicated   atomic.Uint64
 	reordered    atomic.Uint64
 	corrupted    atomic.Uint64
+	batches      atomic.Uint64
 }
 
 func (a *atomicStats) snapshot() Stats {
@@ -154,6 +191,7 @@ func (a *atomicStats) snapshot() Stats {
 		Duplicated:   a.duplicated.Load(),
 		Reordered:    a.reordered.Load(),
 		Corrupted:    a.corrupted.Load(),
+		Batches:      a.batches.Load(),
 	}
 }
 
@@ -246,6 +284,112 @@ func (n *Network) linkFor(from, to wire.Addr) *linkState {
 	return nil
 }
 
+// route is the resolved forwarding state of one directed link, read once
+// under the shared lock and then used without it.
+type route struct {
+	dst         *simTransport
+	link        *linkState
+	profile     LinkProfile
+	faults      FaultProfile
+	partitioned bool
+}
+
+// routeLocked resolves the src→dst link. Caller holds n.mu (read).
+func (n *Network) routeLocked(src, dst wire.Addr) (route, error) {
+	var r route
+	if n.partitions[linkKey{src, dst}] {
+		r.partitioned = true
+		return r, nil
+	}
+	node, ok := n.nodes[dst]
+	if !ok {
+		return r, ErrUnknownDestination
+	}
+	r.dst = node
+	r.link = n.linkFor(src, dst)
+	r.profile = n.defaults
+	if r.link != nil {
+		r.profile = r.link.profile
+	}
+	r.faults = n.defaultFaults
+	if f, ok := n.faults[linkKey{src, dst}]; ok {
+		r.faults = f
+	}
+	return r, nil
+}
+
+// fate decides one datagram's outcome on a resolved route: drop by loss, or
+// deliver after delay with optional corruption and duplication. All random
+// draws happen under the shared RNG lock in datagram order, so a fixed seed
+// yields the same fault pattern whether datagrams arrive one Send at a time
+// or in a batch.
+type fate struct {
+	drop      bool
+	delay     time.Duration
+	corrupt   bool
+	duplicate bool
+	dupDelay  time.Duration
+}
+
+func (n *Network) fateFor(dg *wire.Datagram, r *route) fate {
+	var f fate
+	if r.profile.LossRate > 0 {
+		n.rngMu.Lock()
+		f.drop = n.rng.Float64() < r.profile.LossRate
+		n.rngMu.Unlock()
+		if f.drop {
+			n.stats.droppedLoss.Add(1)
+			return f
+		}
+	}
+
+	f.delay = r.profile.Latency
+	if r.profile.BandwidthBps > 0 {
+		txTime := time.Duration(float64(len(dg.Payload)+wire.DatagramHeaderSize) / r.profile.BandwidthBps * float64(time.Second))
+		now := n.clk.Now()
+		if r.link != nil {
+			r.link.mu.Lock()
+			start := r.link.nextFree
+			if start.Before(now) {
+				start = now
+			}
+			r.link.nextFree = start.Add(txTime)
+			f.delay += r.link.nextFree.Sub(now)
+			r.link.mu.Unlock()
+		} else {
+			f.delay += txTime
+		}
+	}
+
+	if r.faults.active() {
+		base := f.delay
+		n.rngMu.Lock()
+		if r.faults.ReorderRate > 0 && n.rng.Float64() < r.faults.ReorderRate {
+			d := r.faults.ReorderDelayMin
+			if span := r.faults.ReorderDelayMax - r.faults.ReorderDelayMin; span > 0 {
+				d += time.Duration(n.rng.Int63n(int64(span)))
+			}
+			f.delay += d
+			n.stats.reordered.Add(1)
+		}
+		if r.faults.JitterMax > 0 {
+			f.delay += time.Duration(n.rng.Int63n(int64(r.faults.JitterMax)))
+		}
+		if r.faults.DuplicateRate > 0 && n.rng.Float64() < r.faults.DuplicateRate {
+			f.duplicate = true
+			f.dupDelay = base
+			if r.faults.JitterMax > 0 {
+				f.dupDelay += time.Duration(n.rng.Int63n(int64(r.faults.JitterMax)))
+			}
+		}
+		if r.faults.CorruptRate > 0 && n.rng.Float64() < r.faults.CorruptRate {
+			f.corrupt = true
+		}
+		n.rngMu.Unlock()
+	}
+	return f
+}
+
 // send routes a datagram from src. Routing state is read under the shared
 // lock and counters are atomic, so concurrent senders never serialize here.
 func (n *Network) send(dg wire.Datagram) error {
@@ -255,92 +399,140 @@ func (n *Network) send(dg wire.Datagram) error {
 	n.stats.sent.Add(1)
 	n.stats.bytesSent.Add(uint64(len(dg.Payload)))
 	n.mu.RLock()
-	if n.partitions[linkKey{dg.Src, dg.Dst}] {
-		n.mu.RUnlock()
+	r, err := n.routeLocked(dg.Src, dg.Dst)
+	n.mu.RUnlock()
+	if err != nil {
+		n.stats.droppedDead.Add(1)
+		return err
+	}
+	if r.partitioned {
 		n.stats.droppedDead.Add(1)
 		return nil // silently dropped, like a black-holed route
 	}
-	dst, ok := n.nodes[dg.Dst]
-	if !ok {
-		n.mu.RUnlock()
-		n.stats.droppedDead.Add(1)
-		return ErrUnknownDestination
-	}
-	link := n.linkFor(dg.Src, dg.Dst)
-	profile := n.defaults
-	if link != nil {
-		profile = link.profile
-	}
-	faults := n.defaultFaults
-	if f, ok := n.faults[linkKey{dg.Src, dg.Dst}]; ok {
-		faults = f
-	}
-	n.mu.RUnlock()
 
-	if profile.LossRate > 0 {
-		n.rngMu.Lock()
-		drop := n.rng.Float64() < profile.LossRate
-		n.rngMu.Unlock()
-		if drop {
-			n.stats.droppedLoss.Add(1)
-			return nil
-		}
+	f := n.fateFor(&dg, &r)
+	if f.drop {
+		return nil
 	}
-
-	delay := profile.Latency
-	if profile.BandwidthBps > 0 {
-		txTime := time.Duration(float64(len(dg.Payload)+wire.DatagramHeaderSize) / profile.BandwidthBps * float64(time.Second))
-		now := n.clk.Now()
-		if link != nil {
-			link.mu.Lock()
-			start := link.nextFree
-			if start.Before(now) {
-				start = now
-			}
-			link.nextFree = start.Add(txTime)
-			delay += link.nextFree.Sub(now)
-			link.mu.Unlock()
-		} else {
-			delay += txTime
-		}
-	}
-
-	// Fault injection: all random draws happen here, under the shared RNG
-	// lock, so a fixed seed yields a reproducible fault pattern for a
-	// given send sequence.
-	var extra, dupExtra time.Duration
-	duplicate, corrupt := false, false
-	if faults.active() {
-		n.rngMu.Lock()
-		if faults.ReorderRate > 0 && n.rng.Float64() < faults.ReorderRate {
-			d := faults.ReorderDelayMin
-			if span := faults.ReorderDelayMax - faults.ReorderDelayMin; span > 0 {
-				d += time.Duration(n.rng.Int63n(int64(span)))
-			}
-			extra += d
-			n.stats.reordered.Add(1)
-		}
-		if faults.JitterMax > 0 {
-			extra += time.Duration(n.rng.Int63n(int64(faults.JitterMax)))
-		}
-		if faults.DuplicateRate > 0 && n.rng.Float64() < faults.DuplicateRate {
-			duplicate = true
-			if faults.JitterMax > 0 {
-				dupExtra = time.Duration(n.rng.Int63n(int64(faults.JitterMax)))
-			}
-		}
-		if faults.CorruptRate > 0 && n.rng.Float64() < faults.CorruptRate {
-			corrupt = true
-		}
-		n.rngMu.Unlock()
-	}
-
-	n.transmit(dst, dg, delay+extra, corrupt)
-	if duplicate {
+	n.transmit(r.dst, dg, f.delay, f.corrupt)
+	if f.duplicate {
 		n.stats.duplicated.Add(1)
-		n.transmit(dst, dg, delay+dupExtra, false)
+		n.transmit(r.dst, dg, f.dupDelay, false)
 	}
 	return nil
+}
+
+// sendBatch is the fabric's native vectored path: routing is resolved once
+// per destination run, counters are aggregated per batch, and every
+// zero-delay delivery in a same-destination run lands under a single
+// receiver-lock acquisition. Fault and loss draws remain strictly
+// per-datagram (in order), so a batch observes the same seeded fault
+// pattern the equivalent Send sequence would.
+func (n *Network) sendBatch(dgs []wire.Datagram) (int, error) {
+	n.stats.batches.Add(1)
+	var sent, bytes uint64
+	// ready collects zero-delay copies for the current same-destination run.
+	var ready []wire.Datagram
+	var cur route
+	var curSrc, curDst wire.Addr
+	haveRoute := false
+
+	flushReady := func() {
+		if len(ready) > 0 {
+			n.deliverRun(cur.dst, ready)
+			ready = ready[:0]
+		}
+	}
+
+	for i := range dgs {
+		dg := &dgs[i]
+		if len(dg.Payload) > wire.MTU {
+			flushReady()
+			n.stats.sent.Add(sent)
+			n.stats.bytesSent.Add(bytes)
+			return i, fmt.Errorf("netsim: payload %d exceeds MTU", len(dg.Payload))
+		}
+		if !haveRoute || dg.Src != curSrc || dg.Dst != curDst {
+			flushReady()
+			n.mu.RLock()
+			r, err := n.routeLocked(dg.Src, dg.Dst)
+			n.mu.RUnlock()
+			if err != nil {
+				n.stats.sent.Add(sent + 1)
+				n.stats.bytesSent.Add(bytes + uint64(len(dg.Payload)))
+				n.stats.droppedDead.Add(1)
+				return i, err
+			}
+			cur, curSrc, curDst, haveRoute = r, dg.Src, dg.Dst, true
+		}
+		sent++
+		bytes += uint64(len(dg.Payload))
+		if cur.partitioned {
+			n.stats.droppedDead.Add(1)
+			continue
+		}
+		f := n.fateFor(dg, &cur)
+		if f.drop {
+			continue
+		}
+		if f.delay <= 0 && !f.duplicate {
+			// Common case on ideal links: queue the copy for the single
+			// locked delivery run.
+			cp := *dg
+			cp.Payload = append([]byte(nil), dg.Payload...)
+			if f.corrupt {
+				n.corruptCopy(cp.Payload)
+			}
+			ready = append(ready, cp)
+			continue
+		}
+		flushReady()
+		n.transmit(cur.dst, *dg, f.delay, f.corrupt)
+		if f.duplicate {
+			n.stats.duplicated.Add(1)
+			n.transmit(cur.dst, *dg, f.dupDelay, false)
+		}
+	}
+	flushReady()
+	n.stats.sent.Add(sent)
+	n.stats.bytesSent.Add(bytes)
+	return len(dgs), nil
+}
+
+// deliverRun delivers pre-copied zero-delay datagrams to one destination
+// under a single receiver-lock acquisition.
+func (n *Network) deliverRun(dst *simTransport, cps []wire.Datagram) {
+	var delivered, droppedQueue uint64
+	dst.mu.Lock()
+	if dst.closed {
+		dst.mu.Unlock()
+		n.stats.droppedDead.Add(uint64(len(cps)))
+		return
+	}
+	for _, cp := range cps {
+		select {
+		case dst.rx <- cp:
+			delivered++
+		default:
+			droppedQueue++
+		}
+	}
+	dst.mu.Unlock()
+	n.stats.delivered.Add(delivered)
+	n.stats.droppedQueue.Add(droppedQueue)
+}
+
+// corruptCopy flips one random bit of a payload copy.
+func (n *Network) corruptCopy(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	n.rngMu.Lock()
+	i := n.rng.Intn(len(p))
+	bit := byte(1) << n.rng.Intn(8)
+	n.rngMu.Unlock()
+	p[i] ^= bit
+	n.stats.corrupted.Add(1)
 }
 
 // transmit copies the payload (the Send contract lets the sender reuse its
@@ -409,6 +601,23 @@ func (t *simTransport) Send(dg wire.Datagram) error {
 	}
 	dg.Src = t.addr
 	return t.net.send(dg)
+}
+
+// SendBatch implements BatchSender natively on the fabric: one closed-flag
+// check and one batch counter bump up front, then the network's vectored
+// path, which delivers zero-delay same-destination runs under a single
+// receiver-lock acquisition.
+func (t *simTransport) SendBatch(dgs []wire.Datagram) (int, error) {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	for i := range dgs {
+		dgs[i].Src = t.addr
+	}
+	return t.net.sendBatch(dgs)
 }
 
 func (t *simTransport) Receive() <-chan wire.Datagram { return t.rx }

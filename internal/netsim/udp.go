@@ -1,9 +1,12 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"syscall"
 
 	"interedge/internal/wire"
 )
@@ -37,20 +40,74 @@ func (d *UDPDirectory) Lookup(addr wire.Addr) (*net.UDPAddr, bool) {
 	return ep, ok
 }
 
-// UDPTransport carries wire datagrams over a real UDP socket.
-type UDPTransport struct {
-	addr wire.Addr
-	dir  *UDPDirectory
-	conn *net.UDPConn
-	rx   chan wire.Datagram
+// UDPStats counts what the socket path did. All counters are monotonic.
+type UDPStats struct {
+	RxPackets   uint64 // datagrams decoded and queued for the receiver
+	RxDropped   uint64 // well-formed datagrams dropped at a full rx queue
+	RxMalformed uint64 // datagrams that failed wire decode
+	TxPackets   uint64 // datagrams written to the socket
+	TxBatches   uint64 // SendBatch flushes (vectored or loop fallback)
+}
 
-	mu     sync.Mutex
-	closed bool
+// errMMsgUnsupported is the platform hooks' signal to fall back to the
+// portable per-packet path; it never escapes this package.
+var errMMsgUnsupported = errors.New("netsim: mmsg unsupported")
+
+// UDPOption configures a UDPTransport.
+type UDPOption func(*UDPTransport)
+
+// WithUDPQueueDepth sets the receive queue depth (default 4096).
+func WithUDPQueueDepth(d int) UDPOption {
+	return func(t *UDPTransport) { t.queueDepth = d }
+}
+
+// WithoutMMsg disables the sendmmsg/recvmmsg fast path, forcing the
+// portable per-packet syscalls. Used by tests to exercise the fallback.
+func WithoutMMsg() UDPOption {
+	return func(t *UDPTransport) { t.noMMsg = true }
+}
+
+// UDPTransport carries wire datagrams over a real UDP socket. On Linux
+// (amd64/arm64) batches go through sendmmsg(2)/recvmmsg(2); elsewhere, and
+// when the kernel rejects the vectored calls, it degrades to the portable
+// per-packet path.
+type UDPTransport struct {
+	addr       wire.Addr
+	dir        *UDPDirectory
+	conn       *net.UDPConn
+	rc         syscall.RawConn
+	rx         chan wire.Datagram
+	queueDepth int
+	noMMsg     bool
+	sock6      bool // socket is AF_INET6; v4 destinations need mapping
+
+	closed atomic.Bool
+	// mmsgOK drops to false on the first hard sendmmsg failure so a kernel
+	// that rejects the syscall costs one failed attempt, not one per batch.
+	mmsgOK atomic.Bool
+
+	encPool sync.Pool // *[]byte encode buffers
+	txPool  sync.Pool // *udpTxState batch scratch
+
+	rxPackets   atomic.Uint64
+	rxDropped   atomic.Uint64
+	rxMalformed atomic.Uint64
+	txPackets   atomic.Uint64
+	txBatches   atomic.Uint64
+}
+
+// udpTxState is the reusable scratch for one in-flight SendBatch: the
+// pooled encode buffers and resolved endpoints, plus whatever per-platform
+// storage (msghdr/iovec/sockaddr arrays) the vectored path needs.
+type udpTxState struct {
+	bufs []*[]byte
+	eps  []*net.UDPAddr
+	sys  mmsgTxState
 }
 
 // NewUDPTransport binds a UDP socket on listen (e.g. "127.0.0.1:0"),
 // registers the node in the directory, and starts the receive loop.
-func NewUDPTransport(addr wire.Addr, listen string, dir *UDPDirectory) (*UDPTransport, error) {
+func NewUDPTransport(addr wire.Addr, listen string, dir *UDPDirectory, opts ...UDPOption) (*UDPTransport, error) {
 	laddr, err := net.ResolveUDPAddr("udp", listen)
 	if err != nil {
 		return nil, fmt.Errorf("netsim: resolve %q: %w", listen, err)
@@ -60,40 +117,69 @@ func NewUDPTransport(addr wire.Addr, listen string, dir *UDPDirectory) (*UDPTran
 		return nil, fmt.Errorf("netsim: listen UDP: %w", err)
 	}
 	t := &UDPTransport{
-		addr: addr,
-		dir:  dir,
-		conn: conn,
-		rx:   make(chan wire.Datagram, 4096),
+		addr:       addr,
+		dir:        dir,
+		conn:       conn,
+		queueDepth: 4096,
 	}
-	dir.Register(addr, conn.LocalAddr().(*net.UDPAddr))
+	for _, o := range opts {
+		o(t)
+	}
+	t.rx = make(chan wire.Datagram, t.queueDepth)
+	t.encPool.New = func() any {
+		b := make([]byte, 0, wire.MTU+wire.DatagramHeaderSize)
+		return &b
+	}
+	t.txPool.New = func() any { return &udpTxState{} }
+	local := conn.LocalAddr().(*net.UDPAddr)
+	t.sock6 = local.IP.To4() == nil
+	if rc, err := conn.SyscallConn(); err == nil {
+		t.rc = rc
+		t.mmsgOK.Store(mmsgArch && !t.noMMsg)
+	}
+	dir.Register(addr, local)
 	go t.readLoop()
 	return t, nil
 }
 
+// readLoop prefers the vectored recvmmsg path; if the platform hook
+// declines (non-Linux build, old kernel, or WithoutMMsg) it falls back to
+// one blocking ReadFromUDP per datagram.
 func (t *UDPTransport) readLoop() {
+	if t.rc != nil && mmsgArch && !t.noMMsg {
+		if t.readLoopMMsg() {
+			return // loop ran until close and shut the rx channel
+		}
+	}
 	buf := make([]byte, wire.MTU+wire.DatagramHeaderSize)
 	for {
 		n, _, err := t.conn.ReadFromUDP(buf)
 		if err != nil {
-			t.mu.Lock()
-			closed := t.closed
-			t.mu.Unlock()
-			if closed {
+			if t.closed.Load() {
 				close(t.rx)
 				return
 			}
 			continue
 		}
-		var dg wire.Datagram
-		if _, err := dg.DecodeFromBytes(buf[:n]); err != nil {
-			continue // malformed datagrams are dropped, as at any router
-		}
-		// Copy out of the reused read buffer.
-		dg.Payload = append([]byte(nil), dg.Payload...)
-		select {
-		case t.rx <- dg:
-		default: // queue full: drop
-		}
+		t.deliverRx(buf[:n])
+	}
+}
+
+// deliverRx decodes one packet off the socket and queues it, counting
+// malformed decodes and full-queue drops instead of silently eating them.
+func (t *UDPTransport) deliverRx(pkt []byte) {
+	var dg wire.Datagram
+	if _, err := dg.DecodeFromBytes(pkt); err != nil {
+		t.rxMalformed.Add(1)
+		return
+	}
+	// Copy out of the reused read buffer.
+	dg.Payload = append([]byte(nil), dg.Payload...)
+	select {
+	case t.rx <- dg:
+		t.rxPackets.Add(1)
+	default:
+		t.rxDropped.Add(1)
 	}
 }
 
@@ -102,10 +188,7 @@ func (t *UDPTransport) LocalAddr() wire.Addr { return t.addr }
 
 // Send implements Transport.
 func (t *UDPTransport) Send(dg wire.Datagram) error {
-	t.mu.Lock()
-	closed := t.closed
-	t.mu.Unlock()
-	if closed {
+	if t.closed.Load() {
 		return ErrClosed
 	}
 	dg.Src = t.addr
@@ -113,12 +196,115 @@ func (t *UDPTransport) Send(dg wire.Datagram) error {
 	if !ok {
 		return ErrUnknownDestination
 	}
-	enc, err := dg.Encode()
+	bp := t.encPool.Get().(*[]byte)
+	buf, err := dg.AppendEncode((*bp)[:0])
 	if err != nil {
+		t.encPool.Put(bp)
 		return err
 	}
-	_, err = t.conn.WriteToUDP(enc, ep)
+	*bp = buf
+	_, err = t.conn.WriteToUDP(buf, ep)
+	t.encPool.Put(bp)
+	if err == nil {
+		t.txPackets.Add(1)
+	}
 	return err
+}
+
+// SendBatch implements BatchSender: the whole batch is encoded into pooled
+// buffers and flushed with one sendmmsg(2) where available (destinations
+// may differ per datagram — each message carries its own sockaddr), or a
+// WriteToUDP loop otherwise.
+func (t *UDPTransport) SendBatch(dgs []wire.Datagram) (int, error) {
+	if t.closed.Load() {
+		return 0, ErrClosed
+	}
+	st := t.txPool.Get().(*udpTxState)
+	defer t.releaseTx(st)
+	for i := range dgs {
+		dgs[i].Src = t.addr
+		ep, ok := t.dir.Lookup(dgs[i].Dst)
+		if !ok {
+			n, werr := t.writeBatch(st)
+			if werr != nil {
+				return n, werr
+			}
+			return i, ErrUnknownDestination
+		}
+		bp := t.encPool.Get().(*[]byte)
+		buf, err := dgs[i].AppendEncode((*bp)[:0])
+		if err != nil {
+			t.encPool.Put(bp)
+			n, werr := t.writeBatch(st)
+			if werr != nil {
+				return n, werr
+			}
+			return i, err
+		}
+		*bp = buf
+		st.bufs = append(st.bufs, bp)
+		st.eps = append(st.eps, ep)
+	}
+	return t.writeBatch(st)
+}
+
+// writeBatch flushes the encoded batch: vectored first, then the portable
+// loop for whatever the vectored path could not take.
+func (t *UDPTransport) writeBatch(st *udpTxState) (int, error) {
+	total := len(st.bufs)
+	if total == 0 {
+		return 0, nil
+	}
+	sent := 0
+	if mmsgArch && t.mmsgOK.Load() {
+		n, err := t.sendMMsg(st)
+		sent = n
+		switch {
+		case err == nil:
+			t.txPackets.Add(uint64(sent))
+			t.txBatches.Add(1)
+			return sent, nil
+		case errors.Is(err, errMMsgUnsupported):
+			t.mmsgOK.Store(false)
+		default:
+			t.txPackets.Add(uint64(sent))
+			return sent, err
+		}
+	}
+	for ; sent < total; sent++ {
+		if _, err := t.conn.WriteToUDP(*st.bufs[sent], st.eps[sent]); err != nil {
+			t.txPackets.Add(uint64(sent))
+			return sent, err
+		}
+	}
+	t.txPackets.Add(uint64(total))
+	t.txBatches.Add(1)
+	return total, nil
+}
+
+// releaseTx returns the batch scratch and its encode buffers to their pools.
+func (t *UDPTransport) releaseTx(st *udpTxState) {
+	for i, bp := range st.bufs {
+		t.encPool.Put(bp)
+		st.bufs[i] = nil
+	}
+	st.bufs = st.bufs[:0]
+	for i := range st.eps {
+		st.eps[i] = nil
+	}
+	st.eps = st.eps[:0]
+	t.txPool.Put(st)
+}
+
+// Stats returns a snapshot of the socket counters.
+func (t *UDPTransport) Stats() UDPStats {
+	return UDPStats{
+		RxPackets:   t.rxPackets.Load(),
+		RxDropped:   t.rxDropped.Load(),
+		RxMalformed: t.rxMalformed.Load(),
+		TxPackets:   t.txPackets.Load(),
+		TxBatches:   t.txBatches.Load(),
+	}
 }
 
 // Receive implements Transport.
@@ -126,12 +312,8 @@ func (t *UDPTransport) Receive() <-chan wire.Datagram { return t.rx }
 
 // Close implements Transport.
 func (t *UDPTransport) Close() error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
+	if t.closed.Swap(true) {
 		return nil
 	}
-	t.closed = true
-	t.mu.Unlock()
 	return t.conn.Close()
 }

@@ -1,0 +1,16 @@
+//go:build !(linux && (amd64 || arm64))
+
+package netsim
+
+// mmsgArch reports whether this build has the vectored syscall path; on
+// this target every batch goes through the portable per-packet loop.
+const mmsgArch = false
+
+// mmsgTxState is empty here: no vectored scratch is needed.
+type mmsgTxState struct{}
+
+func (t *UDPTransport) sendMMsg(st *udpTxState) (int, error) {
+	return 0, errMMsgUnsupported
+}
+
+func (t *UDPTransport) readLoopMMsg() bool { return false }

@@ -1,0 +1,7 @@
+//go:build linux
+
+package netsim
+
+// sysSendmmsg is the sendmmsg(2) syscall number on linux/arm64. The frozen
+// syscall package predates sendmmsg, so the number is spelled out here.
+const sysSendmmsg uintptr = 269

@@ -1,0 +1,147 @@
+package pipe
+
+import (
+	"fmt"
+
+	"interedge/internal/netsim"
+	"interedge/internal/wire"
+)
+
+// destBatch accumulates sealed packets bound for one destination. The
+// Datagram payloads alias the pooled sealBufs held alongside them; both are
+// released when the batch flushes.
+type destBatch struct {
+	dst wire.Addr
+	p   *peer
+	dgs []wire.Datagram
+	sbs []*sealBuf
+}
+
+// egress is a per-worker coalescing Sender. Packets sealed through it are
+// queued per destination and handed to the transport as one batch, either
+// when the owning worker's input drains (flushAll — the adaptive low-load
+// path) or when a destination reaches the TxBatch cap under backpressure
+// (flushDest). Sealing happens at enqueue time with the manager's pooled
+// buffers, so callers may reuse their header and payload slices immediately
+// and the steady state allocates nothing.
+//
+// An egress belongs to exactly one worker goroutine and is not safe for
+// concurrent use. Per-destination FIFO plus in-order flushing preserves
+// per-source packet order: one source maps to one worker, and that worker
+// enqueues and flushes in arrival order.
+type egress struct {
+	m     *Manager
+	cap   int
+	dests map[wire.Addr]*destBatch
+	order []*destBatch // flush order: first-enqueue order per drain cycle
+	free  []*destBatch // recycled destBatch structs
+}
+
+func (m *Manager) newEgress() *egress {
+	return &egress{m: m, cap: m.cfg.TxBatch, dests: make(map[wire.Addr]*destBatch)}
+}
+
+// SendHeaderBytes seals the packet now and queues it for the next flush.
+// A nil return means the packet was accepted for (possibly deferred)
+// transmission; transport-level flush failures surface as TxFlushDrops in
+// Stats, matching how a NIC ring reports late drops.
+func (e *egress) SendHeaderBytes(dst wire.Addr, hdrBytes, payload []byte) error {
+	m := e.m
+	p := m.peer(dst)
+	if p == nil {
+		return fmt.Errorf("%w: %s", ErrNoPipe, dst)
+	}
+	db := e.dests[dst]
+	if db == nil {
+		if n := len(e.free); n > 0 {
+			db = e.free[n-1]
+			e.free = e.free[:n-1]
+		} else {
+			db = &destBatch{}
+		}
+		db.dst, db.p = dst, p
+		e.dests[dst] = db
+		e.order = append(e.order, db)
+	} else if db.p != p {
+		// The pipe re-established between enqueues: packets sealed under
+		// the old keys flush first, then the batch restarts on the new peer.
+		if err := e.flushDest(db); err != nil {
+			db.p = p
+			return err
+		}
+		db.p = p
+	}
+	sb := m.sealBufs.Get().(*sealBuf)
+	buf := append(sb.buf[:0], byte(wire.FrameILP))
+	sealed, err := p.crypto.TX.SealScratch(&sb.scratch, buf, hdrBytes, payload)
+	if err != nil {
+		sb.buf = buf
+		m.sealBufs.Put(sb)
+		return err
+	}
+	sb.buf = sealed
+	db.dgs = append(db.dgs, wire.Datagram{Dst: dst, Payload: sealed})
+	db.sbs = append(db.sbs, sb)
+	if len(db.dgs) >= e.cap {
+		return e.flushDest(db)
+	}
+	return nil
+}
+
+// flushDest hands one destination's queue to the transport as a batch and
+// releases the seal buffers. The destBatch stays registered for the rest of
+// the drain cycle, ready to accumulate again.
+func (e *egress) flushDest(db *destBatch) error {
+	if len(db.dgs) == 0 {
+		return nil
+	}
+	m := e.m
+	n, err := netsim.SendBatch(m.cfg.Transport, db.dgs)
+	var bytes uint64
+	for i := 0; i < n; i++ {
+		bytes += uint64(len(db.dgs[i].Payload))
+	}
+	db.p.txPackets.Add(uint64(n))
+	db.p.txBytes.Add(bytes)
+	m.txBatches.Add(1)
+	m.txBatchedPackets.Add(uint64(n))
+	if dropped := len(db.dgs) - n; dropped > 0 {
+		m.txFlushDrops.Add(uint64(dropped))
+	}
+	// Transports must not retain the batch or its payloads once SendBatch
+	// returns, so the seal buffers go straight back to the pool.
+	for i := range db.sbs {
+		m.sealBufs.Put(db.sbs[i])
+		db.sbs[i] = nil
+		db.dgs[i] = wire.Datagram{}
+	}
+	db.dgs = db.dgs[:0]
+	db.sbs = db.sbs[:0]
+	return err
+}
+
+// flushAll drains every destination in first-enqueue order and resets the
+// coalescer for the next cycle. Called by the worker the moment its input
+// channel has nothing ready.
+func (e *egress) flushAll() {
+	if len(e.order) == 0 {
+		return
+	}
+	for i, db := range e.order {
+		_ = e.flushDest(db) // failures are accounted as TxFlushDrops
+		delete(e.dests, db.dst)
+		db.p = nil
+		e.free = append(e.free, db)
+		e.order[i] = nil
+	}
+	e.order = e.order[:0]
+}
+
+// pending reports how many sealed packets are queued but not yet flushed.
+func (e *egress) pending() int {
+	n := 0
+	for _, db := range e.order {
+		n += len(db.dgs)
+	}
+	return n
+}

@@ -36,14 +36,28 @@ import (
 	"interedge/internal/wire"
 )
 
-// PacketHandler receives every decrypted inbound ILP packet. hdrRaw is the
-// encoded form of hdr, handed to the handler so a forwarding fast path can
-// re-seal it without re-encoding. hdr.Data, hdrRaw, and payload alias
+// Sender is the egress surface handed to PacketHandlers. On the hot path it
+// is the worker's coalescing egress queue (sends may be batched until the
+// worker's input drains or the per-destination cap is hit); with coalescing
+// disabled it is the Manager itself and every send goes out immediately.
+// Either way SendHeaderBytes seals at call time, so the caller may reuse
+// hdrBytes and payload as soon as it returns.
+type Sender interface {
+	SendHeaderBytes(dst wire.Addr, hdrBytes, payload []byte) error
+}
+
+// PacketHandler receives every decrypted inbound ILP packet. tx is the
+// worker's egress Sender: forwards issued through it coalesce into vectored
+// batches (see Config.TxBatch) while preserving per-source order. hdrRaw is
+// the encoded form of hdr, handed to the handler so a forwarding fast path
+// can re-seal it without re-encoding. hdr.Data, hdrRaw, and payload alias
 // internal buffers and must be copied if retained: hdr.Data and hdrRaw are
 // overwritten when the same worker processes its next packet. Handlers run
 // concurrently for packets from different source addresses but serially,
-// in arrival order, for any single source.
-type PacketHandler func(src wire.Addr, hdr wire.ILPHeader, hdrRaw, payload []byte)
+// in arrival order, for any single source. tx is only valid for the
+// duration of the call and must not be used from other goroutines; work
+// handed off internally must send through the Manager instead.
+type PacketHandler func(tx Sender, src wire.Addr, hdr wire.ILPHeader, hdrRaw, payload []byte)
 
 // AuthorizePeer decides whether to accept a pipe with the given peer. It is
 // consulted on both initiation and response.
@@ -113,7 +127,19 @@ type Config struct {
 	// With 1 worker every packet is processed inline on the receive
 	// goroutine, matching the pre-sharding single-core pipeline.
 	RxWorkers int
+	// TxBatch caps the per-destination egress coalescing queue each worker
+	// offers its PacketHandler: sends through the handler's Sender
+	// accumulate and go out as one transport batch when the worker's input
+	// drains (NAPI-style — a worker with nothing left to read flushes
+	// immediately, so an idle node adds no latency) or when a destination
+	// reaches the cap under backpressure. 0 selects the default (32); 1
+	// disables coalescing and hands the handler the Manager directly.
+	TxBatch int
 }
+
+// DefaultTxBatch is the per-destination coalescing cap when Config.TxBatch
+// is zero. It matches the transports' vectored-syscall batch sizing.
+const DefaultTxBatch = 32
 
 // PeerInfo reports the state of one established pipe.
 type PeerInfo struct {
@@ -171,6 +197,9 @@ type Stats struct {
 	KeepalivesRcvd    uint64 // probes answered for peers
 	PeersLost         uint64 // pipes torn down by dead-peer detection
 	Reestablished     uint64 // automatic re-handshakes that succeeded
+	TxBatches         uint64 // egress coalescing flushes handed to the transport
+	TxBatchedPackets  uint64 // packets sent through coalesced flushes
+	TxFlushDrops      uint64 // packets a failing flush could not hand off
 }
 
 // Manager owns all pipes of one node.
@@ -197,6 +226,9 @@ type Manager struct {
 	keepalivesRcvd    atomic.Uint64
 	peersLost         atomic.Uint64
 	reestablished     atomic.Uint64
+	txBatches         atomic.Uint64
+	txBatchedPackets  atomic.Uint64
+	txFlushDrops      atomic.Uint64
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -230,6 +262,9 @@ func New(cfg Config) (*Manager, error) {
 	}
 	if cfg.RxWorkers < 1 {
 		cfg.RxWorkers = 1
+	}
+	if cfg.TxBatch == 0 {
+		cfg.TxBatch = DefaultTxBatch
 	}
 	seed := cfg.JitterSeed
 	if seed == 0 {
@@ -294,14 +329,15 @@ func shardFor(src wire.Addr, n int) int {
 
 func (m *Manager) receiveLoop() {
 	defer m.wg.Done()
-	var scratch psp.Scratch // used only on the inline (1-worker) path
 	n := len(m.workers)
+	if n == 0 {
+		// Single-worker pipeline: process inline with the same adaptive
+		// egress coalescing the sharded workers get.
+		m.consume(m.cfg.Transport.Receive())
+		return
+	}
 	for dg := range m.cfg.Transport.Receive() {
 		if len(dg.Payload) < 1 {
-			continue
-		}
-		if n == 0 {
-			m.dispatch(dg, &scratch)
 			continue
 		}
 		m.workers[shardFor(dg.Src, n)] <- dg
@@ -313,13 +349,55 @@ func (m *Manager) receiveLoop() {
 
 func (m *Manager) runWorker(ch chan wire.Datagram) {
 	defer m.wg.Done()
+	m.consume(ch)
+}
+
+// consume is the body every receive worker runs: dispatch packets, and let
+// egress coalesce while more input is immediately available. The flush
+// policy is NAPI-style adaptive — the inner drain loop keeps dispatching as
+// long as the channel has a datagram ready, and the coalescer flushes the
+// moment it does not. At low load every packet therefore flushes before the
+// worker blocks again (no added latency); under backpressure batches grow
+// until the per-destination cap forces them out.
+func (m *Manager) consume(ch <-chan wire.Datagram) {
 	var scratch psp.Scratch
-	for dg := range ch {
-		m.dispatch(dg, &scratch)
+	var tx Sender = m
+	var eg *egress
+	if m.cfg.TxBatch > 1 {
+		eg = m.newEgress()
+		tx = eg
+	}
+	for {
+		dg, ok := <-ch
+		if !ok {
+			return
+		}
+		m.dispatch(tx, dg, &scratch)
+	drain:
+		for {
+			select {
+			case dg, ok = <-ch:
+				if !ok {
+					if eg != nil {
+						eg.flushAll()
+					}
+					return
+				}
+				m.dispatch(tx, dg, &scratch)
+			default:
+				break drain
+			}
+		}
+		if eg != nil {
+			eg.flushAll()
+		}
 	}
 }
 
-func (m *Manager) dispatch(dg wire.Datagram, scratch *psp.Scratch) {
+func (m *Manager) dispatch(tx Sender, dg wire.Datagram, scratch *psp.Scratch) {
+	if len(dg.Payload) < 1 {
+		return
+	}
 	frame := wire.FrameType(dg.Payload[0])
 	body := dg.Payload[1:]
 	switch frame {
@@ -328,7 +406,7 @@ func (m *Manager) dispatch(dg wire.Datagram, scratch *psp.Scratch) {
 	case wire.FrameHandshake2:
 		m.handleMsg2(dg.Src, body)
 	case wire.FrameILP:
-		m.handleILP(dg.Src, body, scratch)
+		m.handleILP(tx, dg.Src, body, scratch)
 	}
 }
 
@@ -428,7 +506,7 @@ func (m *Manager) establish(addr wire.Addr, res *handshake.Result) {
 	}
 }
 
-func (m *Manager) handleILP(src wire.Addr, body []byte, scratch *psp.Scratch) {
+func (m *Manager) handleILP(tx Sender, src wire.Addr, body []byte, scratch *psp.Scratch) {
 	p := m.peer(src)
 	if p == nil {
 		return
@@ -458,7 +536,7 @@ func (m *Manager) handleILP(src wire.Addr, body []byte, scratch *psp.Scratch) {
 		return // lastRx already refreshed above
 	}
 	if m.cfg.Handler != nil {
-		m.cfg.Handler(src, hdr, hdrBytes, payload)
+		m.cfg.Handler(tx, src, hdr, hdrBytes, payload)
 	}
 }
 
@@ -596,6 +674,9 @@ func (m *Manager) Stats() Stats {
 		KeepalivesRcvd:    m.keepalivesRcvd.Load(),
 		PeersLost:         m.peersLost.Load(),
 		Reestablished:     m.reestablished.Load(),
+		TxBatches:         m.txBatches.Load(),
+		TxBatchedPackets:  m.txBatchedPackets.Load(),
+		TxFlushDrops:      m.txFlushDrops.Load(),
 	}
 }
 

@@ -38,7 +38,7 @@ func newNode(t *testing.T, n *netsim.Network, addr string, opts ...func(*Config)
 	cfg := Config{
 		Transport: tr,
 		Identity:  id,
-		Handler: func(src wire.Addr, hdr wire.ILPHeader, _ []byte, payload []byte) {
+		Handler: func(_ Sender, src wire.Addr, hdr wire.ILPHeader, _ []byte, payload []byte) {
 			h := hdr
 			h.Data = append([]byte(nil), hdr.Data...)
 			rx <- received{src: src, hdr: h, payload: append([]byte(nil), payload...)}

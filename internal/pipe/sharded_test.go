@@ -134,7 +134,7 @@ func TestSendHeaderBytesAllocs(t *testing.T) {
 	// warmup, so only sender-side and transport allocations are counted.
 	b := newNode(t, net, "fd00::b", func(c *Config) {
 		c.RxWorkers = 1
-		c.Handler = func(wire.Addr, wire.ILPHeader, []byte, []byte) {}
+		c.Handler = func(Sender, wire.Addr, wire.ILPHeader, []byte, []byte) {}
 	})
 	if err := a.mgr.Connect(b.addr); err != nil {
 		t.Fatal(err)

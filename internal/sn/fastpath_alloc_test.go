@@ -36,7 +36,7 @@ func TestFastPathForwardAllocs(t *testing.T) {
 		Transport: egressTr,
 		Identity:  egressID,
 		RxWorkers: 1,
-		Handler:   func(wire.Addr, wire.ILPHeader, []byte, []byte) {},
+		Handler:   func(pipe.Sender, wire.Addr, wire.ILPHeader, []byte, []byte) {},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -59,10 +59,10 @@ func TestFastPathForwardAllocs(t *testing.T) {
 	payload := make([]byte, 256)
 
 	for i := 0; i < 32; i++ { // warm pool, crypto scratches, and egress side
-		node.handlePacket(src, hdr, raw, payload)
+		node.handlePacket(node.mgr, src, hdr, raw, payload)
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		node.handlePacket(src, hdr, raw, payload)
+		node.handlePacket(node.mgr, src, hdr, raw, payload)
 	})
 	if allocs > 1 {
 		t.Fatalf("fast-path forward allocated %.1f times per op, want <= 1 (transport copy)", allocs)

@@ -49,6 +49,10 @@ type Config struct {
 	// datagrams are sharded onto by source address (default GOMAXPROCS;
 	// see pipe.Config.RxWorkers).
 	RxWorkers int
+	// TxBatch caps the per-destination egress coalescing each terminus
+	// worker applies to fast-path forwards (see pipe.Config.TxBatch): 0
+	// selects the pipe default, 1 disables coalescing.
+	TxBatch int
 	// HandshakeTimeout/Retries tune pipe establishment (see pipe.Config).
 	HandshakeTimeout time.Duration
 	HandshakeRetries int
@@ -208,6 +212,7 @@ func New(cfg Config) (*SN, error) {
 		HandshakeTimeout:  cfg.HandshakeTimeout,
 		HandshakeRetries:  cfg.HandshakeRetries,
 		RxWorkers:         cfg.RxWorkers,
+		TxBatch:           cfg.TxBatch,
 		KeepaliveInterval: cfg.KeepaliveInterval,
 		DeadAfter:         cfg.DeadAfter,
 		Reestablish:       cfg.KeepaliveInterval > 0 && !cfg.DisableAutoConnect,
@@ -361,7 +366,7 @@ func (s *SN) Inject(src wire.Addr, hdr wire.ILPHeader, payload []byte) {
 	if err != nil {
 		return
 	}
-	s.handlePacket(src, hdr, raw, payload)
+	s.handlePacket(s.mgr, src, hdr, raw, payload)
 }
 
 // handlePacket is the pipe-terminus (§4, Figure 2): decrypted packets
@@ -372,7 +377,10 @@ func (s *SN) Inject(src wire.Addr, hdr wire.ILPHeader, payload []byte) {
 // hdrRaw is the encoded header as it arrived; hdr.Data and hdrRaw alias
 // the calling worker's scratch buffer and are only valid until return,
 // while payload is a transport-owned per-datagram buffer safe to retain.
-func (s *SN) handlePacket(src wire.Addr, hdr wire.ILPHeader, hdrRaw, payload []byte) {
+// tx is the worker's egress sender: fast-path forwards issued through it
+// coalesce into vectored transport batches, so a cache-hit burst to one
+// peer leaves as a single sendmmsg on the UDP substrate.
+func (s *SN) handlePacket(tx pipe.Sender, src wire.Addr, hdr wire.ILPHeader, hdrRaw, payload []byte) {
 	s.rxPackets.Add(1)
 	if s.terminusEnclave != nil {
 		// The packet crosses into (and back out of) enclave memory before
@@ -386,7 +394,7 @@ func (s *SN) handlePacket(src wire.Addr, hdr wire.ILPHeader, hdrRaw, payload []b
 	key := wire.FlowKey{Src: src, Service: hdr.Service, Conn: hdr.Conn}
 	if action, ok := s.cache.Lookup(key); ok {
 		s.fastPathHits.Add(1)
-		s.applyFastAction(src, &hdr, hdrRaw, payload, &action)
+		s.applyFastAction(tx, src, &hdr, hdrRaw, payload, &action)
 		return
 	}
 
@@ -418,7 +426,7 @@ func (s *SN) handlePacket(src wire.Addr, hdr wire.ILPHeader, hdrRaw, payload []b
 // with no header rewrite reuses the raw inbound header bytes, so the whole
 // hit path — decrypt, lookup, re-encrypt, send — allocates nothing beyond
 // the transport's own datagram copy.
-func (s *SN) applyFastAction(src wire.Addr, hdr *wire.ILPHeader, hdrRaw, payload []byte, action *cache.Action) {
+func (s *SN) applyFastAction(tx pipe.Sender, src wire.Addr, hdr *wire.ILPHeader, hdrRaw, payload []byte, action *cache.Action) {
 	if action.Drop {
 		s.ruleDrops.Add(1)
 		return
@@ -441,7 +449,7 @@ func (s *SN) applyFastAction(src wire.Addr, hdr *wire.ILPHeader, hdrRaw, payload
 		hdrBytes = hdrRaw
 	}
 	for _, dst := range action.Forward {
-		s.sendHeaderBytes(dst, hdrBytes, payload)
+		s.sendHeaderBytes(tx, dst, hdrBytes, payload)
 	}
 }
 
@@ -481,7 +489,9 @@ func (s *SN) applyDecision(pkt *Packet, d *Decision) {
 		} else if f.Empty {
 			payload = nil
 		}
-		s.sendHeaderBytes(f.Dst, hdrBytes, payload)
+		// Module verdicts run on dispatcher goroutines, not the rx worker,
+		// so they send through the manager (immediate path).
+		s.sendHeaderBytes(s.mgr, f.Dst, hdrBytes, payload)
 	}
 }
 
@@ -505,8 +515,8 @@ func (s *SN) onPeerDown(addr wire.Addr, identity ed25519.PublicKey) {
 // goroutine per destination performs the handshake: this method is called
 // from the pipe-terminus receive loop, and a blocking handshake there
 // would deadlock (the handshake reply arrives on that same loop).
-func (s *SN) sendHeaderBytes(dst wire.Addr, hdrBytes, payload []byte) {
-	err := s.mgr.SendHeaderBytes(dst, hdrBytes, payload)
+func (s *SN) sendHeaderBytes(tx pipe.Sender, dst wire.Addr, hdrBytes, payload []byte) {
+	err := tx.SendHeaderBytes(dst, hdrBytes, payload)
 	if errors.Is(err, pipe.ErrNoPipe) && !s.cfg.DisableAutoConnect {
 		s.requeue(dst, hdrBytes, payload)
 		return

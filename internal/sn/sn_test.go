@@ -99,7 +99,7 @@ func newClient(t *testing.T, net *netsim.Network, addr string) *client {
 	mgr, err := pipe.New(pipe.Config{
 		Transport: tr,
 		Identity:  id,
-		Handler: func(src wire.Addr, hdr wire.ILPHeader, _ []byte, payload []byte) {
+		Handler: func(_ pipe.Sender, src wire.Addr, hdr wire.ILPHeader, _ []byte, payload []byte) {
 			h := hdr
 			h.Data = append([]byte(nil), hdr.Data...)
 			rx <- clientPkt{src: src, hdr: h, payload: append([]byte(nil), payload...)}

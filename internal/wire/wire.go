@@ -286,6 +286,24 @@ func (d *Datagram) Encode() ([]byte, error) {
 	return buf, nil
 }
 
+// AppendEncode serializes the datagram onto dst, growing it as needed, and
+// returns the extended slice. This lets transports reuse pooled encode
+// buffers instead of allocating per packet.
+func (d *Datagram) AppendEncode(dst []byte) ([]byte, error) {
+	off := len(dst)
+	n := d.EncodedSize()
+	if cap(dst)-off < n {
+		grown := make([]byte, off, off+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+n]
+	if _, err := d.SerializeTo(dst[off:]); err != nil {
+		return dst[:off], err
+	}
+	return dst, nil
+}
+
 // DecodeFromBytes parses a datagram. The Payload aliases the input.
 func (d *Datagram) DecodeFromBytes(data []byte) (int, error) {
 	if len(data) < DatagramHeaderSize {

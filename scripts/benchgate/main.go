@@ -1,0 +1,69 @@
+// Command benchgate enforces the vectored-egress performance invariant on a
+// BENCH_*.json artifact (as written by scripts/benchjson): the batched
+// parallel fast path must not be slower than the per-packet single-worker
+// fast path. The seed repo shipped with that inversion (parallel pps was
+// ~12x below single pps); the batching work exists to remove it, and this
+// gate keeps it from coming back.
+//
+// Usage: go run ./scripts/benchgate BENCH_3.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type result struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate <bench.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	var results []result
+	if err := json.Unmarshal(data, &results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	pps := func(bench string) float64 {
+		for _, r := range results {
+			// Bench names may carry a -GOMAXPROCS suffix depending on how
+			// the artifact was produced; match on the base name.
+			name := r.Name
+			if i := strings.LastIndex(name, "-"); i > 0 {
+				if base := name[:i]; strings.HasSuffix(base, bench) {
+					name = base
+				}
+			}
+			if strings.HasSuffix(name, bench) {
+				return r.Metrics["pps"]
+			}
+		}
+		return 0
+	}
+	single := pps("Figure2_FullFastPath")
+	parallel := pps("Figure2_FullFastPathParallel")
+	if single == 0 || parallel == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: missing pps metrics (single=%v parallel=%v) in %s\n",
+			single, parallel, os.Args[1])
+		os.Exit(2)
+	}
+	fmt.Printf("benchgate: single=%.0f pps, parallel=%.0f pps (%.2fx)\n",
+		single, parallel, parallel/single)
+	if parallel < single {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — parallel fast path (%.0f pps) is slower than single (%.0f pps); egress batching regressed\n",
+			parallel, single)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}

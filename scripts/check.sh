@@ -25,7 +25,10 @@ go test -run '^$' -fuzz 'FuzzDatagramDecode' -fuzztime 5s ./internal/wire/
 go test -run '^$' -fuzz 'FuzzPSPOpen' -fuzztime 5s ./internal/psp/
 
 echo "==> benchmark smoke run (Figure 2 pipeline)"
-go test -run '^$' -bench Figure2 -benchtime 100x . |
-	BENCHJSON_OUT=BENCH_1.json go run ./scripts/benchjson
+go test -run '^$' -bench Figure2 -benchtime 20000x . |
+	BENCHJSON_OUT=BENCH_3.json go run ./scripts/benchjson
 
-echo "==> wrote BENCH_1.json"
+echo "==> wrote BENCH_3.json"
+
+echo "==> benchmark gate (batched parallel egress must beat per-packet single)"
+go run ./scripts/benchgate BENCH_3.json
