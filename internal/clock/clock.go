@@ -16,8 +16,22 @@ type Clock interface {
 	// After returns a channel that delivers the then-current time once d has
 	// elapsed.
 	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a stoppable timer that fires once d has elapsed.
+	// Prefer it over After on paths that usually cancel the timer (e.g.
+	// per-invoke deadlines): a stopped timer releases its resources
+	// immediately instead of lingering until the deadline passes.
+	NewTimer(d time.Duration) Timer
 	// Sleep blocks until d has elapsed.
 	Sleep(d time.Duration)
+}
+
+// Timer is a one-shot timer bound to a Clock.
+type Timer interface {
+	// C returns the channel the timer delivers on.
+	C() <-chan time.Time
+	// Stop cancels the timer, reporting whether it was stopped before
+	// firing. After a successful Stop the channel never delivers.
+	Stop() bool
 }
 
 // Real is a Clock backed by the wall clock.
@@ -29,8 +43,16 @@ func (Real) Now() time.Time { return time.Now() }
 // After implements Clock.
 func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
 
+// NewTimer implements Clock.
+func (Real) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
 // Sleep implements Clock.
 func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time { return r.t.C }
+func (r realTimer) Stop() bool          { return r.t.Stop() }
 
 // Manual is a Clock whose time only moves when Advance is called. It is safe
 // for concurrent use.
@@ -48,6 +70,9 @@ func NewManual(start time.Time) *Manual {
 type waiter struct {
 	at time.Time
 	ch chan time.Time
+	// timer, when non-nil, lets Stop suppress the delivery (the waiter
+	// stays in the heap until due but fires into nothing).
+	timer *manualTimer
 }
 
 type waiterHeap []waiter
@@ -92,13 +117,56 @@ func (m *Manual) Sleep(d time.Duration) {
 	<-m.After(d)
 }
 
+// NewTimer implements Clock: the timer fires when Advance moves the clock
+// to or past now+d, unless stopped first.
+func (m *Manual) NewTimer(d time.Duration) Timer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &manualTimer{m: m, ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.fired = true
+		t.ch <- m.now
+		return t
+	}
+	heap.Push(&m.waiters, waiter{at: m.now.Add(d), ch: t.ch, timer: t})
+	return t
+}
+
+// manualTimer is a Manual-clock timer; fired/stopped are guarded by the
+// clock's mutex.
+type manualTimer struct {
+	m       *Manual
+	ch      chan time.Time
+	fired   bool
+	stopped bool
+}
+
+func (t *manualTimer) C() <-chan time.Time { return t.ch }
+
+func (t *manualTimer) Stop() bool {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
 // Advance moves the clock forward by d, firing any timers that come due.
 func (m *Manual) Advance(d time.Duration) {
 	m.mu.Lock()
 	m.now = m.now.Add(d)
 	var due []waiter
 	for len(m.waiters) > 0 && !m.waiters[0].at.After(m.now) {
-		due = append(due, heap.Pop(&m.waiters).(waiter))
+		w := heap.Pop(&m.waiters).(waiter)
+		if w.timer != nil {
+			if w.timer.stopped {
+				continue
+			}
+			w.timer.fired = true
+		}
+		due = append(due, w)
 	}
 	now := m.now
 	m.mu.Unlock()

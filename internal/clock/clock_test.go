@@ -121,6 +121,70 @@ func TestManualSetForwards(t *testing.T) {
 	}
 }
 
+func TestManualTimerFiresOnAdvance(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	tm := m.NewTimer(5 * time.Second)
+	m.Advance(4 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired early")
+	default:
+	}
+	m.Advance(time.Second)
+	select {
+	case at := <-tm.C():
+		if !at.Equal(time.Unix(5, 0)) {
+			t.Fatalf("fired at %v", at)
+		}
+	default:
+		t.Fatal("timer did not fire")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after firing reported true")
+	}
+}
+
+func TestManualTimerStopSuppressesDelivery(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	tm := m.NewTimer(5 * time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop before firing reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	m.Advance(10 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer delivered")
+	default:
+	}
+}
+
+func TestManualTimerZeroFiresImmediately(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	tm := m.NewTimer(0)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("NewTimer(0) did not fire immediately")
+	}
+}
+
+func TestRealTimerStop(t *testing.T) {
+	c := Real{}
+	tm := c.NewTimer(time.Hour)
+	if !tm.Stop() {
+		t.Fatal("Stop before firing reported false")
+	}
+	tm = c.NewTimer(0)
+	select {
+	case <-tm.C():
+	case <-time.After(time.Second):
+		t.Fatal("real timer did not fire")
+	}
+}
+
 func TestManualSetBackwardsPanics(t *testing.T) {
 	m := NewManual(time.Unix(100, 0))
 	defer func() {

@@ -1,0 +1,67 @@
+package pipe
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes capped exponential retry delays with deterministic
+// jitter. It is the one retry policy shared by everything that re-dials a
+// failed peer or component: the pipe handshake retransmitter, the
+// dead-peer re-establishment loop, and the SN's IPC module-server
+// restarter. The jitter RNG is seeded explicitly, so simulations replay
+// the exact same retry schedule run after run while distinct nodes (or
+// modules) draw decorrelated delays.
+type Backoff struct {
+	base, max time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewBackoff creates a policy that starts at base, doubles per attempt,
+// and caps at max. seed fixes the jitter sequence; derive it with
+// DeriveSeed to decorrelate independent retriers deterministically.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if max < base {
+		max = base
+	}
+	return &Backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// DeriveSeed hashes identity bytes (an address, a module name) into a
+// jitter seed with FNV-1a, so the schedule is reproducible per identity
+// yet decorrelated across identities.
+func DeriveSeed(id []byte) int64 {
+	h := uint64(14695981039346656037)
+	for _, c := range id {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return int64(h)
+}
+
+// Attempt returns the jittered delay after attempt number n (0-based):
+// base doubled per attempt, capped at max, then jittered to [d/2, d).
+func (b *Backoff) Attempt(n int) time.Duration {
+	d := b.base
+	for i := 0; i < n && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	return b.Jitter(d)
+}
+
+// Jitter maps d onto a uniformly random duration in [d/2, d).
+func (b *Backoff) Jitter(d time.Duration) time.Duration {
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	b.mu.Lock()
+	j := time.Duration(b.rng.Int63n(int64(half)))
+	b.mu.Unlock()
+	return half + j
+}

@@ -21,9 +21,9 @@ package pipe
 
 import (
 	"crypto/ed25519"
+	"crypto/sha256"
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -209,13 +209,13 @@ type Manager struct {
 
 	peers atomic.Pointer[peerMap]
 
-	mu        sync.Mutex // guards pending, redialing, closed, and peer-map writes
+	mu        sync.Mutex // guards pending, redialing, respCache, closed, and peer-map writes
 	pending   map[wire.Addr]*pendingConn
 	redialing map[wire.Addr]bool
+	respCache map[wire.Addr]msg1Reply
 	closed    bool
 
-	rngMu sync.Mutex
-	rng   *rand.Rand // backoff jitter
+	retry *Backoff // handshake/redial backoff with deterministic jitter
 
 	workers  []chan wire.Datagram
 	sealBufs sync.Pool
@@ -271,18 +271,15 @@ func New(cfg Config) (*Manager, error) {
 		// Derive a deterministic per-node seed so retry jitter is
 		// reproducible in simulation yet decorrelated across nodes.
 		b := cfg.Transport.LocalAddr().As16()
-		h := uint64(14695981039346656037)
-		for _, c := range b {
-			h = (h ^ uint64(c)) * 1099511628211
-		}
-		seed = int64(h)
+		seed = DeriveSeed(b[:])
 	}
 	m := &Manager{
 		cfg:       cfg,
 		local:     cfg.Transport.LocalAddr(),
 		pending:   make(map[wire.Addr]*pendingConn),
 		redialing: make(map[wire.Addr]bool),
-		rng:       rand.New(rand.NewSource(seed)),
+		respCache: make(map[wire.Addr]msg1Reply),
+		retry:     NewBackoff(cfg.HandshakeTimeout, cfg.HandshakeBackoffMax, seed),
 		done:      make(chan struct{}),
 	}
 	empty := make(peerMap)
@@ -410,13 +407,35 @@ func (m *Manager) dispatch(tx Sender, dg wire.Datagram, scratch *psp.Scratch) {
 	}
 }
 
+// msg1Reply caches the responder's answer to the most recent msg1 from one
+// peer, keyed by a digest of the msg1 body. Initiators retransmit msg1 on a
+// timer until msg2 arrives, so the responder routinely sees the same msg1
+// more than once. Running handshake.Respond again for a retransmission
+// would draw a fresh ephemeral — new keys — and re-establish the pipe with
+// a secret the initiator never learns (the initiator drops any msg2 after
+// its first Complete), silently poisoning a pipe the first exchange already
+// brought up. The cache makes msg1 idempotent: a repeat gets the identical
+// msg2 back (covering a lost msg2) and leaves the established keys alone. A
+// msg1 with a new digest is a fresh handshake attempt (e.g. peer restart)
+// and replaces the entry.
+type msg1Reply struct {
+	digest [sha256.Size]byte
+	msg2   []byte
+}
+
 func (m *Manager) handleMsg1(src wire.Addr, body []byte) {
+	digest := sha256.Sum256(body)
 	m.mu.Lock()
 	// Simultaneous open: if we have a pending handshake to src and our
 	// address is lower, we are the designated initiator — ignore their
 	// msg1; they will answer ours.
 	if _, isPending := m.pending[src]; isPending && m.local.Less(src) {
 		m.mu.Unlock()
+		return
+	}
+	if prev, ok := m.respCache[src]; ok && prev.digest == digest {
+		m.mu.Unlock()
+		_ = m.cfg.Transport.Send(wire.Datagram{Dst: src, Payload: prev.msg2})
 		return
 	}
 	m.mu.Unlock()
@@ -432,6 +451,9 @@ func (m *Manager) handleMsg1(src wire.Addr, body []byte) {
 	if err := m.cfg.Transport.Send(wire.Datagram{Dst: src, Payload: out}); err != nil {
 		return
 	}
+	m.mu.Lock()
+	m.respCache[src] = msg1Reply{digest: digest, msg2: out}
+	m.mu.Unlock()
 	m.establish(src, res)
 }
 
@@ -643,26 +665,12 @@ func (m *Manager) reestablish(addr wire.Addr) {
 // attempt (0-based): HandshakeTimeout doubled per attempt, capped at
 // HandshakeBackoffMax, then jittered to [d/2, d).
 func (m *Manager) backoff(attempt int) time.Duration {
-	d := m.cfg.HandshakeTimeout
-	for i := 0; i < attempt && d < m.cfg.HandshakeBackoffMax; i++ {
-		d *= 2
-	}
-	if d > m.cfg.HandshakeBackoffMax {
-		d = m.cfg.HandshakeBackoffMax
-	}
-	return m.jitter(d)
+	return m.retry.Attempt(attempt)
 }
 
 // jitter maps d onto a uniformly random duration in [d/2, d).
 func (m *Manager) jitter(d time.Duration) time.Duration {
-	half := d / 2
-	if half <= 0 {
-		return d
-	}
-	m.rngMu.Lock()
-	j := time.Duration(m.rng.Int63n(int64(half)))
-	m.rngMu.Unlock()
-	return half + j
+	return m.retry.Jitter(d)
 }
 
 // Stats returns a snapshot of manager-wide pipe metrics.

@@ -1,6 +1,7 @@
 package pipe
 
 import (
+	"bytes"
 	"crypto/ed25519"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 
 	"interedge/internal/handshake"
 	"interedge/internal/netsim"
+	"interedge/internal/psp"
 	"interedge/internal/wire"
 )
 
@@ -426,5 +428,90 @@ func TestGarbageDatagramsIgnored(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("timeout")
+	}
+}
+
+// TestRetransmittedMsg1KeepsEstablishedKeys replays the initiator's msg1
+// after completing the handshake with the first msg2 — the retransmission
+// race where the initiator's timer fires while msg2 is still in flight.
+// The responder must answer idempotently (same msg2, same keys); re-running
+// the responder side would re-key the established pipe with a secret the
+// initiator never learns and silently poison it.
+func TestRetransmittedMsg1KeepsEstablishedKeys(t *testing.T) {
+	net := netsim.NewNetwork()
+	b := newNode(t, net, "fd00::2")
+
+	// Hand-rolled initiator over a raw endpoint, so the exact msg1 bytes
+	// can be replayed.
+	laddr := wire.MustAddr("fd00::9")
+	tr, err := net.Attach(laddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	id, err := handshake.NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := handshake.Initiate(id, laddr, b.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg1 := append([]byte{byte(wire.FrameHandshake1)}, hs.Msg1()...)
+	recvMsg2 := func() []byte {
+		t.Helper()
+		select {
+		case dg := <-tr.Receive():
+			if len(dg.Payload) < 1 || wire.FrameType(dg.Payload[0]) != wire.FrameHandshake2 {
+				t.Fatalf("unexpected frame %v", dg.Payload)
+			}
+			return append([]byte(nil), dg.Payload[1:]...)
+		case <-time.After(2 * time.Second):
+			t.Fatal("no msg2")
+		}
+		return nil
+	}
+
+	if err := tr.Send(wire.Datagram{Dst: b.addr, Payload: msg1}); err != nil {
+		t.Fatal(err)
+	}
+	first := recvMsg2()
+	res, err := hs.Complete(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crypto, err := psp.NewPipeCrypto(res.Master, res.Initiator, res.BaseSPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The retransmission: identical msg1 again.
+	if err := tr.Send(wire.Datagram{Dst: b.addr, Payload: msg1}); err != nil {
+		t.Fatal(err)
+	}
+	if second := recvMsg2(); !bytes.Equal(first, second) {
+		t.Fatal("responder re-ran the handshake for a retransmitted msg1")
+	}
+
+	// Data sealed with the first exchange's keys must still be accepted.
+	hdr := wire.ILPHeader{Service: wire.SvcEcho, Conn: 7}
+	hdrEnc, err := hdr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := crypto.TX.Seal([]byte{byte(wire.FrameILP)}, hdrEnc, []byte("still-keyed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(wire.Datagram{Dst: b.addr, Payload: sealed}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-b.rx:
+		if string(got.payload) != "still-keyed" {
+			t.Fatalf("payload %q", got.payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("duplicate msg1 re-keyed the established pipe")
 	}
 }

@@ -8,10 +8,15 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"interedge/internal/clock"
 	"interedge/internal/enclave"
+	"interedge/internal/pipe"
+	"interedge/internal/wire"
 )
 
 // Transport selects how packets travel between the pipe-terminus and a
@@ -51,10 +56,17 @@ func (t Transport) String() string {
 type ModuleOption func(*moduleConfig)
 
 type moduleConfig struct {
-	transport  Transport
-	enclave    bool
-	workers    int
-	queueDepth int
+	transport        Transport
+	enclave          bool
+	workers          int
+	queueDepth       int
+	deadline         time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	degraded         DegradedAction
+	degradedDst      wire.Addr
+	restartBase      time.Duration
+	restartMax       time.Duration
 }
 
 // WithTransport selects the module transport (default TransportChan).
@@ -78,6 +90,53 @@ func WithWorkers(n int) ModuleOption {
 // benchmark keeps 64 packets outstanding).
 func WithQueueDepth(n int) ModuleOption {
 	return func(c *moduleConfig) { c.queueDepth = n }
+}
+
+// WithDeadline bounds every module invocation: an invocation still running
+// after d fails with ErrModuleTimeout and the dispatcher worker moves on,
+// so a hung module cannot wedge the slow path. The deadline is driven by
+// the SN's injected clock, keeping chaos schedules deterministic. The
+// abandoned invocation keeps its goroutine until the module returns; arm
+// WithBreaker alongside the deadline so a persistently hung module stops
+// being invoked at all after the failure budget. 0 (the default) disables
+// the deadline.
+func WithDeadline(d time.Duration) ModuleOption {
+	return func(c *moduleConfig) { c.deadline = d }
+}
+
+// WithBreaker arms the module's circuit breaker: after `failures`
+// consecutive failed invocations (errors, timeouts, panics, IPC crashes)
+// the breaker opens for cooldown and the module's packets are shed to the
+// degraded action (see WithDegradedForward; the default drops them). After
+// the cooldown one half-open probe invocation is allowed through: success
+// closes the breaker, failure re-opens it for another cooldown. failures
+// <= 0 (the default) leaves the breaker disarmed.
+func WithBreaker(failures int, cooldown time.Duration) ModuleOption {
+	return func(c *moduleConfig) {
+		c.breakerThreshold = failures
+		c.breakerCooldown = cooldown
+	}
+}
+
+// WithDegradedForward sheds the module's packets to dst — unmodified
+// pass-through forwarding — while the breaker is open, instead of dropping
+// them. dst is typically another SN hosting the same module, so the
+// service degrades to extra latency rather than loss.
+func WithDegradedForward(dst wire.Addr) ModuleOption {
+	return func(c *moduleConfig) {
+		c.degraded = DegradedForward
+		c.degradedDst = dst
+	}
+}
+
+// WithRestartBackoff tunes the redial policy for a crashed IPC module
+// server: capped exponential backoff starting at base, capped at max,
+// jittered deterministically (default 25ms base, 1s cap).
+func WithRestartBackoff(base, max time.Duration) ModuleOption {
+	return func(c *moduleConfig) {
+		c.restartBase = base
+		c.restartMax = max
+	}
 }
 
 // handleFunc produces a module's decision for one packet, including any
@@ -120,6 +179,23 @@ func newHandleFunc(mod Module, env Env, encl *enclave.Enclave) handleFunc {
 	}
 }
 
+// recoverHandleFunc contains module panics on the in-process transports:
+// a panic unwinds to here, is counted via notePanic, and is returned as a
+// *ModulePanicError instead of killing the SN. (The IPC transport recovers
+// on the server side instead, where a panic crashes the module-server
+// connection — see ipcInvoker.)
+func recoverHandleFunc(h handleFunc, notePanic func(v any)) handleFunc {
+	return func(pkt *Packet) (d *Decision, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				notePanic(r)
+				d, err = nil, &ModulePanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return h(pkt)
+	}
+}
+
 // invoker carries one packet across the module transport and returns the
 // module's decision.
 type invoker interface {
@@ -134,10 +210,13 @@ func (d *directInvoker) invoke(pkt *Packet) (*Decision, error) { return d.h(pkt)
 func (d *directInvoker) close() error                          { return nil }
 
 // chanInvoker hands packets to a module goroutine over channels —
-// the shared-memory-ring configuration.
+// the shared-memory-ring configuration. Shutdown is signalled on stop
+// rather than by closing req: a concurrent invoke may be committed to
+// sending, and a send on a closed channel would panic the terminus.
 type chanInvoker struct {
 	req    chan chanReq
-	done   chan struct{}
+	stop   chan struct{} // closed by close(): workers exit, senders abort
+	done   chan struct{} // closed once every worker has exited
 	closed atomic.Bool
 }
 
@@ -154,6 +233,7 @@ type chanResp struct {
 func newChanInvoker(h handleFunc, serverWorkers int) *chanInvoker {
 	ci := &chanInvoker{
 		req:  make(chan chanReq, 64),
+		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
 	var wg sync.WaitGroup
@@ -161,9 +241,14 @@ func newChanInvoker(h handleFunc, serverWorkers int) *chanInvoker {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for r := range ci.req {
-				d, err := h(r.pkt)
-				r.reply <- chanResp{d: d, err: err}
+			for {
+				select {
+				case r := <-ci.req:
+					d, err := h(r.pkt)
+					r.reply <- chanResp{d: d, err: err}
+				case <-ci.stop:
+					return
+				}
 			}
 		}()
 	}
@@ -176,37 +261,89 @@ func newChanInvoker(h handleFunc, serverWorkers int) *chanInvoker {
 
 var errInvokerClosed = errors.New("sn: module invoker closed")
 
+// ErrModuleTimeout marks a module invocation that exceeded its deadline
+// (WithDeadline). The dispatcher worker is freed; the invocation itself
+// runs on until the module returns.
+var ErrModuleTimeout = errors.New("sn: module invocation deadline exceeded")
+
+// ErrModuleRestarting marks an invocation attempted while the IPC module
+// server is down and a redial is in progress.
+var ErrModuleRestarting = errors.New("sn: module server down, restarting")
+
 func (c *chanInvoker) invoke(pkt *Packet) (*Decision, error) {
 	if c.closed.Load() {
 		return nil, errInvokerClosed
 	}
 	reply := make(chan chanResp, 1)
-	c.req <- chanReq{pkt: pkt, reply: reply}
-	r := <-reply
-	return r.d, r.err
+	select {
+	case c.req <- chanReq{pkt: pkt, reply: reply}:
+	case <-c.stop:
+		return nil, errInvokerClosed
+	}
+	select {
+	case r := <-reply:
+		return r.d, r.err
+	case <-c.done:
+		// Workers have exited; the request may still have been picked up
+		// just before, so prefer a reply that made it out.
+		select {
+		case r := <-reply:
+			return r.d, r.err
+		default:
+			return nil, errInvokerClosed
+		}
+	}
 }
 
 func (c *chanInvoker) close() error {
 	if c.closed.CompareAndSwap(false, true) {
-		close(c.req)
+		close(c.stop)
 		<-c.done
 	}
 	return nil
 }
 
+// maxIPCFrame bounds a framed IPC request or response. Anything larger
+// means the stream has desynchronized (or the peer is hostile); the
+// connection is torn down rather than allocating unbounded memory.
+const maxIPCFrame = 1 << 24
+
 // ipcInvoker carries packets over a real Unix domain socket: each invoke
 // is a framed write plus a framed read, paying genuine kernel round-trip
 // costs like the paper prototype's IPC path.
+//
+// The module-side server models a separate module process: a panic in the
+// module "kills" it — the serving connection drops, and the accept loop
+// stands ready for a new one. The invoker side treats any connection or
+// framing failure (including a response that fails to decode: the framing
+// can't be trusted after a partial failure) as a crash, closes the poisoned
+// connection, and redials in the background with capped-exponential
+// deterministically-jittered backoff. Invocations attempted while the
+// server is down fail fast with ErrModuleRestarting.
 type ipcInvoker struct {
-	mu       sync.Mutex
-	conn     net.Conn
-	listener net.Listener
-	sockPath string
-	done     chan struct{}
-	closed   atomic.Bool
+	h           handleFunc
+	sockPath    string
+	listener    net.Listener
+	clk         clock.Clock
+	retry       *pipe.Backoff
+	logf        func(format string, args ...any)
+	notePanic   func(v any)
+	noteRestart func()
+
+	// ioMu serializes request/response exchanges; mu guards only the
+	// connection pointer and redial flag, so close() can always reach the
+	// conn to unblock a hung exchange.
+	ioMu       sync.Mutex
+	mu         sync.Mutex
+	conn       net.Conn
+	redialing  bool
+	stop       chan struct{} // closed by close(): aborts redial waits
+	serverDone chan struct{} // accept loop exited
+	closed     atomic.Bool
 }
 
-func newIPCInvoker(name string, h handleFunc) (*ipcInvoker, error) {
+func newIPCInvoker(name string, h handleFunc, clk clock.Clock, retry *pipe.Backoff,
+	logf func(format string, args ...any), notePanic func(v any), noteRestart func()) (*ipcInvoker, error) {
 	dir, err := os.MkdirTemp("", "interedge-ipc-")
 	if err != nil {
 		return nil, fmt.Errorf("sn: ipc tempdir: %w", err)
@@ -217,48 +354,31 @@ func newIPCInvoker(name string, h handleFunc) (*ipcInvoker, error) {
 		os.RemoveAll(dir)
 		return nil, fmt.Errorf("sn: ipc listen: %w", err)
 	}
-	inv := &ipcInvoker{listener: l, sockPath: sockPath, done: make(chan struct{})}
+	inv := &ipcInvoker{
+		h:           h,
+		sockPath:    sockPath,
+		listener:    l,
+		clk:         clk,
+		retry:       retry,
+		logf:        logf,
+		notePanic:   notePanic,
+		noteRestart: noteRestart,
+		stop:        make(chan struct{}),
+		serverDone:  make(chan struct{}),
+	}
 
-	// Module-side server: accept one connection, serve framed requests.
+	// Module-side server: accept connections for the invoker's lifetime.
+	// Each connection is served on its own goroutine and lives until its
+	// conn dies (invoker-side reset, module crash, or invoker close), so a
+	// crashed server is back the moment the invoker redials.
 	go func() {
-		defer close(inv.done)
-		conn, err := l.Accept()
-		if err != nil {
-			return
-		}
-		defer conn.Close()
-		var lenBuf [4]byte
+		defer close(inv.serverDone)
 		for {
-			if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			conn, err := l.Accept()
+			if err != nil {
 				return
 			}
-			n := binary.BigEndian.Uint32(lenBuf[:])
-			buf := make([]byte, n)
-			if _, err := io.ReadFull(conn, buf); err != nil {
-				return
-			}
-			var resp []byte
-			pkt, err := decodePacket(buf)
-			if err == nil {
-				var d *Decision
-				if d, err = h(pkt); err == nil {
-					if enc, encErr := encodeDecision([]byte{0}, d); encErr == nil {
-						resp = enc
-					} else {
-						err = encErr
-					}
-				}
-			}
-			if resp == nil {
-				resp = append([]byte{1}, err.Error()...)
-			}
-			binary.BigEndian.PutUint32(lenBuf[:], uint32(len(resp)))
-			if _, err := conn.Write(lenBuf[:]); err != nil {
-				return
-			}
-			if _, err := conn.Write(resp); err != nil {
-				return
-			}
+			go inv.serve(conn)
 		}
 	}()
 
@@ -272,6 +392,64 @@ func newIPCInvoker(name string, h handleFunc) (*ipcInvoker, error) {
 	return inv, nil
 }
 
+// serve answers framed requests on one module-server connection until the
+// connection dies or the module "crashes" (panics).
+func (i *ipcInvoker) serve(conn net.Conn) {
+	defer conn.Close()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n > maxIPCFrame {
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		resp, crashed := i.handleFrame(buf)
+		if crashed {
+			// The module "process" died mid-request: no response, the
+			// connection drops, the invoker redials a fresh server.
+			return
+		}
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(resp)))
+		if _, err := conn.Write(lenBuf[:]); err != nil {
+			return
+		}
+		if _, err := conn.Write(resp); err != nil {
+			return
+		}
+	}
+}
+
+// handleFrame decodes one request and produces the framed response. A
+// module panic is recovered here — counted, logged — and reported as a
+// crash so serve drops the connection like a dying process would.
+func (i *ipcInvoker) handleFrame(buf []byte) (resp []byte, crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			i.notePanic(r)
+			i.logf("sn: ipc module server panic (crashing server): %v\n%s", r, debug.Stack())
+			resp, crashed = nil, true
+		}
+	}()
+	pkt, err := decodePacket(buf)
+	if err == nil {
+		var d *Decision
+		if d, err = i.h(pkt); err == nil {
+			if enc, encErr := encodeDecision([]byte{0}, d); encErr == nil {
+				return enc, false
+			} else {
+				err = encErr
+			}
+		}
+	}
+	return append([]byte{1}, err.Error()...), false
+}
+
 func (i *ipcInvoker) invoke(pkt *Packet) (*Decision, error) {
 	if i.closed.Load() {
 		return nil, errInvokerClosed
@@ -280,69 +458,195 @@ func (i *ipcInvoker) invoke(pkt *Packet) (*Decision, error) {
 	if err != nil {
 		return nil, err
 	}
+	i.ioMu.Lock()
+	defer i.ioMu.Unlock()
 	i.mu.Lock()
-	defer i.mu.Unlock()
+	conn := i.conn
+	if conn == nil {
+		i.ensureRedialLocked()
+		i.mu.Unlock()
+		return nil, ErrModuleRestarting
+	}
+	i.mu.Unlock()
+
+	// Any connection or framing failure poisons the stream: drop the
+	// connection and let the background redial bring up a fresh one.
+	fail := func(op string, err error) (*Decision, error) {
+		i.mu.Lock()
+		if i.conn == conn {
+			i.conn = nil
+			i.ensureRedialLocked()
+		}
+		i.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("sn: ipc %s (module server connection reset): %w", op, err)
+	}
+
 	var lenBuf [4]byte
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(req)))
-	if _, err := i.conn.Write(lenBuf[:]); err != nil {
-		return nil, fmt.Errorf("sn: ipc write: %w", err)
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		return fail("write", err)
 	}
-	if _, err := i.conn.Write(req); err != nil {
-		return nil, fmt.Errorf("sn: ipc write: %w", err)
+	if _, err := conn.Write(req); err != nil {
+		return fail("write", err)
 	}
-	if _, err := io.ReadFull(i.conn, lenBuf[:]); err != nil {
-		return nil, fmt.Errorf("sn: ipc read: %w", err)
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return fail("read", err)
 	}
-	resp := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
-	if _, err := io.ReadFull(i.conn, resp); err != nil {
-		return nil, fmt.Errorf("sn: ipc read: %w", err)
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxIPCFrame {
+		return fail("read", errors.New("oversized response frame"))
+	}
+	resp := make([]byte, n)
+	if _, err := io.ReadFull(conn, resp); err != nil {
+		return fail("read", err)
 	}
 	if len(resp) < 1 {
-		return nil, errors.New("sn: ipc empty response")
+		return fail("read", errors.New("empty response"))
 	}
 	if resp[0] != 0 {
+		// A module-level error leaves the framing intact; the connection
+		// stays pooled.
 		return nil, fmt.Errorf("sn: module error: %s", resp[1:])
 	}
-	return decodeDecision(resp[1:])
+	dec, err := decodeDecision(resp[1:])
+	if err != nil {
+		// The frame arrived but its contents don't parse: the stream
+		// offset can no longer be trusted, so resynchronize by redialing
+		// instead of returning a poisoned connection to the pool.
+		return fail("decode", err)
+	}
+	return dec, nil
+}
+
+// ensureRedialLocked starts the background redial loop if one isn't
+// already running. Caller holds i.mu.
+func (i *ipcInvoker) ensureRedialLocked() {
+	if i.redialing || i.closed.Load() {
+		return
+	}
+	i.redialing = true
+	go i.redialLoop()
+}
+
+// redialLoop re-establishes the module-server connection with capped
+// exponential backoff and deterministic jitter (the pipe layer's redial
+// policy), until it succeeds or the invoker closes.
+func (i *ipcInvoker) redialLoop() {
+	for attempt := 0; ; attempt++ {
+		t := i.clk.NewTimer(i.retry.Attempt(attempt))
+		select {
+		case <-t.C():
+		case <-i.stop:
+			t.Stop()
+			i.mu.Lock()
+			i.redialing = false
+			i.mu.Unlock()
+			return
+		}
+		conn, err := net.Dial("unix", i.sockPath)
+		if err != nil {
+			i.logf("sn: ipc module server redial attempt %d failed: %v", attempt, err)
+			continue
+		}
+		i.mu.Lock()
+		if i.closed.Load() {
+			i.redialing = false
+			i.mu.Unlock()
+			conn.Close()
+			return
+		}
+		i.conn = conn
+		i.redialing = false
+		i.mu.Unlock()
+		i.noteRestart()
+		return
+	}
 }
 
 func (i *ipcInvoker) close() error {
 	if !i.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	i.conn.Close()
+	close(i.stop)
+	i.mu.Lock()
+	conn := i.conn
+	i.conn = nil
+	i.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
 	i.listener.Close()
-	<-i.done
+	<-i.serverDone
 	os.RemoveAll(filepath.Dir(i.sockPath))
 	return nil
 }
 
 // dispatcher is the slow-path queue between the pipe-terminus and one
-// module's invoker.
+// module's invoker, and the module's containment point: it enforces the
+// per-invoke deadline, drives the circuit breaker, and sheds to the
+// degraded action while the breaker is open.
 type dispatcher struct {
-	queue   chan *Packet
-	inv     invoker
-	apply   func(pkt *Packet, d *Decision)
-	onError func(pkt *Packet, err error)
-	wg      sync.WaitGroup
-	dropped atomic.Uint64
-	handled atomic.Uint64
+	queue    chan *Packet
+	inv      invoker
+	clk      clock.Clock
+	deadline time.Duration
+	brk      *breaker
+	apply    func(pkt *Packet, d *Decision)
+	onError  func(pkt *Packet, err error)
+	degrade  func(pkt *Packet) // runs for packets shed by an open breaker
+	wg       sync.WaitGroup
+
+	dropped  atomic.Uint64
+	handled  atomic.Uint64
+	errored  atomic.Uint64
+	timeouts atomic.Uint64
+	panics   atomic.Uint64
+	restarts atomic.Uint64
+	shed     atomic.Uint64
 }
 
-func newDispatcher(inv invoker, workers, depth int, apply func(*Packet, *Decision), onError func(*Packet, error)) *dispatcher {
+type dispatcherConfig struct {
+	workers  int
+	depth    int
+	clk      clock.Clock
+	deadline time.Duration
+	brk      *breaker
+	apply    func(*Packet, *Decision)
+	onError  func(*Packet, error)
+	degrade  func(*Packet)
+}
+
+func newDispatcher(inv invoker, cfg dispatcherConfig) *dispatcher {
 	d := &dispatcher{
-		queue:   make(chan *Packet, depth),
-		inv:     inv,
-		apply:   apply,
-		onError: onError,
+		queue:    make(chan *Packet, cfg.depth),
+		inv:      inv,
+		clk:      cfg.clk,
+		deadline: cfg.deadline,
+		brk:      cfg.brk,
+		apply:    cfg.apply,
+		onError:  cfg.onError,
+		degrade:  cfg.degrade,
 	}
-	for i := 0; i < workers; i++ {
+	for i := 0; i < cfg.workers; i++ {
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
 			for pkt := range d.queue {
-				dec, err := d.inv.invoke(pkt)
+				if !d.brk.allow() {
+					d.shed.Add(1)
+					if d.degrade != nil {
+						d.degrade(pkt)
+					}
+					continue
+				}
+				dec, err := d.invokeOne(pkt)
+				d.brk.onResult(err)
 				if err != nil {
+					d.errored.Add(1)
+					if errors.Is(err, ErrModuleTimeout) {
+						d.timeouts.Add(1)
+					}
 					d.onError(pkt, err)
 					continue
 				}
@@ -352,6 +656,33 @@ func newDispatcher(inv invoker, workers, depth int, apply func(*Packet, *Decisio
 		}()
 	}
 	return d
+}
+
+// invokeOne runs one invocation under the module deadline. On timeout the
+// worker abandons the invocation (its goroutine runs on until the module
+// returns; the buffered channel lets its late result be dropped silently)
+// and reports ErrModuleTimeout to the breaker.
+func (d *dispatcher) invokeOne(pkt *Packet) (*Decision, error) {
+	if d.deadline <= 0 {
+		return d.inv.invoke(pkt)
+	}
+	type res struct {
+		dec *Decision
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		dec, err := d.inv.invoke(pkt)
+		ch <- res{dec, err}
+	}()
+	t := d.clk.NewTimer(d.deadline)
+	select {
+	case r := <-ch:
+		t.Stop()
+		return r.dec, r.err
+	case <-t.C():
+		return nil, ErrModuleTimeout
+	}
 }
 
 // submit enqueues a packet, dropping it if the slow path is saturated

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,10 +85,14 @@ type Counters struct {
 	Forwarded     uint64 // copies forwarded to next hops
 	Delivered     uint64 // packets handed to OnDeliver
 	ForwardErrors uint64 // forwarding failures (no pipe, send error)
-	ModuleErrors  uint64 // module invocations that returned an error
+	ModuleErrors  uint64 // module invocations that failed (any cause)
 	Requeued      uint64 // forwards held while a pipe (re-)establishes
 	RequeueDrops  uint64 // forwards dropped: requeue bound reached
 	PeersLost     uint64 // pipes torn down by dead-peer detection
+	// Modules holds the per-module containment snapshot (queue drops,
+	// errors, timeouts, panics, restarts, breaker state), sorted by
+	// service ID.
+	Modules []ModuleHealth
 }
 
 type registeredModule struct {
@@ -98,6 +103,28 @@ type registeredModule struct {
 	enclave  *enclave.Enclave
 	ctrl     ControlHandler
 	stopOnce sync.Once
+}
+
+// health snapshots the module's containment state.
+func (reg *registeredModule) health() ModuleHealth {
+	d := reg.disp
+	state, consec, trips, recoveries := d.brk.snapshot()
+	return ModuleHealth{
+		Service:             reg.mod.Service(),
+		Name:                reg.mod.Name(),
+		Transport:           reg.cfg.transport.String(),
+		State:               state.String(),
+		ConsecutiveFailures: consec,
+		Handled:             d.handled.Load(),
+		Dropped:             d.dropped.Load(),
+		Errored:             d.errored.Load(),
+		Timeouts:            d.timeouts.Load(),
+		Panics:              d.panics.Load(),
+		Restarts:            d.restarts.Load(),
+		BreakerTrips:        trips,
+		BreakerRecoveries:   recoveries,
+		Shed:                d.shed.Load(),
+	}
 }
 
 // ControlHandler is implemented by modules that accept out-of-band control
@@ -243,15 +270,32 @@ func (s *SN) TPM() *tpm.TPM { return s.tpm }
 // Connect ensures a pipe to addr.
 func (s *SN) Connect(addr wire.Addr) error { return s.mgr.Connect(addr) }
 
-// Counters returns a snapshot of data-path statistics.
-func (s *SN) Counters() Counters {
-	var slowDrops uint64
+// ModuleHealth returns the per-module containment snapshot, sorted by
+// service ID for deterministic output.
+func (s *SN) ModuleHealth() []ModuleHealth {
 	s.mu.Lock()
+	regs := make([]*registeredModule, 0, len(s.modules))
 	for _, reg := range s.modules {
-		slowDrops += reg.disp.dropped.Load()
+		regs = append(regs, reg)
 	}
 	s.mu.Unlock()
+	hs := make([]ModuleHealth, 0, len(regs))
+	for _, reg := range regs {
+		hs = append(hs, reg.health())
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i].Service < hs[j].Service })
+	return hs
+}
+
+// Counters returns a snapshot of data-path statistics.
+func (s *SN) Counters() Counters {
+	mods := s.ModuleHealth()
+	var slowDrops uint64
+	for i := range mods {
+		slowDrops += mods[i].Dropped
+	}
 	return Counters{
+		Modules:       mods,
 		RxPackets:     s.rxPackets.Load(),
 		FastPathHits:  s.fastPathHits.Load(),
 		SlowPathSent:  s.slowPathSent.Load(),
@@ -272,9 +316,18 @@ func (s *SN) Counters() Counters {
 // registered before traffic for their service arrives; registration after
 // Start is safe but packets received in between are dropped.
 func (s *SN) Register(mod Module, opts ...ModuleOption) error {
-	mc := moduleConfig{transport: TransportChan, workers: 1, queueDepth: 256}
+	mc := moduleConfig{
+		transport:   TransportChan,
+		workers:     1,
+		queueDepth:  256,
+		restartBase: 25 * time.Millisecond,
+		restartMax:  time.Second,
+	}
 	for _, o := range opts {
 		o(&mc)
+	}
+	if mc.degraded == DegradedForward && !mc.degradedDst.IsValid() {
+		return fmt.Errorf("sn: module %s: degraded forward needs a valid destination", mod.Name())
 	}
 	env := &snEnv{sn: s, module: mod.Name(), service: mod.Service()}
 
@@ -288,14 +341,30 @@ func (s *SN) Register(mod Module, opts ...ModuleOption) error {
 	}
 	h := newHandleFunc(mod, env, encl)
 
+	reg := &registeredModule{mod: mod, cfg: mc, env: env, enclave: encl}
+	if ch, ok := mod.(ControlHandler); ok {
+		reg.ctrl = ch
+	}
+	// The containment callbacks reference reg.disp, which is assigned
+	// below, before the module becomes reachable from the packet path.
+	notePanic := func(v any) {
+		reg.disp.panics.Add(1)
+		s.cfg.Logf("sn %s: module %s panicked (contained): %v", s.Addr(), mod.Name(), v)
+	}
+	noteRestart := func() {
+		reg.disp.restarts.Add(1)
+		s.cfg.Logf("sn %s: module %s server restarted", s.Addr(), mod.Name())
+	}
+
 	var inv invoker
 	switch mc.transport {
 	case TransportDirect:
-		inv = &directInvoker{h: h}
+		inv = &directInvoker{h: recoverHandleFunc(h, notePanic)}
 	case TransportChan:
-		inv = newChanInvoker(h, mc.workers)
+		inv = newChanInvoker(recoverHandleFunc(h, notePanic), mc.workers)
 	case TransportIPC:
-		ipcInv, err := newIPCInvoker(mod.Name(), h)
+		retry := pipe.NewBackoff(mc.restartBase, mc.restartMax, pipe.DeriveSeed([]byte(mod.Name())))
+		ipcInv, err := newIPCInvoker(mod.Name(), h, s.cfg.Clock, retry, s.cfg.Logf, notePanic, noteRestart)
 		if err != nil {
 			return err
 		}
@@ -304,16 +373,27 @@ func (s *SN) Register(mod Module, opts ...ModuleOption) error {
 		return fmt.Errorf("sn: unknown transport %v", mc.transport)
 	}
 
-	reg := &registeredModule{mod: mod, cfg: mc, env: env, enclave: encl}
-	if ch, ok := mod.(ControlHandler); ok {
-		reg.ctrl = ch
+	var brk *breaker
+	if mc.breakerThreshold > 0 {
+		cooldown := mc.breakerCooldown
+		if cooldown <= 0 {
+			cooldown = time.Second
+		}
+		brk = newBreaker(mc.breakerThreshold, cooldown, s.cfg.Clock)
 	}
-	reg.disp = newDispatcher(inv, mc.workers, mc.queueDepth,
-		func(pkt *Packet, d *Decision) { s.applyDecision(pkt, d) },
-		func(pkt *Packet, err error) {
+	reg.disp = newDispatcher(inv, dispatcherConfig{
+		workers:  mc.workers,
+		depth:    mc.queueDepth,
+		clk:      s.cfg.Clock,
+		deadline: mc.deadline,
+		brk:      brk,
+		apply:    func(pkt *Packet, d *Decision) { s.applyDecision(pkt, d) },
+		onError: func(pkt *Packet, err error) {
 			s.moduleErrors.Add(1)
 			s.cfg.Logf("sn %s: module %s error on %s: %v", s.Addr(), mod.Name(), pkt.Key(), err)
-		})
+		},
+		degrade: func(pkt *Packet) { s.degradePacket(reg, pkt) },
+	})
 
 	s.mu.Lock()
 	if _, dup := s.modules[mod.Service()]; dup {
@@ -495,6 +575,24 @@ func (s *SN) applyDecision(pkt *Packet, d *Decision) {
 	}
 }
 
+// degradePacket executes a module's degraded action for one packet shed
+// by its open circuit breaker: unmodified pass-through forwarding to the
+// configured fallback next hop, or (the default) dropping it. The shed
+// count itself is kept by the dispatcher.
+func (s *SN) degradePacket(reg *registeredModule, pkt *Packet) {
+	if reg.cfg.degraded != DegradedForward {
+		return
+	}
+	enc, err := pkt.Hdr.Encode()
+	if err != nil {
+		s.forwardErrors.Add(1)
+		return
+	}
+	// Degraded forwards run on dispatcher goroutines, so they send through
+	// the manager like module verdicts do.
+	s.sendHeaderBytes(s.mgr, reg.cfg.degradedDst, enc, pkt.Payload)
+}
+
 // onPeerDown reacts to dead-peer detection: every cached decision sourced
 // from the dead peer or forwarding through it is invalidated, so those
 // flows fall back to the slow path and are re-decided against the
@@ -606,6 +704,31 @@ func (s *SN) handleControl(src wire.Addr, hdr wire.ILPHeader, payload []byte) {
 	var req ControlRequest
 	if err := json.Unmarshal(payload, &req); err != nil {
 		respond(ControlResponse{Error: "malformed control request"})
+		return
+	}
+	// "health" is answered by the SN itself so operators can read module
+	// containment state even for modules with no control handler — and
+	// especially for modules too broken to answer anything.
+	if req.Op == "health" {
+		var data []byte
+		var err error
+		if req.Target == wire.SvcControl || req.Target == wire.SvcNone {
+			data, err = json.Marshal(s.ModuleHealth())
+		} else {
+			s.mu.Lock()
+			reg, ok := s.modules[req.Target]
+			s.mu.Unlock()
+			if !ok {
+				respond(ControlResponse{Error: fmt.Sprintf("service %s not registered", req.Target)})
+				return
+			}
+			data, err = json.Marshal(reg.health())
+		}
+		if err != nil {
+			respond(ControlResponse{Error: err.Error()})
+			return
+		}
+		respond(ControlResponse{OK: true, Data: data})
 		return
 	}
 	s.mu.Lock()

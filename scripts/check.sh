@@ -19,6 +19,12 @@ go test -race ./...
 echo "==> chaos suite (race-detected, fixed seeds, bounded)"
 go test -race -count=1 -timeout 180s ./internal/chaos/
 
+echo "==> module-fault containment suite (race-detected, fixed seeds)"
+go test -race -count=1 -timeout 120s -run 'TestModuleFaultContainmentChaos' ./internal/chaos/
+go test -race -count=1 -timeout 120s \
+	-run 'Breaker|PanicContainment|PanicIPC|DeadlineTimeout|Degraded|ChanInvokerCloseRace|IPCDecodeFailure|IPCRestarting' \
+	./internal/sn/
+
 echo "==> fuzz smoke runs (wire decode, PSP open)"
 go test -run '^$' -fuzz 'FuzzILPHeaderDecode' -fuzztime 5s ./internal/wire/
 go test -run '^$' -fuzz 'FuzzDatagramDecode' -fuzztime 5s ./internal/wire/
