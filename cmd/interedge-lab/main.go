@@ -11,6 +11,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -29,6 +31,7 @@ import (
 
 func main() {
 	scenario := flag.String("scenario", "all", "scenario: all, ipfwd, pubsub, odns, ddos, attest")
+	metricsAddr := flag.String("metrics", "", "HTTP listen address for the /metrics exposition endpoint (empty disables)")
 	flag.Parse()
 
 	topo, world, err := build()
@@ -37,6 +40,11 @@ func main() {
 	}
 	defer topo.Close()
 	fmt.Println("InterEdge lab: 2 edomains x 2 SNs, full-mesh peering, global lookup")
+	if *metricsAddr != "" {
+		if err := serveMetrics(*metricsAddr, world); err != nil {
+			fail("metrics listen: %v", err)
+		}
+	}
 	fmt.Println()
 
 	scenarios := map[string]func(*lab.Topology, *worldState) error{
@@ -68,6 +76,35 @@ func main() {
 			rec.From, rec.To, rec.Packets, rec.Bytes, rec.FeesOwed)
 	}
 	fmt.Println("\nall scenarios passed")
+}
+
+// serveMetrics exposes every SN's registry on one /metrics endpoint, each
+// node's series distinguished by an injected node="<addr>" label.
+func serveMetrics(addr string, world *worldState) error {
+	type namedSN struct {
+		name string
+		node *sn.SN
+	}
+	var nodes []namedSN
+	for _, ed := range []*lab.Edomain{world.edA, world.edB} {
+		for i, node := range ed.SNs {
+			nodes = append(nodes, namedSN{fmt.Sprintf("%s/sn%d", ed.ID, i), node})
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, n := range nodes {
+			_ = n.node.Telemetry().Snapshot().WriteProm(w, "node", n.name)
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	go func() { _ = http.Serve(ln, mux) }()
+	return nil
 }
 
 type worldState struct {

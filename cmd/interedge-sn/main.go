@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -40,6 +41,7 @@ func main() {
 	directory := flag.String("directory", "", "path to the address-to-UDP directory file")
 	services := flag.String("services", "echo,null", "comma-separated service modules to register")
 	statsEvery := flag.Duration("stats", 10*time.Second, "counter print interval (0 disables)")
+	metricsAddr := flag.String("metrics", "", "HTTP listen address for the /metrics exposition endpoint (empty disables)")
 	flag.Parse()
 
 	dir := netsim.NewUDPDirectory()
@@ -85,6 +87,20 @@ func main() {
 
 	fmt.Printf("interedge-sn %s listening on %s\n", *addr, *listen)
 	fmt.Printf("identity: %s\n", hex.EncodeToString(id.PublicKey()))
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = node.Telemetry().Snapshot().WriteProm(w, "node", *addr)
+		})
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fail("metrics listen: %v", err)
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+		go func() { _ = http.Serve(ln, mux) }()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -134,6 +134,13 @@ func runModuleFaults(t *testing.T, seed int64) {
 		t.Fatal(err)
 	}
 	defer node.Close()
+	// On failure, dump the node's telemetry registry — the per-module
+	// sn_module_* instruments show which containment mechanism misfired.
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("telemetry fd00::5:\n%s", node.Telemetry().Snapshot())
+		}
+	})
 
 	// A client host and a fallback next hop for degraded forwarding. Both
 	// tally CRC-validated payloads by sequence number.

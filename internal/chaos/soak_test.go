@@ -67,6 +67,19 @@ func runSoak(t *testing.T, seed int64) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// On failure, dump every node's telemetry registry: the full cross-layer
+	// counter and histogram state is usually enough to localize which layer
+	// ate the packets without re-running under a debugger.
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		for _, ed := range []*lab.Edomain{edA, edB} {
+			for i, node := range ed.SNs {
+				t.Logf("telemetry %s/sn%d:\n%s", ed.ID, i, node.Telemetry().Snapshot())
+			}
+		}
+	})
 
 	// Steady-state chaos on every link, switched on only after setup so the
 	// build phase is fast; the handshake-under-faults path is exercised by

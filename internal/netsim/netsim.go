@@ -26,10 +26,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"interedge/internal/clock"
+	"interedge/internal/telemetry"
 	"interedge/internal/wire"
 )
 
@@ -127,6 +127,12 @@ func WithQueueDepth(d int) NetworkOption {
 	return func(n *Network) { n.queueDepth = d }
 }
 
+// WithTelemetry homes the fabric's netsim_* instruments in an existing
+// registry instead of a private one.
+func WithTelemetry(r *telemetry.Registry) NetworkOption {
+	return func(n *Network) { n.telem = r }
+}
+
 // Network is the in-process datagram fabric.
 type Network struct {
 	mu            sync.RWMutex
@@ -140,7 +146,8 @@ type Network struct {
 	faults        map[linkKey]FaultProfile
 	defaultFaults FaultProfile
 	partitions    map[linkKey]bool
-	stats         atomicStats
+	telem         *telemetry.Registry
+	stats         fabricStats
 }
 
 type linkKey struct{ from, to wire.Addr }
@@ -151,7 +158,9 @@ type linkState struct {
 	nextFree time.Time // fluid-model: when the link is next idle
 }
 
-// Stats aggregates fabric-wide counters.
+// Stats aggregates fabric-wide counters. It is a view over the fabric's
+// netsim_* telemetry instruments: per-field atomic, not a cross-field
+// consistent cut.
 type Stats struct {
 	Sent         uint64
 	Delivered    uint64
@@ -165,22 +174,39 @@ type Stats struct {
 	Batches      uint64 // native SendBatch calls on the fabric
 }
 
-// atomicStats holds the fabric counters as atomics so the per-packet send
-// path never needs the network's exclusive lock.
-type atomicStats struct {
-	sent         atomic.Uint64
-	delivered    atomic.Uint64
-	droppedLoss  atomic.Uint64
-	droppedQueue atomic.Uint64
-	droppedDead  atomic.Uint64
-	bytesSent    atomic.Uint64
-	duplicated   atomic.Uint64
-	reordered    atomic.Uint64
-	corrupted    atomic.Uint64
-	batches      atomic.Uint64
+// fabricStats holds the fabric counters as telemetry instruments in the
+// network's registry, so the per-packet send path never needs the
+// network's exclusive lock and the same values serve Snapshot(), the
+// netsim_* series in the registry, and any node-registry re-exposure.
+type fabricStats struct {
+	sent         *telemetry.Counter
+	delivered    *telemetry.Counter
+	droppedLoss  *telemetry.Counter
+	droppedQueue *telemetry.Counter
+	droppedDead  *telemetry.Counter
+	bytesSent    *telemetry.Counter
+	duplicated   *telemetry.Counter
+	reordered    *telemetry.Counter
+	corrupted    *telemetry.Counter
+	batches      *telemetry.Counter
 }
 
-func (a *atomicStats) snapshot() Stats {
+func newFabricStats(reg *telemetry.Registry) fabricStats {
+	return fabricStats{
+		sent:         reg.Counter("netsim_sent_total"),
+		delivered:    reg.Counter("netsim_delivered_total"),
+		droppedLoss:  reg.Counter("netsim_dropped_loss_total"),
+		droppedQueue: reg.Counter("netsim_dropped_queue_total"),
+		droppedDead:  reg.Counter("netsim_dropped_dead_total"),
+		bytesSent:    reg.Counter("netsim_bytes_sent_total"),
+		duplicated:   reg.Counter("netsim_duplicated_total"),
+		reordered:    reg.Counter("netsim_reordered_total"),
+		corrupted:    reg.Counter("netsim_corrupted_total"),
+		batches:      reg.Counter("netsim_batches_total"),
+	}
+}
+
+func (a *fabricStats) snapshot() Stats {
 	return Stats{
 		Sent:         a.sent.Load(),
 		Delivered:    a.delivered.Load(),
@@ -210,8 +236,17 @@ func NewNetwork(opts ...NetworkOption) *Network {
 	for _, o := range opts {
 		o(n)
 	}
+	if n.telem == nil {
+		n.telem = telemetry.NewRegistry()
+	}
+	n.stats = newFabricStats(n.telem)
 	return n
 }
+
+// Telemetry returns the registry holding the fabric's netsim_*
+// instruments (the one supplied via WithTelemetry, or the private
+// default).
+func (n *Network) Telemetry() *telemetry.Registry { return n.telem }
 
 // SetDefaultLink sets the profile applied to links with no explicit profile.
 func (n *Network) SetDefaultLink(p LinkProfile) {
@@ -621,6 +656,15 @@ func (t *simTransport) SendBatch(dgs []wire.Datagram) (int, error) {
 }
 
 func (t *simTransport) Receive() <-chan wire.Datagram { return t.rx }
+
+// RegisterTelemetry implements telemetry.Registrable: the fabric endpoint
+// contributes a lazy gauge for its receive-queue depth so a node's snapshot
+// shows transport backpressure.
+func (t *simTransport) RegisterTelemetry(r *telemetry.Registry) {
+	_ = r.Register(telemetry.NewGaugeFunc("transport_rx_queue_depth", func() int64 {
+		return int64(len(t.rx))
+	}))
+}
 
 func (t *simTransport) Close() error {
 	t.mu.Lock()

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"syscall"
 
+	"interedge/internal/telemetry"
 	"interedge/internal/wire"
 )
 
@@ -67,6 +68,12 @@ func WithoutMMsg() UDPOption {
 	return func(t *UDPTransport) { t.noMMsg = true }
 }
 
+// WithUDPTelemetry homes the transport's transport_udp_* instruments in an
+// existing registry instead of a private one.
+func WithUDPTelemetry(r *telemetry.Registry) UDPOption {
+	return func(t *UDPTransport) { t.telem = r }
+}
+
 // UDPTransport carries wire datagrams over a real UDP socket. On Linux
 // (amd64/arm64) batches go through sendmmsg(2)/recvmmsg(2); elsewhere, and
 // when the kernel rejects the vectored calls, it degrades to the portable
@@ -89,11 +96,15 @@ type UDPTransport struct {
 	encPool sync.Pool // *[]byte encode buffers
 	txPool  sync.Pool // *udpTxState batch scratch
 
-	rxPackets   atomic.Uint64
-	rxDropped   atomic.Uint64
-	rxMalformed atomic.Uint64
-	txPackets   atomic.Uint64
-	txBatches   atomic.Uint64
+	// The socket counters are telemetry instruments homed in a private
+	// registry; RegisterTelemetry shares the same instrument objects into a
+	// node registry so the SN's snapshot covers the transport layer.
+	telem       *telemetry.Registry
+	rxPackets   *telemetry.Counter
+	rxDropped   *telemetry.Counter
+	rxMalformed *telemetry.Counter
+	txPackets   *telemetry.Counter
+	txBatches   *telemetry.Counter
 }
 
 // udpTxState is the reusable scratch for one in-flight SendBatch: the
@@ -125,6 +136,14 @@ func NewUDPTransport(addr wire.Addr, listen string, dir *UDPDirectory, opts ...U
 	for _, o := range opts {
 		o(t)
 	}
+	if t.telem == nil {
+		t.telem = telemetry.NewRegistry()
+	}
+	t.rxPackets = t.telem.Counter("transport_udp_rx_packets_total")
+	t.rxDropped = t.telem.Counter("transport_udp_rx_dropped_total")
+	t.rxMalformed = t.telem.Counter("transport_udp_rx_malformed_total")
+	t.txPackets = t.telem.Counter("transport_udp_tx_packets_total")
+	t.txBatches = t.telem.Counter("transport_udp_tx_batches_total")
 	t.rx = make(chan wire.Datagram, t.queueDepth)
 	t.encPool.New = func() any {
 		b := make([]byte, 0, wire.MTU+wire.DatagramHeaderSize)
@@ -296,7 +315,9 @@ func (t *UDPTransport) releaseTx(st *udpTxState) {
 	t.txPool.Put(st)
 }
 
-// Stats returns a snapshot of the socket counters.
+// Stats returns a snapshot of the socket counters. It is a legacy view over
+// the transport_udp_* telemetry instruments: each field is read atomically,
+// but the struct is not one consistent cut across counters.
 func (t *UDPTransport) Stats() UDPStats {
 	return UDPStats{
 		RxPackets:   t.rxPackets.Load(),
@@ -305,6 +326,16 @@ func (t *UDPTransport) Stats() UDPStats {
 		TxPackets:   t.txPackets.Load(),
 		TxBatches:   t.txBatches.Load(),
 	}
+}
+
+// RegisterTelemetry implements telemetry.Registrable: it shares the socket
+// counters (the same instrument objects) into r, alongside a lazy gauge for
+// the receive-queue depth.
+func (t *UDPTransport) RegisterTelemetry(r *telemetry.Registry) {
+	r.MustRegister(t.rxPackets, t.rxDropped, t.rxMalformed, t.txPackets, t.txBatches)
+	_ = r.Register(telemetry.NewGaugeFunc("transport_rx_queue_depth", func() int64 {
+		return int64(len(t.rx))
+	}))
 }
 
 // Receive implements Transport.

@@ -105,6 +105,7 @@ func (e *egress) flushDest(db *destBatch) error {
 	db.p.txBytes.Add(bytes)
 	m.txBatches.Add(1)
 	m.txBatchedPackets.Add(uint64(n))
+	m.flushBatchSize.Observe(uint64(len(db.dgs)))
 	if dropped := len(db.dgs) - n; dropped > 0 {
 		m.txFlushDrops.Add(uint64(dropped))
 	}

@@ -33,6 +33,7 @@ import (
 	"interedge/internal/handshake"
 	"interedge/internal/netsim"
 	"interedge/internal/psp"
+	"interedge/internal/telemetry"
 	"interedge/internal/wire"
 )
 
@@ -135,6 +136,11 @@ type Config struct {
 	// reaches the cap under backpressure. 0 selects the default (32); 1
 	// disables coalescing and hands the handler the Manager directly.
 	TxBatch int
+	// Telemetry is the registry the manager's pipe_* instruments are
+	// created in, normally the owning node's registry so pipe metrics
+	// appear in the node's snapshot. Nil creates a private registry
+	// (still readable via Stats()).
+	Telemetry *telemetry.Registry
 }
 
 // DefaultTxBatch is the per-destination coalescing cap when Config.TxBatch
@@ -189,7 +195,10 @@ type sealBuf struct {
 // NIC would) rather than reordering or dropping here.
 const rxWorkerQueueDepth = 512
 
-// Stats aggregates manager-wide pipe metrics.
+// Stats aggregates manager-wide pipe metrics. It is a view over the
+// manager's telemetry instruments (the pipe_* names in the node registry);
+// each field is read atomically, but fields are not read at one common
+// instant — see the telemetry package consistency contract.
 type Stats struct {
 	HandshakeAttempts uint64 // msg1 transmissions, including retries
 	HandshakeFailures uint64 // Connect calls that exhausted their retries
@@ -206,6 +215,7 @@ type Stats struct {
 type Manager struct {
 	cfg   Config
 	local wire.Addr
+	telem *telemetry.Registry
 
 	peers atomic.Pointer[peerMap]
 
@@ -220,15 +230,18 @@ type Manager struct {
 	workers  []chan wire.Datagram
 	sealBufs sync.Pool
 
-	handshakeAttempts atomic.Uint64
-	handshakeFailures atomic.Uint64
-	keepalivesSent    atomic.Uint64
-	keepalivesRcvd    atomic.Uint64
-	peersLost         atomic.Uint64
-	reestablished     atomic.Uint64
-	txBatches         atomic.Uint64
-	txBatchedPackets  atomic.Uint64
-	txFlushDrops      atomic.Uint64
+	// Pipe metrics live in the node's telemetry registry; these handles
+	// are the hot-path instruments (atomic counters, one histogram).
+	handshakeAttempts *telemetry.Counter
+	handshakeFailures *telemetry.Counter
+	keepalivesSent    *telemetry.Counter
+	keepalivesRcvd    *telemetry.Counter
+	peersLost         *telemetry.Counter
+	reestablished     *telemetry.Counter
+	txBatches         *telemetry.Counter
+	txBatchedPackets  *telemetry.Counter
+	txFlushDrops      *telemetry.Counter
+	flushBatchSize    *telemetry.Histogram
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -285,6 +298,24 @@ func New(cfg Config) (*Manager, error) {
 	empty := make(peerMap)
 	m.peers.Store(&empty)
 	m.sealBufs.New = func() any { return new(sealBuf) }
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	m.telem = reg
+	m.handshakeAttempts = reg.Counter("pipe_handshake_attempts_total")
+	m.handshakeFailures = reg.Counter("pipe_handshake_failures_total")
+	m.keepalivesSent = reg.Counter("pipe_keepalives_sent_total")
+	m.keepalivesRcvd = reg.Counter("pipe_keepalives_rcvd_total")
+	m.peersLost = reg.Counter("pipe_peers_lost_total")
+	m.reestablished = reg.Counter("pipe_reestablished_total")
+	m.txBatches = reg.Counter("pipe_tx_batches_total")
+	m.txBatchedPackets = reg.Counter("pipe_tx_batched_packets_total")
+	m.txFlushDrops = reg.Counter("pipe_tx_flush_drops_total")
+	m.flushBatchSize = reg.Histogram("pipe_tx_flush_batch_size", telemetry.BatchBuckets)
+	_ = reg.Register(telemetry.NewGaugeFunc("pipe_peers", func() int64 {
+		return int64(len(*m.peers.Load()))
+	}))
 	if cfg.RxWorkers > 1 {
 		m.workers = make([]chan wire.Datagram, cfg.RxWorkers)
 		for i := range m.workers {
@@ -311,6 +342,10 @@ func (m *Manager) Identity() handshake.Identity { return m.cfg.Identity }
 
 // RxWorkers returns the effective receive-pipeline width.
 func (m *Manager) RxWorkers() int { return m.cfg.RxWorkers }
+
+// Telemetry returns the registry holding the manager's pipe_* instruments
+// (the one supplied in Config.Telemetry, or the private default).
+func (m *Manager) Telemetry() *telemetry.Registry { return m.telem }
 
 // shardFor maps a source address onto a worker index (FNV-1a over the
 // 16-byte address), so one peer's traffic always lands on one worker.

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"interedge/internal/telemetry"
 	"interedge/internal/wire"
 )
 
@@ -323,7 +324,34 @@ func (c *Cache) RecentlyUsed(key wire.FlowKey, window time.Duration) bool {
 	return s.now().Sub(s.slots[i].lastUsed) <= window
 }
 
-// Snapshot returns current counters merged across all shards.
+// RegisterTelemetry implements telemetry.Registrable. The cache keeps its
+// counters as cheap per-shard fields under the shard locks (registry
+// atomics would put contended cache lines back on the lookup path that
+// striping exists to avoid), so the instruments are lazy: each snapshot
+// read merges the shards on demand.
+func (c *Cache) RegisterTelemetry(r *telemetry.Registry) {
+	stat := func(pick func(Stats) uint64) func() uint64 {
+		return func() uint64 { return pick(c.Snapshot()) }
+	}
+	_ = r.Register(
+		telemetry.NewCounterFunc("cache_hits_total", stat(func(s Stats) uint64 { return s.Hits })),
+		telemetry.NewCounterFunc("cache_misses_total", stat(func(s Stats) uint64 { return s.Misses })),
+		telemetry.NewCounterFunc("cache_evictions_total", stat(func(s Stats) uint64 { return s.Evictions })),
+		telemetry.NewCounterFunc("cache_inserts_total", stat(func(s Stats) uint64 { return s.Inserts })),
+		telemetry.NewGaugeFunc("cache_entries", func() int64 { return int64(c.Len()) }),
+		telemetry.NewGaugeFunc("cache_capacity", func() int64 {
+			n := 0
+			for _, s := range c.shards {
+				n += len(s.slots)
+			}
+			return int64(n)
+		}),
+	)
+}
+
+// Snapshot returns current counters merged across all shards. Each shard is
+// read under its own lock; the merged struct is not one consistent cut
+// across shards.
 func (c *Cache) Snapshot() Stats {
 	var st Stats
 	for _, s := range c.shards {

@@ -16,6 +16,7 @@ import (
 	"interedge/internal/clock"
 	"interedge/internal/enclave"
 	"interedge/internal/pipe"
+	"interedge/internal/telemetry"
 	"interedge/internal/wire"
 )
 
@@ -597,13 +598,15 @@ type dispatcher struct {
 	degrade  func(pkt *Packet) // runs for packets shed by an open breaker
 	wg       sync.WaitGroup
 
-	dropped  atomic.Uint64
-	handled  atomic.Uint64
-	errored  atomic.Uint64
-	timeouts atomic.Uint64
-	panics   atomic.Uint64
-	restarts atomic.Uint64
-	shed     atomic.Uint64
+	// Containment counters are telemetry instruments labeled by module
+	// name; ModuleHealth reads them back as a legacy view.
+	dropped  *telemetry.Counter
+	handled  *telemetry.Counter
+	errored  *telemetry.Counter
+	timeouts *telemetry.Counter
+	panics   *telemetry.Counter
+	restarts *telemetry.Counter
+	shed     *telemetry.Counter
 }
 
 type dispatcherConfig struct {
@@ -612,12 +615,21 @@ type dispatcherConfig struct {
 	clk      clock.Clock
 	deadline time.Duration
 	brk      *breaker
+	module   string              // label value for the per-module instruments
+	telem    *telemetry.Registry // nil homes the instruments privately
 	apply    func(*Packet, *Decision)
 	onError  func(*Packet, error)
 	degrade  func(*Packet)
 }
 
 func newDispatcher(inv invoker, cfg dispatcherConfig) *dispatcher {
+	reg := cfg.telem
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	ctr := func(base string) *telemetry.Counter {
+		return reg.Counter(telemetry.Name(base, "module", cfg.module))
+	}
 	d := &dispatcher{
 		queue:    make(chan *Packet, cfg.depth),
 		inv:      inv,
@@ -627,6 +639,13 @@ func newDispatcher(inv invoker, cfg dispatcherConfig) *dispatcher {
 		apply:    cfg.apply,
 		onError:  cfg.onError,
 		degrade:  cfg.degrade,
+		dropped:  ctr("sn_module_dropped_total"),
+		handled:  ctr("sn_module_handled_total"),
+		errored:  ctr("sn_module_errored_total"),
+		timeouts: ctr("sn_module_timeouts_total"),
+		panics:   ctr("sn_module_panics_total"),
+		restarts: ctr("sn_module_restarts_total"),
+		shed:     ctr("sn_module_shed_total"),
 	}
 	for i := 0; i < cfg.workers; i++ {
 		d.wg.Add(1)

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"interedge/internal/clock"
@@ -16,6 +15,7 @@ import (
 	"interedge/internal/netsim"
 	"interedge/internal/pipe"
 	"interedge/internal/sn/cache"
+	"interedge/internal/telemetry"
 	"interedge/internal/tpm"
 	"interedge/internal/wire"
 )
@@ -72,9 +72,21 @@ type Config struct {
 	// held while a pipe (re-)establishes instead of dropping them
 	// (default 1024).
 	RequeueDepth int
+	// Telemetry homes every layer's instruments (SN, pipe, cache, module
+	// dispatchers, and the transport if it implements
+	// telemetry.Registrable) in an existing registry; nil creates a
+	// per-node one, reachable via SN.Telemetry().
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, observes every packet crossing the
+	// pipe-terminus (rx, fast/slow path, forward, deliver, drop). It runs
+	// inline on the sharded rx workers; see telemetry.TraceHook for the
+	// contract.
+	Trace telemetry.TraceHook
 }
 
-// Counters aggregates SN data-path statistics.
+// Counters aggregates SN data-path statistics. It is a legacy view over the
+// node's sn_* telemetry instruments (see SN.Telemetry): each field is read
+// atomically, but the struct is not one consistent cut across counters.
 type Counters struct {
 	RxPackets     uint64 // packets entering the pipe-terminus
 	FastPathHits  uint64 // served entirely from the decision cache
@@ -168,18 +180,23 @@ type SN struct {
 	dialing      map[wire.Addr]bool
 	closed       bool
 
-	rxPackets     atomic.Uint64
-	fastPathHits  atomic.Uint64
-	slowPathSent  atomic.Uint64
-	noModuleDrops atomic.Uint64
-	ruleDrops     atomic.Uint64
-	forwarded     atomic.Uint64
-	delivered     atomic.Uint64
-	forwardErrors atomic.Uint64
-	moduleErrors  atomic.Uint64
-	requeued      atomic.Uint64
-	requeueDrops  atomic.Uint64
-	peersLost     atomic.Uint64
+	// The data-path counters are telemetry instruments in telem; Counters()
+	// reads them back as a legacy view.
+	telem         *telemetry.Registry
+	trace         telemetry.TraceHook
+	rxPackets     *telemetry.Counter
+	fastPathHits  *telemetry.Counter
+	slowPathSent  *telemetry.Counter
+	noModuleDrops *telemetry.Counter
+	ruleDrops     *telemetry.Counter
+	forwarded     *telemetry.Counter
+	delivered     *telemetry.Counter
+	forwardErrors *telemetry.Counter
+	moduleErrors  *telemetry.Counter
+	requeued      *telemetry.Counter
+	requeueDrops  *telemetry.Counter
+	peersLost     *telemetry.Counter
+	fastPathNs    *telemetry.Histogram
 }
 
 // queuedSend is one forward held back while its destination pipe
@@ -213,6 +230,10 @@ func New(cfg Config) (*SN, error) {
 	if cfg.RequeueDepth == 0 {
 		cfg.RequeueDepth = 1024
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	s := &SN{
 		cfg:          cfg,
 		cache:        cache.New(cfg.CacheSize),
@@ -222,6 +243,26 @@ func New(cfg Config) (*SN, error) {
 		checkpoints:  make(map[string][]byte),
 		pendingSends: make(map[wire.Addr][]queuedSend),
 		dialing:      make(map[wire.Addr]bool),
+
+		telem:         reg,
+		trace:         cfg.Trace,
+		rxPackets:     reg.Counter("sn_rx_packets_total"),
+		fastPathHits:  reg.Counter("sn_fastpath_hits_total"),
+		slowPathSent:  reg.Counter("sn_slowpath_sent_total"),
+		noModuleDrops: reg.Counter("sn_no_module_drops_total"),
+		ruleDrops:     reg.Counter("sn_rule_drops_total"),
+		forwarded:     reg.Counter("sn_forwarded_total"),
+		delivered:     reg.Counter("sn_delivered_total"),
+		forwardErrors: reg.Counter("sn_forward_errors_total"),
+		moduleErrors:  reg.Counter("sn_module_errors_total"),
+		requeued:      reg.Counter("sn_requeued_total"),
+		requeueDrops:  reg.Counter("sn_requeue_drops_total"),
+		peersLost:     reg.Counter("sn_peers_lost_total"),
+		fastPathNs:    reg.Histogram("sn_fastpath_service_ns", telemetry.LatencyBuckets),
+	}
+	s.cache.RegisterTelemetry(reg)
+	if rt, ok := cfg.Transport.(telemetry.Registrable); ok {
+		rt.RegisterTelemetry(reg)
 	}
 	if cfg.EnclaveTerminus {
 		encl, err := enclave.New("pipe-terminus", "1.0", cfg.TPM)
@@ -232,6 +273,7 @@ func New(cfg Config) (*SN, error) {
 	}
 	mgr, err := pipe.New(pipe.Config{
 		Transport:         cfg.Transport,
+		Telemetry:         reg,
 		Identity:          cfg.Identity,
 		Clock:             cfg.Clock,
 		Handler:           s.handlePacket,
@@ -263,6 +305,11 @@ func (s *SN) Pipes() *pipe.Manager { return s.mgr }
 
 // Cache exposes the decision cache (used by benchmarks and tests).
 func (s *SN) Cache() *cache.Cache { return s.cache }
+
+// Telemetry returns the node registry: every layer's instruments (sn_*,
+// pipe_*, cache_*, sn_module_*, transport_*) in one snapshot surface. The
+// same registry answers the control-protocol "metrics" op.
+func (s *SN) Telemetry() *telemetry.Registry { return s.telem }
 
 // TPM returns the node's TPM.
 func (s *SN) TPM() *tpm.TPM { return s.tpm }
@@ -380,6 +427,21 @@ func (s *SN) Register(mod Module, opts ...ModuleOption) error {
 			cooldown = time.Second
 		}
 		brk = newBreaker(mc.breakerThreshold, cooldown, s.cfg.Clock)
+		b := brk
+		_ = s.telem.Register(
+			telemetry.NewGaugeFunc(telemetry.Name("sn_module_breaker_state", "module", mod.Name()), func() int64 {
+				st, _, _, _ := b.snapshot()
+				return int64(st)
+			}),
+			telemetry.NewCounterFunc(telemetry.Name("sn_module_breaker_trips_total", "module", mod.Name()), func() uint64 {
+				_, _, trips, _ := b.snapshot()
+				return trips
+			}),
+			telemetry.NewCounterFunc(telemetry.Name("sn_module_breaker_recoveries_total", "module", mod.Name()), func() uint64 {
+				_, _, _, recov := b.snapshot()
+				return recov
+			}),
+		)
 	}
 	reg.disp = newDispatcher(inv, dispatcherConfig{
 		workers:  mc.workers,
@@ -387,6 +449,8 @@ func (s *SN) Register(mod Module, opts ...ModuleOption) error {
 		clk:      s.cfg.Clock,
 		deadline: mc.deadline,
 		brk:      brk,
+		module:   mod.Name(),
+		telem:    s.telem,
 		apply:    func(pkt *Packet, d *Decision) { s.applyDecision(pkt, d) },
 		onError: func(pkt *Packet, err error) {
 			s.moduleErrors.Add(1)
@@ -462,6 +526,9 @@ func (s *SN) Inject(src wire.Addr, hdr wire.ILPHeader, payload []byte) {
 // peer leaves as a single sendmmsg on the UDP substrate.
 func (s *SN) handlePacket(tx pipe.Sender, src wire.Addr, hdr wire.ILPHeader, hdrRaw, payload []byte) {
 	s.rxPackets.Add(1)
+	if s.trace != nil {
+		s.trace(telemetry.PacketTrace{Point: telemetry.TraceRx, Src: src, Service: hdr.Service, Conn: hdr.Conn, Bytes: len(payload)})
+	}
 	if s.terminusEnclave != nil {
 		// The packet crosses into (and back out of) enclave memory before
 		// terminus processing — the Appendix C enclave configuration.
@@ -473,8 +540,17 @@ func (s *SN) handlePacket(tx pipe.Sender, src wire.Addr, hdr wire.ILPHeader, hdr
 	}
 	key := wire.FlowKey{Src: src, Service: hdr.Service, Conn: hdr.Conn}
 	if action, ok := s.cache.Lookup(key); ok {
+		// The histogram covers the post-lookup serve cost: executing the
+		// cached action, including any coalesced egress enqueue. One
+		// time.Now() pair per hit; the wall clock (not the injected test
+		// clock) because this measures real compute time.
+		start := time.Now()
 		s.fastPathHits.Add(1)
+		if s.trace != nil {
+			s.trace(telemetry.PacketTrace{Point: telemetry.TraceFastPath, Src: src, Service: hdr.Service, Conn: hdr.Conn, Bytes: len(payload)})
+		}
 		s.applyFastAction(tx, src, &hdr, hdrRaw, payload, &action)
+		s.fastPathNs.Observe(uint64(time.Since(start)))
 		return
 	}
 
@@ -488,6 +564,9 @@ func (s *SN) handlePacket(tx pipe.Sender, src wire.Addr, hdr wire.ILPHeader, hdr
 	s.mu.Unlock()
 	if !ok {
 		s.noModuleDrops.Add(1)
+		if s.trace != nil {
+			s.trace(telemetry.PacketTrace{Point: telemetry.TraceDrop, Src: src, Service: hdr.Service, Conn: hdr.Conn, Bytes: len(payload)})
+		}
 		return
 	}
 	// The slow path retains the packet past this call, so the
@@ -499,6 +578,9 @@ func (s *SN) handlePacket(tx pipe.Sender, src wire.Addr, hdr wire.ILPHeader, hdr
 	}
 	if reg.disp.submit(pkt) {
 		s.slowPathSent.Add(1)
+		if s.trace != nil {
+			s.trace(telemetry.PacketTrace{Point: telemetry.TraceSlowPath, Src: src, Service: hdr.Service, Conn: hdr.Conn, Bytes: len(payload)})
+		}
 	}
 }
 
@@ -509,10 +591,16 @@ func (s *SN) handlePacket(tx pipe.Sender, src wire.Addr, hdr wire.ILPHeader, hdr
 func (s *SN) applyFastAction(tx pipe.Sender, src wire.Addr, hdr *wire.ILPHeader, hdrRaw, payload []byte, action *cache.Action) {
 	if action.Drop {
 		s.ruleDrops.Add(1)
+		if s.trace != nil {
+			s.trace(telemetry.PacketTrace{Point: telemetry.TraceDrop, Src: src, Service: hdr.Service, Conn: hdr.Conn, Bytes: len(payload)})
+		}
 		return
 	}
 	if action.Deliver {
 		s.delivered.Add(1)
+		if s.trace != nil {
+			s.trace(telemetry.PacketTrace{Point: telemetry.TraceDeliver, Src: src, Service: hdr.Service, Conn: hdr.Conn, Bytes: len(payload)})
+		}
 		if s.cfg.OnDeliver != nil {
 			pkt := &Packet{Src: src, Hdr: *hdr, Payload: payload}
 			if len(hdr.Data) > 0 {
@@ -529,6 +617,9 @@ func (s *SN) applyFastAction(tx pipe.Sender, src wire.Addr, hdr *wire.ILPHeader,
 		hdrBytes = hdrRaw
 	}
 	for _, dst := range action.Forward {
+		if s.trace != nil {
+			s.trace(telemetry.PacketTrace{Point: telemetry.TraceForward, Src: src, Dst: dst, Service: hdr.Service, Conn: hdr.Conn, Bytes: len(payload)})
+		}
 		s.sendHeaderBytes(tx, dst, hdrBytes, payload)
 	}
 }
@@ -724,6 +815,19 @@ func (s *SN) handleControl(src wire.Addr, hdr wire.ILPHeader, payload []byte) {
 			}
 			data, err = json.Marshal(reg.health())
 		}
+		if err != nil {
+			respond(ControlResponse{Error: err.Error()})
+			return
+		}
+		respond(ControlResponse{OK: true, Data: data})
+		return
+	}
+	// "metrics" is likewise answered by the SN itself: one snapshot of the
+	// node registry covering every layer (sn_*, pipe_*, cache_*,
+	// sn_module_*, transport_*). Each sample is an atomic read; the set is
+	// not one consistent cut (see the telemetry package contract).
+	if req.Op == "metrics" && (req.Target == wire.SvcControl || req.Target == wire.SvcNone) {
+		data, err := json.Marshal(s.telem.Snapshot())
 		if err != nil {
 			respond(ControlResponse{Error: err.Error()})
 			return

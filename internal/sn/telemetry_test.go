@@ -1,0 +1,124 @@
+package sn
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"interedge/internal/netsim"
+	"interedge/internal/telemetry"
+	"interedge/internal/wire"
+)
+
+// TestControlMetricsOp: the SN answers the control-plane "metrics"
+// operation with one snapshot of the node registry covering every layer —
+// sn_*, pipe_*, cache_*, and per-module sn_module_* instruments.
+func TestControlMetricsOp(t *testing.T) {
+	network := netsim.NewNetwork()
+	node := newTestSN(t, network, "fd00::5")
+	mod := &echoModule{installRule: true}
+	if err := node.Register(mod); err != nil {
+		t.Fatal(err)
+	}
+	cl := newClient(t, network, "fd00::1")
+	if err := cl.mgr.Connect(node.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// One slow-path round trip so the counters have something to show.
+	if err := cl.mgr.Send(node.Addr(), &wire.ILPHeader{Service: wire.SvcEcho, Conn: 1}, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	cl.await(t)
+
+	req, _ := json.Marshal(ControlRequest{Target: wire.SvcNone, Op: "metrics"})
+	if err := cl.mgr.Send(node.Addr(), &wire.ILPHeader{Service: wire.SvcControl, Conn: 9}, req); err != nil {
+		t.Fatal(err)
+	}
+	got := cl.await(t)
+	var resp ControlResponse
+	if err := json.Unmarshal(got.payload, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("metrics op error: %s", resp.Error)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(resp.Data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	// One instrument per layer proves the snapshot spans the whole node.
+	for _, name := range []string{
+		"sn_rx_packets_total",
+		"pipe_handshake_attempts_total",
+		"pipe_peers",
+		"cache_misses_total",
+		`sn_module_handled_total{module="echo"}`,
+		"sn_fastpath_service_ns",
+	} {
+		if _, ok := snap.Get(name); !ok {
+			t.Fatalf("snapshot missing %s; have %d samples", name, len(snap))
+		}
+	}
+	if v := snap.Value("sn_rx_packets_total"); v < 2 {
+		t.Errorf("sn_rx_packets_total = %v, want >= 2", v)
+	}
+	if v := snap.Value(`sn_module_handled_total{module="echo"}`); v < 1 {
+		t.Errorf("module handled = %v, want >= 1", v)
+	}
+	if v := snap.Value("cache_misses_total"); v < 1 {
+		t.Errorf("cache_misses_total = %v, want >= 1", v)
+	}
+	// The snapshot renders as valid exposition text.
+	if s := snap.String(); !strings.Contains(s, "# TYPE sn_rx_packets_total counter") {
+		t.Errorf("exposition text missing TYPE line:\n%s", s)
+	}
+}
+
+// TestTraceHooks: a configured trace hook observes each packet's path
+// through the pipe-terminus — rx, slow path on the first packet, fast path
+// plus forward once the module's rule is installed.
+func TestTraceHooks(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[telemetry.TracePoint]int)
+	network := netsim.NewNetwork()
+	node := newTestSN(t, network, "fd00::5", func(c *Config) {
+		c.Trace = func(ev telemetry.PacketTrace) {
+			mu.Lock()
+			seen[ev.Point]++
+			mu.Unlock()
+		}
+	})
+	if err := node.Register(&echoModule{installRule: true}); err != nil {
+		t.Fatal(err)
+	}
+	cl := newClient(t, network, "fd00::1")
+	if err := cl.mgr.Connect(node.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// First packet takes the slow path and installs a forward rule; the
+	// second hits the cache and forwards on the fast path.
+	if err := cl.mgr.Send(node.Addr(), &wire.ILPHeader{Service: wire.SvcEcho, Conn: 1}, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	cl.await(t)
+	if err := cl.mgr.Send(node.Addr(), &wire.ILPHeader{Service: wire.SvcEcho, Conn: 1}, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	cl.await(t)
+
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return seen[telemetry.TraceRx] >= 2 &&
+			seen[telemetry.TraceSlowPath] >= 1 &&
+			seen[telemetry.TraceFastPath] >= 1 &&
+			seen[telemetry.TraceForward] >= 1
+	})
+
+	// The fast-path histogram recorded the hit.
+	smp, ok := node.Telemetry().Snapshot().Get("sn_fastpath_service_ns")
+	if !ok || smp.Hist == nil || smp.Hist.Count < 1 {
+		t.Fatalf("sn_fastpath_service_ns = %+v, want >= 1 observation", smp)
+	}
+}

@@ -1,0 +1,33 @@
+package telemetry
+
+import "testing"
+
+// Observation through instrument handles is the telemetry hot path: it
+// rides inside the pipe-terminus per-packet budget, so it must never
+// allocate. These pins are part of the check.sh gate alongside the
+// fast-path allocs/op benchmark assertion.
+
+func TestCounterObserveZeroAlloc(t *testing.T) {
+	c := NewCounter("c_total")
+	if allocs := testing.AllocsPerRun(1000, func() { c.Add(1) }); allocs != 0 {
+		t.Fatalf("Counter.Add allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestGaugeObserveZeroAlloc(t *testing.T) {
+	g := NewGauge("g")
+	if allocs := testing.AllocsPerRun(1000, func() { g.Set(3); g.Add(-1) }); allocs != 0 {
+		t.Fatalf("Gauge observe allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	h := NewHistogram("h_ns", LatencyBuckets)
+	var v uint64
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(v)
+		v += 997
+	}); allocs != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f/op, want 0", allocs)
+	}
+}

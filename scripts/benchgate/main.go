@@ -1,11 +1,17 @@
-// Command benchgate enforces the vectored-egress performance invariant on a
-// BENCH_*.json artifact (as written by scripts/benchjson): the batched
-// parallel fast path must not be slower than the per-packet single-worker
-// fast path. The seed repo shipped with that inversion (parallel pps was
-// ~12x below single pps); the batching work exists to remove it, and this
-// gate keeps it from coming back.
+// Command benchgate enforces two fast-path invariants on a BENCH_*.json
+// artifact (as written by scripts/benchjson):
 //
-// Usage: go run ./scripts/benchgate BENCH_3.json
+//   - the batched parallel fast path must not be slower than the
+//     per-packet single-worker fast path. The seed repo shipped with that
+//     inversion (parallel pps was ~12x below single pps); the batching
+//     work exists to remove it, and this gate keeps it from coming back;
+//   - the full-fast-path benchmarks must report 0 allocs/op (when the
+//     artifact was produced with -benchmem). The hit path is engineered to
+//     allocate nothing beyond the transport's datagram copy; a nonzero
+//     count means someone put an allocation — telemetry included — back on
+//     the per-packet path.
+//
+// Usage: go run ./scripts/benchgate BENCH_5.json
 package main
 
 import (
@@ -35,7 +41,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	pps := func(bench string) float64 {
+	find := func(bench string) map[string]float64 {
 		for _, r := range results {
 			// Bench names may carry a -GOMAXPROCS suffix depending on how
 			// the artifact was produced; match on the base name.
@@ -46,13 +52,13 @@ func main() {
 				}
 			}
 			if strings.HasSuffix(name, bench) {
-				return r.Metrics["pps"]
+				return r.Metrics
 			}
 		}
-		return 0
+		return nil
 	}
-	single := pps("Figure2_FullFastPath")
-	parallel := pps("Figure2_FullFastPathParallel")
+	single := find("Figure2_FullFastPath")["pps"]
+	parallel := find("Figure2_FullFastPathParallel")["pps"]
 	if single == 0 || parallel == 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: missing pps metrics (single=%v parallel=%v) in %s\n",
 			single, parallel, os.Args[1])
@@ -64,6 +70,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: FAIL — parallel fast path (%.0f pps) is slower than single (%.0f pps); egress batching regressed\n",
 			parallel, single)
 		os.Exit(1)
+	}
+	for _, bench := range []string{"Figure2_FullFastPath", "Figure2_FullFastPathParallel"} {
+		m := find(bench)
+		allocs, ok := m["allocs/op"]
+		if !ok {
+			fmt.Printf("benchgate: %s has no allocs/op (artifact built without -benchmem); skipping alloc gate\n", bench)
+			continue
+		}
+		fmt.Printf("benchgate: %s allocs/op=%g\n", bench, allocs)
+		if allocs > 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s allocates %g/op; the fast path must stay allocation-free\n",
+				bench, allocs)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("benchgate: OK")
 }

@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # CI gate: static checks, full build, race-detected tests, and a benchmark
-# smoke run whose results land in BENCH_1.json at the repo root.
+# smoke run whose results land in BENCH_5.json at the repo root.
 #
 # Usage: scripts/check.sh
 set -eu
@@ -15,6 +15,10 @@ go build ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> telemetry registry suite (race-detected + zero-alloc pins)"
+go test -race -count=1 -run 'TestRegistryConcurrency|TestSharedInstrument' ./internal/telemetry/
+go test -count=1 -run 'ZeroAlloc' ./internal/telemetry/
 
 echo "==> chaos suite (race-detected, fixed seeds, bounded)"
 go test -race -count=1 -timeout 180s ./internal/chaos/
@@ -31,10 +35,10 @@ go test -run '^$' -fuzz 'FuzzDatagramDecode' -fuzztime 5s ./internal/wire/
 go test -run '^$' -fuzz 'FuzzPSPOpen' -fuzztime 5s ./internal/psp/
 
 echo "==> benchmark smoke run (Figure 2 pipeline)"
-go test -run '^$' -bench Figure2 -benchtime 20000x . |
-	BENCHJSON_OUT=BENCH_3.json go run ./scripts/benchjson
+go test -run '^$' -bench Figure2 -benchtime 20000x -benchmem . |
+	BENCHJSON_OUT=BENCH_5.json go run ./scripts/benchjson
 
-echo "==> wrote BENCH_3.json"
+echo "==> wrote BENCH_5.json"
 
-echo "==> benchmark gate (batched parallel egress must beat per-packet single)"
-go run ./scripts/benchgate BENCH_3.json
+echo "==> benchmark gate (parallel egress beats single; fast path stays zero-alloc)"
+go run ./scripts/benchgate BENCH_5.json
