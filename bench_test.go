@@ -150,11 +150,34 @@ func figure2Pipe(b *testing.B) (*psp.TX, *psp.RX, []byte) {
 
 func BenchmarkFigure2_DecryptILPHeader(b *testing.B) {
 	_, rx, pkt := figure2Pipe(b)
+	var s psp.Scratch
 	b.SetBytes(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := rx.Open(pkt); err != nil {
+		if _, _, err := rx.OpenScratch(&s, pkt); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2_DecryptILPHeaderBatch is the batch counterpart: one
+// OpenBatch pass over 32 packets, amortizing the lock round-trips and
+// cipher-state fetches that the per-packet bench pays every op.
+func BenchmarkFigure2_DecryptILPHeaderBatch(b *testing.B) {
+	const batch = 32
+	_, rx, pkt := figure2Pipe(b)
+	pkts := make([][]byte, batch)
+	for i := range pkts {
+		pkts[i] = pkt
+	}
+	out := make([]psp.OpenResult, batch)
+	var s psp.Scratch
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		rx.OpenBatch(&s, pkts, out)
+		if out[0].Err != nil {
+			b.Fatal(out[0].Err)
 		}
 	}
 }
@@ -177,10 +200,41 @@ func BenchmarkFigure2_EncryptAndForward(b *testing.B) {
 	enc, _ := hdr.Encode()
 	payload := make([]byte, 1024)
 	buf := make([]byte, 0, psp.SealedSize(len(enc), len(payload)))
+	var s psp.Scratch
 	b.SetBytes(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tx.Seal(buf[:0], enc, payload); err != nil {
+		if _, err := tx.SealScratch(&s, buf[:0], enc, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2_EncryptAndForwardBatch seals 32 packets per SealBatch
+// call: one IV-run reservation and cipher-state fetch per batch.
+func BenchmarkFigure2_EncryptAndForwardBatch(b *testing.B) {
+	const batch = 32
+	tx, _, _ := figure2Pipe(b)
+	hdr := wire.ILPHeader{Service: wire.SvcNone, Conn: 1}
+	enc, _ := hdr.Encode()
+	payload := make([]byte, 1024)
+	dsts := make([][]byte, batch)
+	hdrs := make([][]byte, batch)
+	payloads := make([][]byte, batch)
+	bufs := make([][]byte, batch)
+	for i := range bufs {
+		bufs[i] = make([]byte, 0, psp.SealedSize(len(enc), len(payload)))
+		hdrs[i] = enc
+		payloads[i] = payload
+	}
+	var s psp.Scratch
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for j := range dsts {
+			dsts[j] = bufs[j][:0]
+		}
+		if err := tx.SealBatch(&s, dsts, hdrs, payloads); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -256,33 +310,40 @@ func BenchmarkFigure2_FullFastPath(b *testing.B) {
 	}
 }
 
-// BenchmarkFigure2_FullFastPathParallel runs the same pipeline from
-// RunParallel goroutines against one shared striped cache — the sharded
-// pipe-terminus workload: independent flows (distinct sources, keys, and
-// crypto state) processed concurrently — with batched egress: each worker
-// coalesces TxBatch sealed packets and ships them with one vectored
-// SendBatch (sendmmsg on Linux), the way the terminus egress queue does
-// under load. All per-flow setup is hoisted out of the timed region, and
-// the workers metric records how many goroutines actually ran.
+// BenchmarkFigure2_FullFastPathParallel runs the whole pipeline from
+// RunParallel goroutines against one shared source-affine cache — the
+// sharded pipe-terminus workload: independent flows (distinct sources,
+// keys, and crypto state) processed concurrently — at batch granularity,
+// the way the terminus now works end to end: each worker drains its input
+// in 32-packet receive batches, decrypts them with one OpenBatch crypto
+// pass, charges the whole run to the decision cache with one LookupN,
+// re-encrypts with one SealBatch IV-run reservation, and ships the sealed
+// run with one vectored SendBatch (UDP_SEGMENT super-datagrams on capable
+// kernels, sendmmsg otherwise). All per-flow setup is hoisted out of the
+// timed region, and the workers metric records how many goroutines ran.
 //
 // Telemetry rides along at flush granularity so the instrumentation stays
 // out of the gated per-op cost (two time.Now calls per 32-packet batch,
 // ~1ns/op): a latency histogram of per-flush service time — reported as
 // derived per-op p50-ns/p99-ns — and a batch-size histogram whose
-// batch-p50/batch-p99 confirm the egress actually coalesced.
+// batch-p50/batch-p99 confirm the pipeline actually ran batched.
 func BenchmarkFigure2_FullFastPathParallel(b *testing.B) {
 	const txBatch = 32
 	maxWorkers := runtime.GOMAXPROCS(0)
-	c := cache.NewSharded(65536, maxWorkers)
+	c := cache.NewSourceAffine(65536, maxWorkers)
 	tr, dst := benchUDPSender(b)
 
 	type flowState struct {
-		tx     *psp.TX
-		rx     *psp.RX
-		key    wire.FlowKey
-		pkt    []byte
-		batch  []wire.Datagram
-		sealed [][]byte
+		tx       *psp.TX
+		rx       *psp.RX
+		key      wire.FlowKey
+		pkts     [][]byte
+		results  []psp.OpenResult
+		hdrs     [][]byte
+		payloads [][]byte
+		dsts     [][]byte
+		sealed   [][]byte
+		batch    []wire.Datagram
 	}
 	states := make([]*flowState, maxWorkers)
 	for i := range states {
@@ -308,10 +369,16 @@ func BenchmarkFigure2_FullFastPathParallel(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		ws := &flowState{tx: ptx, rx: prx, key: key, pkt: pkt,
-			batch:  make([]wire.Datagram, 0, txBatch),
-			sealed: make([][]byte, txBatch)}
-		for j := range ws.sealed {
+		ws := &flowState{tx: ptx, rx: prx, key: key,
+			pkts:     make([][]byte, txBatch),
+			results:  make([]psp.OpenResult, txBatch),
+			hdrs:     make([][]byte, txBatch),
+			payloads: make([][]byte, txBatch),
+			dsts:     make([][]byte, txBatch),
+			sealed:   make([][]byte, txBatch),
+			batch:    make([]wire.Datagram, txBatch)}
+		for j := 0; j < txBatch; j++ {
+			ws.pkts[j] = pkt
 			ws.sealed[j] = make([]byte, 0, len(pkt))
 		}
 		states[i] = ws
@@ -326,41 +393,44 @@ func BenchmarkFigure2_FullFastPathParallel(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		ws := states[(claimed.Add(1)-1)%uint32(len(states))]
 		var rxs, txs psp.Scratch
-		n := 0
 		prev := time.Now()
-		for pb.Next() {
-			hdrBytes, payload, err := ws.rx.OpenScratch(&rxs, ws.pkt)
-			if err != nil {
-				b.Fatal(err)
+		for {
+			n := 0
+			for n < txBatch && pb.Next() {
+				n++
 			}
-			if _, ok := c.Lookup(ws.key); !ok {
+			if n == 0 {
+				return
+			}
+			ws.rx.OpenBatch(&rxs, ws.pkts[:n], ws.results[:n])
+			if _, ok := c.LookupN(ws.key, uint64(n)); !ok {
 				b.Fatal("miss")
 			}
-			sealed, err := ws.tx.SealScratch(&txs, ws.sealed[n][:0], hdrBytes, payload)
-			if err != nil {
-				b.Fatal(err)
-			}
-			ws.sealed[n] = sealed
-			ws.batch = append(ws.batch, wire.Datagram{Dst: dst, Payload: sealed})
-			n++
-			if n == txBatch {
-				if _, err := netsim.SendBatch(tr, ws.batch); err != nil {
-					b.Fatal(err)
+			for j := 0; j < n; j++ {
+				if ws.results[j].Err != nil {
+					b.Fatal(ws.results[j].Err)
 				}
-				ws.batch = ws.batch[:0]
-				n = 0
-				now := time.Now()
-				flushNs.Observe(uint64(now.Sub(prev)))
-				batchSize.Observe(txBatch)
-				prev = now
+				ws.hdrs[j] = ws.results[j].Hdr
+				ws.payloads[j] = ws.results[j].Payload
+				ws.dsts[j] = ws.sealed[j][:0]
 			}
-		}
-		if n > 0 {
-			if _, err := netsim.SendBatch(tr, ws.batch); err != nil {
+			if err := ws.tx.SealBatch(&txs, ws.dsts[:n], ws.hdrs[:n], ws.payloads[:n]); err != nil {
 				b.Fatal(err)
 			}
-			ws.batch = ws.batch[:0]
+			for j := 0; j < n; j++ {
+				ws.sealed[j] = ws.dsts[j]
+				ws.batch[j] = wire.Datagram{Dst: dst, Payload: ws.dsts[j]}
+			}
+			if _, err := netsim.SendBatch(tr, ws.batch[:n]); err != nil {
+				b.Fatal(err)
+			}
+			now := time.Now()
+			flushNs.Observe(uint64(now.Sub(prev)))
 			batchSize.Observe(uint64(n))
+			prev = now
+			if n < txBatch {
+				return
+			}
 		}
 	})
 	b.StopTimer()

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -11,6 +12,10 @@ import (
 	"interedge/internal/telemetry"
 	"interedge/internal/wire"
 )
+
+// maxUDPPayload is the largest UDP payload (and therefore the largest GSO
+// super-datagram) a single send may carry.
+const maxUDPPayload = 65507
 
 // UDPDirectory maps wire addresses to real UDP endpoints so the same node
 // code that runs on the in-process fabric can run across processes or
@@ -54,6 +59,11 @@ type UDPStats struct {
 // portable per-packet path; it never escapes this package.
 var errMMsgUnsupported = errors.New("netsim: mmsg unsupported")
 
+// errGSOUnsupported is the platform hooks' signal that the kernel refused
+// a UDP_SEGMENT send; the transport latches GSO off and resends via the
+// plain vectored path. It never escapes this package.
+var errGSOUnsupported = errors.New("netsim: udp gso unsupported")
+
 // UDPOption configures a UDPTransport.
 type UDPOption func(*UDPTransport)
 
@@ -66,6 +76,14 @@ func WithUDPQueueDepth(d int) UDPOption {
 // portable per-packet syscalls. Used by tests to exercise the fallback.
 func WithoutMMsg() UDPOption {
 	return func(t *UDPTransport) { t.noMMsg = true }
+}
+
+// WithoutUDPGSO disables UDP segmentation/receive offload (UDP_SEGMENT /
+// UDP_GRO), forcing per-datagram sendmmsg framing. Used by tests to
+// exercise the fallback; the INTEREDGE_NO_GSO environment variable forces
+// the same for a whole test run (the CI fallback leg).
+func WithoutUDPGSO() UDPOption {
+	return func(t *UDPTransport) { t.noGSO = true }
 }
 
 // WithUDPTelemetry homes the transport's transport_udp_* instruments in an
@@ -86,15 +104,25 @@ type UDPTransport struct {
 	rx         chan wire.Datagram
 	queueDepth int
 	noMMsg     bool
+	noGSO      bool
 	sock6      bool // socket is AF_INET6; v4 destinations need mapping
+	// groOn records that UDP_GRO was enabled on the socket. Written before
+	// the read loop starts and by the read loop itself on fallback; never
+	// read elsewhere.
+	groOn bool
 
 	closed atomic.Bool
 	// mmsgOK drops to false on the first hard sendmmsg failure so a kernel
 	// that rejects the syscall costs one failed attempt, not one per batch.
 	mmsgOK atomic.Bool
+	// gsoOK drops to false on the first refused UDP_SEGMENT send, so an
+	// unsupported kernel or NIC path costs one failed attempt; the batch
+	// that hit it is retried on the plain vectored path.
+	gsoOK atomic.Bool
 
 	encPool sync.Pool // *[]byte encode buffers
 	txPool  sync.Pool // *udpTxState batch scratch
+	gsoPool sync.Pool // *[]byte super-datagram buffers (GSO path)
 
 	// The socket counters are telemetry instruments homed in a private
 	// registry; RegisterTelemetry shares the same instrument objects into a
@@ -105,6 +133,7 @@ type UDPTransport struct {
 	rxMalformed *telemetry.Counter
 	txPackets   *telemetry.Counter
 	txBatches   *telemetry.Counter
+	gsoSegments *telemetry.Histogram
 }
 
 // udpTxState is the reusable scratch for one in-flight SendBatch: the
@@ -139,22 +168,37 @@ func NewUDPTransport(addr wire.Addr, listen string, dir *UDPDirectory, opts ...U
 	if t.telem == nil {
 		t.telem = telemetry.NewRegistry()
 	}
+	if os.Getenv("INTEREDGE_NO_GSO") != "" {
+		t.noGSO = true
+	}
 	t.rxPackets = t.telem.Counter("transport_udp_rx_packets_total")
 	t.rxDropped = t.telem.Counter("transport_udp_rx_dropped_total")
 	t.rxMalformed = t.telem.Counter("transport_udp_rx_malformed_total")
 	t.txPackets = t.telem.Counter("transport_udp_tx_packets_total")
 	t.txBatches = t.telem.Counter("transport_udp_tx_batches_total")
+	t.gsoSegments = t.telem.Histogram("transport_gso_segments", telemetry.BatchBuckets)
 	t.rx = make(chan wire.Datagram, t.queueDepth)
 	t.encPool.New = func() any {
 		b := make([]byte, 0, wire.MTU+wire.DatagramHeaderSize)
 		return &b
 	}
 	t.txPool.New = func() any { return &udpTxState{} }
+	t.gsoPool.New = func() any {
+		b := make([]byte, 0, maxUDPPayload)
+		return &b
+	}
 	local := conn.LocalAddr().(*net.UDPAddr)
 	t.sock6 = local.IP.To4() == nil
 	if rc, err := conn.SyscallConn(); err == nil {
 		t.rc = rc
 		t.mmsgOK.Store(mmsgArch && !t.noMMsg)
+		// GSO rides on the vectored path: the capability probe is a cheap
+		// setsockopt, and GRO is only worth enabling when the vectored read
+		// loop (which parses its cmsgs) will run.
+		if t.mmsgOK.Load() && !t.noGSO && t.probeGSO() {
+			t.gsoOK.Store(true)
+			t.groOn = t.enableGRO()
+		}
 	}
 	dir.Register(addr, local)
 	go t.readLoop()
@@ -168,6 +212,13 @@ func (t *UDPTransport) readLoop() {
 	if t.rc != nil && mmsgArch && !t.noMMsg {
 		if t.readLoopMMsg() {
 			return // loop ran until close and shut the rx channel
+		}
+		// The portable loop below cannot parse GRO cmsgs, so coalescing
+		// must be turned off before falling back or multi-datagram reads
+		// would be decoded as one malformed packet.
+		if t.groOn {
+			t.disableGRO()
+			t.groOn = false
 		}
 	}
 	buf := make([]byte, wire.MTU+wire.DatagramHeaderSize)
@@ -237,6 +288,15 @@ func (t *UDPTransport) Send(dg wire.Datagram) error {
 func (t *UDPTransport) SendBatch(dgs []wire.Datagram) (int, error) {
 	if t.closed.Load() {
 		return 0, ErrClosed
+	}
+	if t.gsoOK.Load() {
+		n, err := t.sendBatchGSO(dgs)
+		if !errors.Is(err, errGSOUnsupported) {
+			return n, err
+		}
+		// Refused with nothing sent: latch GSO off and resend the whole
+		// batch with per-datagram framing.
+		t.gsoOK.Store(false)
 	}
 	st := t.txPool.Get().(*udpTxState)
 	defer t.releaseTx(st)
@@ -312,6 +372,7 @@ func (t *UDPTransport) releaseTx(st *udpTxState) {
 		st.eps[i] = nil
 	}
 	st.eps = st.eps[:0]
+	t.releaseGSO(st)
 	t.txPool.Put(st)
 }
 
@@ -332,7 +393,7 @@ func (t *UDPTransport) Stats() UDPStats {
 // counters (the same instrument objects) into r, alongside a lazy gauge for
 // the receive-queue depth.
 func (t *UDPTransport) RegisterTelemetry(r *telemetry.Registry) {
-	r.MustRegister(t.rxPackets, t.rxDropped, t.rxMalformed, t.txPackets, t.txBatches)
+	r.MustRegister(t.rxPackets, t.rxDropped, t.rxMalformed, t.txPackets, t.txBatches, t.gsoSegments)
 	_ = r.Register(telemetry.NewGaugeFunc("transport_rx_queue_depth", func() int64 {
 		return int64(len(t.rx))
 	}))

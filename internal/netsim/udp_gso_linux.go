@@ -1,0 +1,290 @@
+//go:build linux && (amd64 || arm64)
+
+package netsim
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+
+	"interedge/internal/wire"
+)
+
+// UDP generic segmentation/receive offload (Linux 4.18+): one sendmsg
+// carries a "super-datagram" of up to 64 equal-size segments that the
+// kernel (or NIC) splits into individual UDP datagrams, and UDP_GRO hands
+// the receiver coalesced buffers plus the segment size in a cmsg. For an
+// egress batch of small packets to one peer this collapses N datagram
+// traversals of the UDP stack into one.
+const (
+	solUDP        = 17  // SOL_UDP
+	udpSegmentOpt = 103 // UDP_SEGMENT
+	udpGROOpt     = 104 // UDP_GRO
+	gsoMaxSegs    = 64
+)
+
+// gsoMsg is one message of a GSO flush: either a single datagram or a
+// super-datagram of segs equal-size segments (the last may be shorter)
+// bound for one destination.
+type gsoMsg struct {
+	buf     *[]byte
+	ep      *net.UDPAddr
+	segs    int
+	segSize int
+}
+
+// probeGSO reports whether the socket accepts UDP_SEGMENT.
+func (t *UDPTransport) probeGSO() bool {
+	ok := false
+	_ = t.rc.Control(func(fd uintptr) {
+		ok = syscall.SetsockoptInt(int(fd), solUDP, udpSegmentOpt, 0) == nil
+	})
+	return ok
+}
+
+func (t *UDPTransport) enableGRO() bool {
+	ok := false
+	_ = t.rc.Control(func(fd uintptr) {
+		ok = syscall.SetsockoptInt(int(fd), solUDP, udpGROOpt, 1) == nil
+	})
+	return ok
+}
+
+func (t *UDPTransport) disableGRO() {
+	_ = t.rc.Control(func(fd uintptr) {
+		_ = syscall.SetsockoptInt(int(fd), solUDP, udpGROOpt, 0)
+	})
+}
+
+// UDPGSOSupported reports whether this kernel accepts UDP_SEGMENT on a
+// UDP socket. Used by tests and the CI capability probe.
+func UDPGSOSupported() bool {
+	fd, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_DGRAM|syscall.SOCK_CLOEXEC, 0)
+	if err != nil {
+		return false
+	}
+	defer syscall.Close(fd)
+	return syscall.SetsockoptInt(fd, solUDP, udpSegmentOpt, 0) == nil
+}
+
+// releaseGSO returns a flush's super-datagram buffers to their pool.
+func (t *UDPTransport) releaseGSO(st *udpTxState) {
+	for i, m := range st.sys.gsoMsgs {
+		t.gsoPool.Put(m.buf)
+		st.sys.gsoMsgs[i] = gsoMsg{}
+	}
+	st.sys.gsoMsgs = st.sys.gsoMsgs[:0]
+}
+
+// sendBatchGSO encodes the batch into per-destination super-datagrams and
+// flushes them with one sendmmsg. A super-datagram covers a run of
+// consecutive same-destination datagrams whose encoded sizes satisfy the
+// GSO contract: every segment the same size, except a shorter final one
+// (a smaller datagram closes its run; a larger one starts a new run).
+func (t *UDPTransport) sendBatchGSO(dgs []wire.Datagram) (int, error) {
+	st := t.txPool.Get().(*udpTxState)
+	defer t.releaseTx(st)
+	i := 0
+	for i < len(dgs) {
+		ep, ok := t.dir.Lookup(dgs[i].Dst)
+		if !ok {
+			n, werr := t.writeGSOMsgs(st)
+			if werr != nil {
+				return n, werr
+			}
+			return i, ErrUnknownDestination
+		}
+		dgs[i].Src = t.addr
+		segSize := dgs[i].EncodedSize()
+		maxSegs := gsoMaxSegs
+		if bySize := maxUDPPayload / segSize; bySize < maxSegs {
+			maxSegs = bySize
+		}
+		if maxSegs < 1 {
+			maxSegs = 1
+		}
+		j := i + 1
+		for j < len(dgs) && j-i < maxSegs && dgs[j].Dst == dgs[i].Dst {
+			sz := dgs[j].EncodedSize()
+			if sz > segSize {
+				break
+			}
+			dgs[j].Src = t.addr
+			j++
+			if sz < segSize {
+				break // a shorter segment must be the last of its run
+			}
+		}
+		bp := t.gsoPool.Get().(*[]byte)
+		buf := (*bp)[:0]
+		for k := i; k < j; k++ {
+			var err error
+			buf, err = dgs[k].AppendEncode(buf)
+			if err != nil {
+				// Queue what encoded (datagrams [i, k)), flush, and report
+				// the offender, mirroring the non-GSO path's accounting.
+				if k > i {
+					*bp = buf
+					st.sys.gsoMsgs = append(st.sys.gsoMsgs, gsoMsg{buf: bp, ep: ep, segs: k - i, segSize: segSize})
+				} else {
+					t.gsoPool.Put(bp)
+				}
+				n, werr := t.writeGSOMsgs(st)
+				if werr != nil {
+					return n, werr
+				}
+				return k, err
+			}
+		}
+		*bp = buf
+		st.sys.gsoMsgs = append(st.sys.gsoMsgs, gsoMsg{buf: bp, ep: ep, segs: j - i, segSize: segSize})
+		i = j
+	}
+	return t.writeGSOMsgs(st)
+}
+
+// writeGSOMsgs flushes the queued messages with sendmmsg, attaching a
+// UDP_SEGMENT cmsg to each multi-segment super-datagram. It returns the
+// number of datagrams (segments) handed to the kernel. errGSOUnsupported
+// is only returned when nothing was sent, so the caller can safely replay
+// the whole batch on the plain path.
+func (t *UDPTransport) writeGSOMsgs(st *udpTxState) (int, error) {
+	nm := len(st.sys.gsoMsgs)
+	if nm == 0 {
+		return 0, nil
+	}
+	s := &st.sys
+	s.grow(nm)
+	cmsgSpace := syscall.CmsgSpace(2)
+	if cap(s.cmsgs) < nm*cmsgSpace {
+		s.cmsgs = make([]byte, nm*cmsgSpace)
+	}
+	s.cmsgs = s.cmsgs[:nm*cmsgSpace]
+	for i := range s.gsoMsgs {
+		m := &s.gsoMsgs[i]
+		b := *m.buf
+		s.iovs[i] = syscall.Iovec{Base: &b[0]}
+		s.iovs[i].SetLen(len(b))
+		h := &s.hdrs[i]
+		*h = mmsghdr{}
+		h.hdr.Iov = &s.iovs[i]
+		h.hdr.Iovlen = 1
+		if err := t.fillName(s, i, m.ep, h); err != nil {
+			// Unroutable on this socket family: latch GSO off; the plain
+			// vectored path will hit the same wall and cascade to the
+			// portable loop.
+			return 0, errGSOUnsupported
+		}
+		if m.segs > 1 {
+			c := s.cmsgs[i*cmsgSpace : (i+1)*cmsgSpace]
+			ch := (*syscall.Cmsghdr)(unsafe.Pointer(&c[0]))
+			ch.Level = solUDP
+			ch.Type = udpSegmentOpt
+			ch.SetLen(syscall.CmsgLen(2))
+			*(*uint16)(unsafe.Pointer(&c[syscall.CmsgLen(0)])) = uint16(m.segSize)
+			h.hdr.Control = &c[0]
+			h.hdr.SetControllen(syscall.CmsgLen(2))
+		}
+	}
+	sentMsgs, sentDgs := 0, 0
+	for sentMsgs < nm {
+		var nw int
+		var errno syscall.Errno
+		err := t.rc.Write(func(fd uintptr) bool {
+			r1, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&s.hdrs[sentMsgs])), uintptr(nm-sentMsgs), 0, 0, 0)
+			if e == syscall.EAGAIN {
+				return false
+			}
+			nw, errno = int(r1), e
+			return true
+		})
+		if err != nil {
+			t.txPackets.Add(uint64(sentDgs))
+			return sentDgs, err
+		}
+		if errno != 0 || nw <= 0 {
+			if sentDgs == 0 {
+				// Nothing left the socket: either the kernel rejects
+				// UDP_SEGMENT cmsgs (EINVAL/EOPNOTSUPP/EIO on virtual
+				// NICs) or sendmmsg itself is unavailable. Latch off and
+				// let the caller replay.
+				return 0, errGSOUnsupported
+			}
+			t.txPackets.Add(uint64(sentDgs))
+			if errno != 0 {
+				return sentDgs, errno
+			}
+			return sentDgs, errGSOUnsupported
+		}
+		for k := sentMsgs; k < sentMsgs+nw; k++ {
+			m := &s.gsoMsgs[k]
+			sentDgs += m.segs
+			if m.segs > 1 {
+				t.gsoSegments.Observe(uint64(m.segs))
+			}
+		}
+		sentMsgs += nw
+	}
+	t.txPackets.Add(uint64(sentDgs))
+	t.txBatches.Add(1)
+	return sentDgs, nil
+}
+
+// groSegSize extracts the UDP_GRO segment size from a received message's
+// control data; 0 means the buffer is a single datagram.
+func groSegSize(h *mmsghdr, oob []byte) int {
+	cl := int(h.hdr.Controllen)
+	if cl <= 0 || cl > len(oob) {
+		return 0
+	}
+	rem := oob[:cl]
+	for len(rem) >= syscall.SizeofCmsghdr {
+		ch := (*syscall.Cmsghdr)(unsafe.Pointer(&rem[0]))
+		l := int(ch.Len)
+		if l < syscall.SizeofCmsghdr || l > len(rem) {
+			return 0
+		}
+		if ch.Level == solUDP && ch.Type == udpGROOpt {
+			switch {
+			case l >= syscall.CmsgLen(4):
+				return int(*(*int32)(unsafe.Pointer(&rem[syscall.CmsgLen(0)])))
+			case l >= syscall.CmsgLen(2):
+				return int(*(*uint16)(unsafe.Pointer(&rem[syscall.CmsgLen(0)])))
+			default:
+				return 0
+			}
+		}
+		adv := (l + 7) &^ 7 // CMSG_ALIGN on 64-bit
+		if adv <= 0 || adv > len(rem) {
+			return 0
+		}
+		rem = rem[adv:]
+	}
+	return 0
+}
+
+// fillName writes ep into the i-th sockaddr slot and points h at it.
+func (t *UDPTransport) fillName(s *mmsgTxState, i int, ep *net.UDPAddr, h *mmsghdr) error {
+	if !t.sock6 {
+		ip4 := ep.IP.To4()
+		if ip4 == nil {
+			return errMMsgUnsupported // v6 peer on a v4 socket
+		}
+		sa := &s.sa4[i]
+		sa.Family = syscall.AF_INET
+		sa.Port = htons(ep.Port)
+		copy(sa.Addr[:], ip4)
+		h.hdr.Name = (*byte)(unsafe.Pointer(sa))
+		h.hdr.Namelen = syscall.SizeofSockaddrInet4
+		return nil
+	}
+	sa := &s.sa6[i]
+	*sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6, Port: htons(ep.Port)}
+	ip16 := ep.IP.To16() // v4 peers become v4-mapped on the v6 socket
+	copy(sa.Addr[:], ip16)
+	sa.Scope_id = scopeID(ep)
+	h.hdr.Name = (*byte)(unsafe.Pointer(sa))
+	h.hdr.Namelen = syscall.SizeofSockaddrInet6
+	return nil
+}

@@ -33,6 +33,10 @@ type mmsgTxState struct {
 	iovs []syscall.Iovec
 	sa4  []syscall.RawSockaddrInet4
 	sa6  []syscall.RawSockaddrInet6
+	// GSO flush state: the queued super-datagram messages and the flat
+	// cmsg arena (one UDP_SEGMENT cmsg slot per message).
+	gsoMsgs []gsoMsg
+	cmsgs   []byte
 }
 
 func htons(p int) uint16 { return uint16(p)<<8 | uint16(p)>>8 }
@@ -67,25 +71,8 @@ func (t *UDPTransport) sendMMsg(st *udpTxState) (int, error) {
 		*h = mmsghdr{}
 		h.hdr.Iov = &s.iovs[i]
 		h.hdr.Iovlen = 1
-		if !t.sock6 {
-			ip4 := ep.IP.To4()
-			if ip4 == nil {
-				return 0, errMMsgUnsupported // v6 peer on a v4 socket
-			}
-			sa := &s.sa4[i]
-			sa.Family = syscall.AF_INET
-			sa.Port = htons(ep.Port)
-			copy(sa.Addr[:], ip4)
-			h.hdr.Name = (*byte)(unsafe.Pointer(sa))
-			h.hdr.Namelen = syscall.SizeofSockaddrInet4
-		} else {
-			sa := &s.sa6[i]
-			*sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6, Port: htons(ep.Port)}
-			ip16 := ep.IP.To16() // v4 peers become v4-mapped on the v6 socket
-			copy(sa.Addr[:], ip16)
-			sa.Scope_id = scopeID(ep)
-			h.hdr.Name = (*byte)(unsafe.Pointer(sa))
-			h.hdr.Namelen = syscall.SizeofSockaddrInet6
+		if err := t.fillName(s, i, ep, h); err != nil {
+			return 0, err
 		}
 	}
 	sent := 0
@@ -130,11 +117,13 @@ func scopeID(ep *net.UDPAddr) uint32 {
 }
 
 // rxMMsgState holds the receive-side vectored scratch: one reusable buffer
-// and iovec per slot, filled by a single recvmmsg(2).
+// and iovec per slot, filled by a single recvmmsg(2), plus per-slot
+// control buffers for the UDP_GRO segment-size cmsg when GRO is on.
 type rxMMsgState struct {
 	hdrs [rxBatch]mmsghdr
 	iovs [rxBatch]syscall.Iovec
 	bufs [rxBatch][]byte
+	oob  [rxBatch][]byte
 }
 
 // readLoopMMsg drains the socket in recvmmsg batches until the transport
@@ -143,14 +132,30 @@ type rxMMsgState struct {
 // to the portable loop).
 func (t *UDPTransport) readLoopMMsg() bool {
 	st := &rxMMsgState{}
+	bufSize := wire.MTU + wire.DatagramHeaderSize
+	if t.groOn {
+		// A GRO buffer must hold a whole coalesced super-datagram.
+		bufSize = 1 << 16
+	}
 	for i := range st.bufs {
-		st.bufs[i] = make([]byte, wire.MTU+wire.DatagramHeaderSize)
+		st.bufs[i] = make([]byte, bufSize)
 		st.iovs[i] = syscall.Iovec{Base: &st.bufs[i][0]}
 		st.iovs[i].SetLen(len(st.bufs[i]))
 		st.hdrs[i].hdr.Iov = &st.iovs[i]
 		st.hdrs[i].hdr.Iovlen = 1
+		if t.groOn {
+			st.oob[i] = make([]byte, syscall.CmsgSpace(4)*2)
+		}
 	}
 	for {
+		if t.groOn {
+			// The kernel overwrites Controllen per message; re-arm the
+			// control buffers before every call.
+			for i := range st.hdrs {
+				st.hdrs[i].hdr.Control = &st.oob[i][0]
+				st.hdrs[i].hdr.SetControllen(len(st.oob[i]))
+			}
+		}
 		var nr int
 		var errno syscall.Errno
 		err := t.rc.Read(func(fd uintptr) bool {
@@ -180,7 +185,24 @@ func (t *UDPTransport) readLoopMMsg() bool {
 			continue
 		}
 		for i := 0; i < nr; i++ {
-			t.deliverRx(st.bufs[i][:st.hdrs[i].len])
+			b := st.bufs[i][:st.hdrs[i].len]
+			seg := 0
+			if t.groOn {
+				seg = groSegSize(&st.hdrs[i], st.oob[i])
+			}
+			if seg > 0 && seg < len(b) {
+				// Coalesced receive: every segment but the last is exactly
+				// seg bytes; split back into the original datagrams.
+				for off := 0; off < len(b); off += seg {
+					end := off + seg
+					if end > len(b) {
+						end = len(b)
+					}
+					t.deliverRx(b[off:end])
+				}
+			} else {
+				t.deliverRx(b)
+			}
 		}
 	}
 }

@@ -2,6 +2,8 @@
 
 package netsim
 
+import "interedge/internal/wire"
+
 // mmsgArch reports whether this build has the vectored syscall path; on
 // this target every batch goes through the portable per-packet loop.
 const mmsgArch = false
@@ -14,3 +16,20 @@ func (t *UDPTransport) sendMMsg(st *udpTxState) (int, error) {
 }
 
 func (t *UDPTransport) readLoopMMsg() bool { return false }
+
+// GSO/GRO hooks: never enabled on this target (probeGSO is unreachable
+// because mmsgOK is never true here, but the stubs keep the portable
+// build honest).
+func (t *UDPTransport) probeGSO() bool  { return false }
+func (t *UDPTransport) enableGRO() bool { return false }
+func (t *UDPTransport) disableGRO()     {}
+
+func (t *UDPTransport) sendBatchGSO(dgs []wire.Datagram) (int, error) {
+	return 0, errGSOUnsupported
+}
+
+func (t *UDPTransport) releaseGSO(st *udpTxState) {}
+
+// UDPGSOSupported reports whether the kernel accepts UDP_SEGMENT; never
+// on this target.
+func UDPGSOSupported() bool { return false }

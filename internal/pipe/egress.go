@@ -4,47 +4,57 @@ import (
 	"fmt"
 
 	"interedge/internal/netsim"
+	"interedge/internal/psp"
 	"interedge/internal/wire"
 )
 
-// destBatch accumulates sealed packets bound for one destination. The
-// Datagram payloads alias the pooled sealBufs held alongside them; both are
-// released when the batch flushes.
+// destBatch accumulates staged packets bound for one destination. The
+// Datagram payloads alias the pooled sealBufs held alongside them; pkts and
+// hdrLens describe the staged PSP region of each payload (everything after
+// the frame byte) for the seal-at-flush pass. All are released when the
+// batch flushes.
 type destBatch struct {
-	dst wire.Addr
-	p   *peer
-	dgs []wire.Datagram
-	sbs []*sealBuf
+	dst     wire.Addr
+	p       *peer
+	dgs     []wire.Datagram
+	sbs     []*sealBuf
+	pkts    [][]byte
+	hdrLens []int
 }
 
-// egress is a per-worker coalescing Sender. Packets sealed through it are
-// queued per destination and handed to the transport as one batch, either
-// when the owning worker's input drains (flushAll — the adaptive low-load
-// path) or when a destination reaches the TxBatch cap under backpressure
-// (flushDest). Sealing happens at enqueue time with the manager's pooled
-// buffers, so callers may reuse their header and payload slices immediately
-// and the steady state allocates nothing.
+// egress is a per-worker coalescing Sender. Packets sent through it are
+// staged per destination (header and payload copied to their final wire
+// offsets in pooled buffers, so callers may reuse their slices immediately)
+// and handed to the transport as one batch, either when the owning worker's
+// input drains (flushAll — the adaptive low-load path) or when a
+// destination reaches the TxBatch cap under backpressure (flushDest).
+// Sealing is deferred to flush time: the whole pending run of a destination
+// is encrypted in place with one SealStaged pass — a single cipher-state
+// fetch and one contiguous IV reservation — and the steady state allocates
+// nothing.
 //
 // An egress belongs to exactly one worker goroutine and is not safe for
 // concurrent use. Per-destination FIFO plus in-order flushing preserves
 // per-source packet order: one source maps to one worker, and that worker
 // enqueues and flushes in arrival order.
 type egress struct {
-	m     *Manager
-	cap   int
-	dests map[wire.Addr]*destBatch
-	order []*destBatch // flush order: first-enqueue order per drain cycle
-	free  []*destBatch // recycled destBatch structs
+	m       *Manager
+	cap     int
+	scratch psp.Scratch
+	dests   map[wire.Addr]*destBatch
+	order   []*destBatch // flush order: first-enqueue order per drain cycle
+	free    []*destBatch // recycled destBatch structs
 }
 
 func (m *Manager) newEgress() *egress {
 	return &egress{m: m, cap: m.cfg.TxBatch, dests: make(map[wire.Addr]*destBatch)}
 }
 
-// SendHeaderBytes seals the packet now and queues it for the next flush.
-// A nil return means the packet was accepted for (possibly deferred)
-// transmission; transport-level flush failures surface as TxFlushDrops in
-// Stats, matching how a NIC ring reports late drops.
+// SendHeaderBytes stages the packet (copying hdrBytes and payload to their
+// wire offsets) and queues it for the next flush, which seals the whole
+// run. A nil return means the packet was accepted for (possibly deferred)
+// transmission; seal and transport failures at flush time surface as
+// TxFlushDrops in Stats, matching how a NIC ring reports late drops.
 func (e *egress) SendHeaderBytes(dst wire.Addr, hdrBytes, payload []byte) error {
 	m := e.m
 	p := m.peer(dst)
@@ -72,30 +82,41 @@ func (e *egress) SendHeaderBytes(dst wire.Addr, hdrBytes, payload []byte) error 
 		db.p = p
 	}
 	sb := m.sealBufs.Get().(*sealBuf)
-	buf := append(sb.buf[:0], byte(wire.FrameILP))
-	sealed, err := p.crypto.TX.SealScratch(&sb.scratch, buf, hdrBytes, payload)
-	if err != nil {
-		sb.buf = buf
-		m.sealBufs.Put(sb)
-		return err
+	size := 1 + psp.SealedSize(len(hdrBytes), len(payload))
+	buf := sb.buf[:0]
+	if cap(buf) < size {
+		buf = make([]byte, size)
 	}
-	sb.buf = sealed
-	db.dgs = append(db.dgs, wire.Datagram{Dst: dst, Payload: sealed})
+	buf = buf[:size]
+	buf[0] = byte(wire.FrameILP)
+	psp.StageSeal(buf[1:], hdrBytes, payload)
+	sb.buf = buf
+	db.dgs = append(db.dgs, wire.Datagram{Dst: dst, Payload: buf})
 	db.sbs = append(db.sbs, sb)
+	db.pkts = append(db.pkts, buf[1:])
+	db.hdrLens = append(db.hdrLens, len(hdrBytes))
 	if len(db.dgs) >= e.cap {
 		return e.flushDest(db)
 	}
 	return nil
 }
 
-// flushDest hands one destination's queue to the transport as a batch and
-// releases the seal buffers. The destBatch stays registered for the rest of
-// the drain cycle, ready to accumulate again.
+// flushDest seals one destination's staged queue in place with a single
+// batch crypto pass, hands it to the transport as one batch, and releases
+// the buffers. The destBatch stays registered for the rest of the drain
+// cycle, ready to accumulate again.
 func (e *egress) flushDest(db *destBatch) error {
 	if len(db.dgs) == 0 {
 		return nil
 	}
 	m := e.m
+	if err := db.p.crypto.TX.SealStaged(&e.scratch, db.pkts, db.hdrLens); err != nil {
+		// A seal failure poisons the whole staged run (IVs are already
+		// consumed); account every packet as a flush drop.
+		m.txFlushDrops.Add(uint64(len(db.dgs)))
+		db.release(m)
+		return err
+	}
 	n, err := netsim.SendBatch(m.cfg.Transport, db.dgs)
 	var bytes uint64
 	for i := 0; i < n; i++ {
@@ -111,14 +132,22 @@ func (e *egress) flushDest(db *destBatch) error {
 	}
 	// Transports must not retain the batch or its payloads once SendBatch
 	// returns, so the seal buffers go straight back to the pool.
+	db.release(m)
+	return err
+}
+
+// release returns the batch's pooled buffers and resets its queues.
+func (db *destBatch) release(m *Manager) {
 	for i := range db.sbs {
 		m.sealBufs.Put(db.sbs[i])
 		db.sbs[i] = nil
 		db.dgs[i] = wire.Datagram{}
+		db.pkts[i] = nil
 	}
 	db.dgs = db.dgs[:0]
 	db.sbs = db.sbs[:0]
-	return err
+	db.pkts = db.pkts[:0]
+	db.hdrLens = db.hdrLens[:0]
 }
 
 // flushAll drains every destination in first-enqueue order and resets the

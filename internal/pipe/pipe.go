@@ -39,10 +39,12 @@ import (
 
 // Sender is the egress surface handed to PacketHandlers. On the hot path it
 // is the worker's coalescing egress queue (sends may be batched until the
-// worker's input drains or the per-destination cap is hit); with coalescing
-// disabled it is the Manager itself and every send goes out immediately.
-// Either way SendHeaderBytes seals at call time, so the caller may reuse
-// hdrBytes and payload as soon as it returns.
+// worker's input drains or the per-destination cap is hit, and the queued
+// packets of one destination are sealed together at flush time with a single
+// cipher-state fetch); with coalescing disabled it is the Manager itself and
+// every send is sealed and goes out immediately. Either way SendHeaderBytes
+// copies hdrBytes and payload at call time, so the caller may reuse both as
+// soon as it returns.
 type Sender interface {
 	SendHeaderBytes(dst wire.Addr, hdrBytes, payload []byte) error
 }
@@ -59,6 +61,25 @@ type Sender interface {
 // duration of the call and must not be used from other goroutines; work
 // handed off internally must send through the Manager instead.
 type PacketHandler func(tx Sender, src wire.Addr, hdr wire.ILPHeader, hdrRaw, payload []byte)
+
+// RxPacket is one decrypted inbound ILP packet of a receive batch. Hdr is
+// the decoded header; HdrRaw is its encoded form (for re-seal-without-
+// re-encode forwarding); Payload is the application payload. HdrRaw and
+// Hdr.Data alias the worker's batch-open arena and Payload aliases the
+// receive buffer: all three are valid only until the handler returns and
+// must be copied if retained.
+type RxPacket struct {
+	Hdr     wire.ILPHeader
+	HdrRaw  []byte
+	Payload []byte
+}
+
+// BatchPacketHandler receives each decrypted same-source run of an RX batch
+// as one call, preserving arrival order within pkts. It is the batch
+// counterpart of PacketHandler: the same ordering, aliasing, and tx-validity
+// rules apply to every element of pkts. Liveness probes are answered by the
+// Manager and never appear in pkts.
+type BatchPacketHandler func(tx Sender, src wire.Addr, pkts []RxPacket)
 
 // AuthorizePeer decides whether to accept a pipe with the given peer. It is
 // consulted on both initiation and response.
@@ -87,8 +108,14 @@ type Config struct {
 	// Clock defaults to the real clock.
 	Clock clock.Clock
 	// Handler receives inbound packets; required for nodes that accept
-	// traffic.
+	// traffic (unless BatchHandler is set).
 	Handler PacketHandler
+	// BatchHandler, when set, takes precedence over Handler: each decrypted
+	// same-source run of a receive batch is delivered as one call, letting
+	// the consumer amortize per-packet work (e.g. run-coalesced decision-
+	// cache lookups) across the run. When nil, packets are delivered one at
+	// a time through Handler.
+	BatchHandler BatchPacketHandler
 	// Authorize defaults to accept-all.
 	Authorize AuthorizePeer
 	// OnPeerUp is optional.
@@ -195,6 +222,21 @@ type sealBuf struct {
 // NIC would) rather than reordering or dropping here.
 const rxWorkerQueueDepth = 512
 
+// rxDispatchBatch caps how many queued datagrams a worker gathers before
+// dispatching them as one batch. It matches the transports' vectored
+// receive sizing, so one recvmmsg burst flows through one crypto pass.
+const rxDispatchBatch = 32
+
+// rxRun is a worker's reusable batch-dispatch scratch: the gathered
+// datagrams, the per-run sealed bodies and open results, and the decoded
+// packets handed to the batch handler.
+type rxRun struct {
+	dgs     []wire.Datagram
+	bodies  [][]byte
+	results []psp.OpenResult
+	pkts    []RxPacket
+}
+
 // Stats aggregates manager-wide pipe metrics. It is a view over the
 // manager's telemetry instruments (the pipe_* names in the node registry);
 // each field is read atomically, but fields are not read at one common
@@ -242,6 +284,7 @@ type Manager struct {
 	txBatchedPackets  *telemetry.Counter
 	txFlushDrops      *telemetry.Counter
 	flushBatchSize    *telemetry.Histogram
+	rxOpenBatchSize   *telemetry.Histogram
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -313,6 +356,7 @@ func New(cfg Config) (*Manager, error) {
 	m.txBatchedPackets = reg.Counter("pipe_tx_batched_packets_total")
 	m.txFlushDrops = reg.Counter("pipe_tx_flush_drops_total")
 	m.flushBatchSize = reg.Histogram("pipe_tx_flush_batch_size", telemetry.BatchBuckets)
+	m.rxOpenBatchSize = reg.Histogram("pipe_rx_open_batch_size", telemetry.BatchBuckets)
 	_ = reg.Register(telemetry.NewGaugeFunc("pipe_peers", func() int64 {
 		return int64(len(*m.peers.Load()))
 	}))
@@ -347,16 +391,13 @@ func (m *Manager) RxWorkers() int { return m.cfg.RxWorkers }
 // (the one supplied in Config.Telemetry, or the private default).
 func (m *Manager) Telemetry() *telemetry.Registry { return m.telem }
 
-// shardFor maps a source address onto a worker index (FNV-1a over the
-// 16-byte address), so one peer's traffic always lands on one worker.
+// shardFor maps a source address onto a worker index, so one peer's traffic
+// always lands on one worker. It uses the shared wire.ShardIndex hash, the
+// same one a source-affine decision cache shards by: when the cache is
+// created with as many shards as there are RX workers, the worker that
+// handles a source owns that source's cache shard exclusively.
 func shardFor(src wire.Addr, n int) int {
-	const offset, prime = uint64(14695981039346656037), uint64(1099511628211)
-	h := offset
-	b := src.As16()
-	for _, c := range b {
-		h = (h ^ uint64(c)) * prime
-	}
-	return int(h % uint64(n))
+	return wire.ShardIndex(src, n)
 }
 
 func (m *Manager) receiveLoop() {
@@ -384,15 +425,18 @@ func (m *Manager) runWorker(ch chan wire.Datagram) {
 	m.consume(ch)
 }
 
-// consume is the body every receive worker runs: dispatch packets, and let
-// egress coalesce while more input is immediately available. The flush
-// policy is NAPI-style adaptive — the inner drain loop keeps dispatching as
-// long as the channel has a datagram ready, and the coalescer flushes the
-// moment it does not. At low load every packet therefore flushes before the
-// worker blocks again (no added latency); under backpressure batches grow
-// until the per-destination cap forces them out.
+// consume is the body every receive worker runs: gather whatever the input
+// channel has ready (up to rxDispatchBatch), push the whole batch through
+// one crypto pass, and let egress coalesce while more input is immediately
+// available. The flush policy is NAPI-style adaptive — the inner drain loop
+// keeps gathering and dispatching as long as the channel has a datagram
+// ready, and the coalescer flushes the moment it does not. At low load every
+// packet therefore flushes before the worker blocks again (no added
+// latency); under backpressure receive batches grow toward rxDispatchBatch
+// and egress batches toward the per-destination cap.
 func (m *Manager) consume(ch <-chan wire.Datagram) {
 	var scratch psp.Scratch
+	var rb rxRun
 	var tx Sender = m
 	var eg *egress
 	if m.cfg.TxBatch > 1 {
@@ -404,41 +448,135 @@ func (m *Manager) consume(ch <-chan wire.Datagram) {
 		if !ok {
 			return
 		}
-		m.dispatch(tx, dg, &scratch)
+		rb.dgs = append(rb.dgs[:0], dg)
+		closed := false
 	drain:
 		for {
 			select {
 			case dg, ok = <-ch:
 				if !ok {
-					if eg != nil {
-						eg.flushAll()
-					}
-					return
+					closed = true
+					break drain
 				}
-				m.dispatch(tx, dg, &scratch)
+				rb.dgs = append(rb.dgs, dg)
+				if len(rb.dgs) >= rxDispatchBatch {
+					m.dispatchBatch(tx, &rb, &scratch)
+					rb.dgs = rb.dgs[:0]
+				}
 			default:
 				break drain
 			}
 		}
+		if len(rb.dgs) > 0 {
+			m.dispatchBatch(tx, &rb, &scratch)
+			rb.dgs = rb.dgs[:0]
+		}
 		if eg != nil {
 			eg.flushAll()
+		}
+		if closed {
+			return
 		}
 	}
 }
 
-func (m *Manager) dispatch(tx Sender, dg wire.Datagram, scratch *psp.Scratch) {
-	if len(dg.Payload) < 1 {
+// dispatchBatch walks one gathered batch in arrival order: handshake frames
+// are handled inline, and each maximal run of consecutive ILP datagrams
+// from one source is opened and delivered as a unit.
+func (m *Manager) dispatchBatch(tx Sender, rb *rxRun, scratch *psp.Scratch) {
+	dgs := rb.dgs
+	for i := 0; i < len(dgs); {
+		if len(dgs[i].Payload) < 1 {
+			i++
+			continue
+		}
+		switch wire.FrameType(dgs[i].Payload[0]) {
+		case wire.FrameHandshake1:
+			m.handleMsg1(dgs[i].Src, dgs[i].Payload[1:])
+			i++
+		case wire.FrameHandshake2:
+			m.handleMsg2(dgs[i].Src, dgs[i].Payload[1:])
+			i++
+		case wire.FrameILP:
+			j := i + 1
+			for j < len(dgs) && dgs[j].Src == dgs[i].Src &&
+				len(dgs[j].Payload) >= 1 &&
+				wire.FrameType(dgs[j].Payload[0]) == wire.FrameILP {
+				j++
+			}
+			m.handleILPRun(tx, dgs[i].Src, dgs[i:j], rb, scratch)
+			i = j
+		default:
+			i++
+		}
+	}
+}
+
+// handleILPRun opens one same-source run of sealed ILP packets with a
+// single OpenBatch pass and delivers the survivors — through BatchHandler
+// as one call when configured, else per packet through Handler. Per-packet
+// failures (auth, replay, truncation) drop only the offending packet.
+func (m *Manager) handleILPRun(tx Sender, src wire.Addr, dgs []wire.Datagram, rb *rxRun, scratch *psp.Scratch) {
+	p := m.peer(src)
+	if p == nil {
 		return
 	}
-	frame := wire.FrameType(dg.Payload[0])
-	body := dg.Payload[1:]
-	switch frame {
-	case wire.FrameHandshake1:
-		m.handleMsg1(dg.Src, body)
-	case wire.FrameHandshake2:
-		m.handleMsg2(dg.Src, body)
-	case wire.FrameILP:
-		m.handleILP(tx, dg.Src, body, scratch)
+	n := len(dgs)
+	m.rxOpenBatchSize.Observe(uint64(n))
+	bodies := rb.bodies[:0]
+	for k := 0; k < n; k++ {
+		bodies = append(bodies, dgs[k].Payload[1:])
+	}
+	rb.bodies = bodies
+	if cap(rb.results) < n {
+		rb.results = make([]psp.OpenResult, n)
+	}
+	results := rb.results[:n]
+	p.crypto.RX.OpenBatch(scratch, bodies, results)
+	var okPkts, okBytes uint64
+	pkts := rb.pkts[:0]
+	for k := 0; k < n; k++ {
+		if results[k].Err != nil {
+			continue
+		}
+		okPkts++
+		okBytes += uint64(len(bodies[k]))
+		var hdr wire.ILPHeader
+		if _, err := hdr.DecodeFromBytes(results[k].Hdr); err != nil {
+			continue
+		}
+		switch hdr.Service {
+		case wire.SvcPipeProbe:
+			// Liveness probe: answer through the pipe so the ack proves we
+			// still hold the keys. Never dispatched to the handler.
+			m.keepalivesRcvd.Add(1)
+			ack := wire.ILPHeader{Service: wire.SvcPipeProbeAck, Conn: hdr.Conn}
+			_ = m.Send(src, &ack, nil)
+			continue
+		case wire.SvcPipeProbeAck:
+			continue // lastRx refreshed below with the rest of the run
+		}
+		pkts = append(pkts, RxPacket{Hdr: hdr, HdrRaw: results[k].Hdr, Payload: results[k].Payload})
+	}
+	rb.pkts = pkts
+	if okPkts > 0 {
+		p.rxPackets.Add(okPkts)
+		p.rxBytes.Add(okBytes)
+		if m.cfg.KeepaliveInterval > 0 {
+			p.lastRx.Store(m.cfg.Clock.Now().UnixNano())
+		}
+	}
+	if len(pkts) == 0 {
+		return
+	}
+	if m.cfg.BatchHandler != nil {
+		m.cfg.BatchHandler(tx, src, pkts)
+		return
+	}
+	if m.cfg.Handler != nil {
+		for k := range pkts {
+			m.cfg.Handler(tx, src, pkts[k].Hdr, pkts[k].HdrRaw, pkts[k].Payload)
+		}
 	}
 }
 
@@ -560,40 +698,6 @@ func (m *Manager) establish(addr wire.Addr, res *handshake.Result) {
 	m.mu.Unlock()
 	if m.cfg.OnPeerUp != nil {
 		m.cfg.OnPeerUp(addr, res.PeerIdentity)
-	}
-}
-
-func (m *Manager) handleILP(tx Sender, src wire.Addr, body []byte, scratch *psp.Scratch) {
-	p := m.peer(src)
-	if p == nil {
-		return
-	}
-	hdrBytes, payload, err := p.crypto.RX.OpenScratch(scratch, body)
-	if err != nil {
-		return
-	}
-	p.rxPackets.Add(1)
-	p.rxBytes.Add(uint64(len(body)))
-	if m.cfg.KeepaliveInterval > 0 {
-		p.lastRx.Store(m.cfg.Clock.Now().UnixNano())
-	}
-	var hdr wire.ILPHeader
-	if _, err := hdr.DecodeFromBytes(hdrBytes); err != nil {
-		return
-	}
-	switch hdr.Service {
-	case wire.SvcPipeProbe:
-		// Liveness probe: answer through the pipe so the ack proves we
-		// still hold the keys. Never dispatched to the handler.
-		m.keepalivesRcvd.Add(1)
-		ack := wire.ILPHeader{Service: wire.SvcPipeProbeAck, Conn: hdr.Conn}
-		_ = m.Send(src, &ack, nil)
-		return
-	case wire.SvcPipeProbeAck:
-		return // lastRx already refreshed above
-	}
-	if m.cfg.Handler != nil {
-		m.cfg.Handler(tx, src, hdr, hdrBytes, payload)
 	}
 }
 

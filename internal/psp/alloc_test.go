@@ -34,6 +34,101 @@ func TestSealScratchZeroAlloc(t *testing.T) {
 	}
 }
 
+func TestSealBatchZeroAlloc(t *testing.T) {
+	master := cryptutil.NewRandomKey()
+	tx, err := NewTX(master, DirInitiatorToResponder, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	hdrs := make([][]byte, n)
+	payloads := make([][]byte, n)
+	dsts := make([][]byte, n)
+	for i := range hdrs {
+		hdrs[i] = make([]byte, 32)
+		payloads[i] = make([]byte, 1024)
+		dsts[i] = make([]byte, 0, SealedSize(32, 1024))
+	}
+	var s Scratch
+	run := func() {
+		for i := range dsts {
+			dsts[i] = dsts[i][:0]
+		}
+		if err := tx.SealBatch(&s, dsts, hdrs, payloads); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Fatalf("SealBatch allocated %.1f times per batch, want 0", allocs)
+	}
+}
+
+func TestOpenBatchZeroAlloc(t *testing.T) {
+	master := cryptutil.NewRandomKey()
+	tx, err := NewTX(master, DirInitiatorToResponder, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewRX(master, DirInitiatorToResponder, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx.SetReplayCheck(false)
+	const n = 32
+	pkts := make([][]byte, n)
+	for i := range pkts {
+		pkts[i], err = tx.Seal(nil, make([]byte, 32), make([]byte, 1024))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := make([]OpenResult, n)
+	var s Scratch
+	run := func() {
+		rx.OpenBatch(&s, pkts, out)
+		for i := range out {
+			if out[i].Err != nil {
+				t.Fatal(out[i].Err)
+			}
+		}
+	}
+	run()
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Fatalf("OpenBatch allocated %.1f times per batch, want 0", allocs)
+	}
+}
+
+func TestSealStagedZeroAlloc(t *testing.T) {
+	master := cryptutil.NewRandomKey()
+	tx, err := NewTX(master, DirInitiatorToResponder, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	hdr := make([]byte, 32)
+	payload := make([]byte, 1024)
+	pkts := make([][]byte, n)
+	hdrLens := make([]int, n)
+	for i := range pkts {
+		pkts[i] = make([]byte, SealedSize(len(hdr), len(payload)))
+		hdrLens[i] = len(hdr)
+	}
+	var s Scratch
+	run := func() {
+		for i := range pkts {
+			StageSeal(pkts[i], hdr, payload)
+		}
+		if err := tx.SealStaged(&s, pkts, hdrLens); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Fatalf("SealStaged allocated %.1f times per batch, want 0", allocs)
+	}
+}
+
 func TestOpenScratchZeroAlloc(t *testing.T) {
 	master := cryptutil.NewRandomKey()
 	tx, err := NewTX(master, DirInitiatorToResponder, 0)

@@ -83,6 +83,12 @@ type Scratch struct {
 	aad   []byte
 	hdr   []byte
 	nonce [12]byte
+
+	// Batch state (OpenBatch): decrypted headers for a whole batch land in
+	// one arena so per-packet opens never reallocate, and per-packet
+	// bookkeeping lives in metas. Both persist across calls for reuse.
+	arena []byte
+	metas []openMeta
 }
 
 // grow returns dst extended by need bytes, reusing capacity when
@@ -300,6 +306,19 @@ func (r *RX) SetReplayCheck(on bool) {
 	r.replayCheck = on
 }
 
+// reconstructEpoch rebuilds a full epoch number from its low byte relative
+// to the highest epoch seen so far (cur).
+func reconstructEpoch(cur, low uint32) uint32 {
+	epoch := (cur &^ uint32(epochMask)) | low
+	switch {
+	case epoch > cur+1 && epoch >= 0x100:
+		epoch -= 0x100
+	case epoch+0x100 <= cur+1:
+		epoch += 0x100
+	}
+	return epoch
+}
+
 // aeadForEpoch returns the AEAD and replay window for an already-tracked
 // epoch, or derives a tentative AEAD (win == nil) for an acceptable but
 // unseen one — any newer epoch (the sender may have rotated several times
@@ -381,15 +400,7 @@ func (r *RX) OpenScratch(s *Scratch, packet []byte) (hdrPlain, payload []byte, e
 	// runs outside the lock.
 	epochLow := ph.SPI & epochMask
 	r.mu.Lock()
-	// Reconstruct the full epoch from its low byte relative to the highest
-	// epoch seen so far.
-	epoch := (r.epoch &^ uint32(epochMask)) | epochLow
-	switch {
-	case epoch > r.epoch+1 && epoch >= 0x100:
-		epoch -= 0x100
-	case epoch+0x100 <= r.epoch+1:
-		epoch += 0x100
-	}
+	epoch := reconstructEpoch(r.epoch, epochLow)
 	aead, win, aerr := r.aeadForEpoch(epoch)
 	if aerr != nil {
 		r.mu.Unlock()

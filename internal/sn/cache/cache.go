@@ -88,6 +88,10 @@ const minShardCapacity = 1024
 type Cache struct {
 	shards []*shard
 	mask   uint64
+	// srcAffine selects shards by wire.ShardIndex over the flow source
+	// alone, mirroring the pipe manager's RX-worker sharding so worker i
+	// exclusively owns shard i (NewSourceAffine).
+	srcAffine bool
 }
 
 // New creates a cache with the given total capacity (entries) and an
@@ -108,9 +112,6 @@ func New(capacity int) *Cache {
 // power of two, clamped so every shard holds at least one entry). Capacity
 // is the total across shards and must be positive.
 func NewSharded(capacity, shards int) *Cache {
-	if capacity <= 0 {
-		panic("cache: capacity must be positive")
-	}
 	if shards < 1 {
 		shards = 1
 	}
@@ -118,10 +119,35 @@ func NewSharded(capacity, shards int) *Cache {
 	for n < shards {
 		n <<= 1
 	}
-	for n > capacity {
+	for n > capacity && n > 1 {
 		n >>= 1
 	}
-	c := &Cache{shards: make([]*shard, n), mask: uint64(n - 1)}
+	return newCache(capacity, n, false)
+}
+
+// NewSourceAffine creates a cache with exactly `workers` shards selected
+// by the flow's source address via wire.ShardIndex — the same hash the
+// pipe manager uses to pick the RX worker for a source. With one cache
+// shard per RX worker, every fast-path lookup lands on the shard its
+// worker exclusively owns: the shard's lock and CLOCK state stay in that
+// worker's cache hierarchy instead of bouncing between cores. The shard
+// count is not rounded to a power of two because it must equal the worker
+// count exactly for the affinity to hold.
+func NewSourceAffine(capacity, workers int) *Cache {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > capacity {
+		workers = capacity
+	}
+	return newCache(capacity, workers, true)
+}
+
+func newCache(capacity, n int, srcAffine bool) *Cache {
+	if capacity <= 0 {
+		panic("cache: capacity must be positive")
+	}
+	c := &Cache{shards: make([]*shard, n), mask: uint64(n - 1), srcAffine: srcAffine}
 	base, rem := capacity/n, capacity%n
 	for i := range c.shards {
 		sz := base
@@ -159,6 +185,9 @@ func (c *Cache) shardFor(key wire.FlowKey) *shard {
 	if len(c.shards) == 1 {
 		return c.shards[0]
 	}
+	if c.srcAffine {
+		return c.shards[wire.ShardIndex(key.Src, len(c.shards))]
+	}
 	return c.shards[hashKey(key)&c.mask]
 }
 
@@ -184,23 +213,33 @@ func (c *Cache) SetEnabled(on bool) {
 // Lookup returns the cached action for key, if any, recording a hit or
 // miss and marking the entry recently used.
 func (c *Cache) Lookup(key wire.FlowKey) (Action, bool) {
+	return c.LookupN(key, 1)
+}
+
+// LookupN is Lookup for a run of n same-key packets: the batched fast
+// path coalesces decision-cache traffic per (src, SPI) run, so one lock
+// acquisition accounts the whole run. Hit counters advance by n (Appendix
+// B.2 services read hit counts to detect live connections, so a
+// run-coalesced hit must be indistinguishable from n sequential hits);
+// a miss records n misses.
+func (c *Cache) LookupN(key wire.FlowKey, n uint64) (Action, bool) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.enabled {
-		s.misses++
+		s.misses += n
 		return Action{}, false
 	}
 	i, ok := s.index[key]
 	if !ok {
-		s.misses++
+		s.misses += n
 		return Action{}, false
 	}
 	e := &s.slots[i]
-	e.hits++
+	e.hits += n
 	e.ref = true
 	e.lastUsed = s.now()
-	s.hits++
+	s.hits += n
 	return e.action, true
 }
 

@@ -39,6 +39,24 @@ func MustAddr(s string) Addr {
 	return netip.MustParseAddr(s)
 }
 
+// ShardIndex maps an address onto one of n shards (FNV-1a over the
+// 16-byte form). Both the pipe manager's RX-worker sharding and the
+// decision cache's source-affine striping use this same function, so the
+// worker that owns a source also owns that source's cache shard — lookups
+// from the fast path never touch a shard another worker is writing.
+func ShardIndex(a Addr, n int) int {
+	const (
+		offset = uint64(14695981039346656037)
+		prime  = uint64(1099511628211)
+	)
+	h := offset
+	b := a.As16()
+	for _, c := range b {
+		h = (h ^ uint64(c)) * prime
+	}
+	return int(h % uint64(n))
+}
+
 // ServiceID identifies a standardized InterEdge service. Service IDs are
 // assigned by the governance body standardizing service modules (§3.1).
 type ServiceID uint32

@@ -1,17 +1,25 @@
-// Command benchgate enforces two fast-path invariants on a BENCH_*.json
-// artifact (as written by scripts/benchjson):
+// Command benchgate enforces the fast-path performance invariants on a
+// BENCH_*.json artifact (as written by scripts/benchjson):
 //
 //   - the batched parallel fast path must not be slower than the
 //     per-packet single-worker fast path. The seed repo shipped with that
 //     inversion (parallel pps was ~12x below single pps); the batching
 //     work exists to remove it, and this gate keeps it from coming back;
+//   - ratchet: the batch pipeline (OpenBatch → LookupN → SealBatch →
+//     vectored/GSO send) must keep the parallel bench at or below 0.85x
+//     the single-worker per-packet ns/op — batching that amortizes nothing
+//     is a regression even if it is not an outright inversion;
+//   - absolute ceiling: FullFastPathParallel must stay under
+//     parallelCeilingNs per op. Seeded from BENCH_6.json (1102 ns/op
+//     measured) with headroom for machine noise; the pre-batch baseline
+//     (BENCH_5.json) was 2252 ns/op, safely above the ceiling;
 //   - the full-fast-path benchmarks must report 0 allocs/op (when the
 //     artifact was produced with -benchmem). The hit path is engineered to
 //     allocate nothing beyond the transport's datagram copy; a nonzero
 //     count means someone put an allocation — telemetry included — back on
 //     the per-packet path.
 //
-// Usage: go run ./scripts/benchgate BENCH_5.json
+// Usage: go run ./scripts/benchgate BENCH_6.json
 package main
 
 import (
@@ -21,8 +29,19 @@ import (
 	"strings"
 )
 
+// parallelCeilingNs is the absolute per-op budget for
+// Figure2_FullFastPathParallel, seeded from the BENCH_6.json measurement
+// (1102 ns/op) with ~1.6x headroom for slower or noisier machines.
+const parallelCeilingNs = 1800.0
+
+// parallelRatchet is the required parallel/single ns-per-op ratio: the
+// batched pipeline must be at least this much cheaper per packet than the
+// per-packet single-worker path.
+const parallelRatchet = 0.85
+
 type result struct {
 	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op"`
 	Metrics map[string]float64 `json:"metrics"`
 }
 
@@ -41,39 +60,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	find := func(bench string) map[string]float64 {
-		for _, r := range results {
+	find := func(bench string) *result {
+		for i := range results {
 			// Bench names may carry a -GOMAXPROCS suffix depending on how
 			// the artifact was produced; match on the base name.
-			name := r.Name
-			if i := strings.LastIndex(name, "-"); i > 0 {
-				if base := name[:i]; strings.HasSuffix(base, bench) {
+			name := results[i].Name
+			if j := strings.LastIndex(name, "-"); j > 0 {
+				if base := name[:j]; strings.HasSuffix(base, bench) {
 					name = base
 				}
 			}
 			if strings.HasSuffix(name, bench) {
-				return r.Metrics
+				return &results[i]
 			}
 		}
 		return nil
 	}
-	single := find("Figure2_FullFastPath")["pps"]
-	parallel := find("Figure2_FullFastPathParallel")["pps"]
-	if single == 0 || parallel == 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: missing pps metrics (single=%v parallel=%v) in %s\n",
-			single, parallel, os.Args[1])
+	single := find("Figure2_FullFastPath")
+	parallel := find("Figure2_FullFastPathParallel")
+	if single == nil || parallel == nil || single.Metrics["pps"] == 0 || parallel.Metrics["pps"] == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: missing full-fast-path results in %s\n", os.Args[1])
 		os.Exit(2)
 	}
-	fmt.Printf("benchgate: single=%.0f pps, parallel=%.0f pps (%.2fx)\n",
-		single, parallel, parallel/single)
-	if parallel < single {
+	fmt.Printf("benchgate: single=%.0f pps (%.0f ns/op), parallel=%.0f pps (%.0f ns/op, %.2fx)\n",
+		single.Metrics["pps"], single.NsPerOp, parallel.Metrics["pps"], parallel.NsPerOp,
+		parallel.Metrics["pps"]/single.Metrics["pps"])
+	if parallel.Metrics["pps"] < single.Metrics["pps"] {
 		fmt.Fprintf(os.Stderr, "benchgate: FAIL — parallel fast path (%.0f pps) is slower than single (%.0f pps); egress batching regressed\n",
-			parallel, single)
+			parallel.Metrics["pps"], single.Metrics["pps"])
+		os.Exit(1)
+	}
+	if single.NsPerOp > 0 && parallel.NsPerOp > parallelRatchet*single.NsPerOp {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — parallel %.0f ns/op exceeds %.2fx of single %.0f ns/op; the batch pipeline stopped amortizing\n",
+			parallel.NsPerOp, parallelRatchet, single.NsPerOp)
+		os.Exit(1)
+	}
+	if parallel.NsPerOp > parallelCeilingNs {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — parallel %.0f ns/op exceeds the %.0f ns/op ceiling (BENCH_6 ratchet)\n",
+			parallel.NsPerOp, parallelCeilingNs)
 		os.Exit(1)
 	}
 	for _, bench := range []string{"Figure2_FullFastPath", "Figure2_FullFastPathParallel"} {
-		m := find(bench)
-		allocs, ok := m["allocs/op"]
+		r := find(bench)
+		allocs, ok := r.Metrics["allocs/op"]
 		if !ok {
 			fmt.Printf("benchgate: %s has no allocs/op (artifact built without -benchmem); skipping alloc gate\n", bench)
 			continue

@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # CI gate: static checks, full build, race-detected tests, and a benchmark
-# smoke run whose results land in BENCH_5.json at the repo root.
+# smoke run whose results land in BENCH_6.json at the repo root.
 #
 # Usage: scripts/check.sh
 set -eu
@@ -20,6 +20,12 @@ echo "==> telemetry registry suite (race-detected + zero-alloc pins)"
 go test -race -count=1 -run 'TestRegistryConcurrency|TestSharedInstrument' ./internal/telemetry/
 go test -count=1 -run 'ZeroAlloc' ./internal/telemetry/
 
+echo "==> UDP GSO capability probe (informational; batch paths fall back when absent)"
+go test -count=1 -run 'TestUDPGSOCapabilityProbe' -v ./internal/netsim/ | grep -i 'gso\|PASS\|FAIL' || true
+
+echo "==> forced segmentation-offload fallback suite (INTEREDGE_NO_GSO=1)"
+INTEREDGE_NO_GSO=1 go test -count=1 ./internal/netsim/ ./internal/pipe/ ./internal/chaos/
+
 echo "==> chaos suite (race-detected, fixed seeds, bounded)"
 go test -race -count=1 -timeout 180s ./internal/chaos/
 
@@ -36,9 +42,9 @@ go test -run '^$' -fuzz 'FuzzPSPOpen' -fuzztime 5s ./internal/psp/
 
 echo "==> benchmark smoke run (Figure 2 pipeline)"
 go test -run '^$' -bench Figure2 -benchtime 20000x -benchmem . |
-	BENCHJSON_OUT=BENCH_5.json go run ./scripts/benchjson
+	BENCHJSON_OUT=BENCH_6.json go run ./scripts/benchjson
 
-echo "==> wrote BENCH_5.json"
+echo "==> wrote BENCH_6.json"
 
-echo "==> benchmark gate (parallel egress beats single; fast path stays zero-alloc)"
-go run ./scripts/benchgate BENCH_5.json
+echo "==> benchmark gate (batch pipeline ratchet; fast path stays zero-alloc)"
+go run ./scripts/benchgate BENCH_6.json
