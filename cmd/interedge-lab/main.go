@@ -32,7 +32,18 @@ import (
 func main() {
 	scenario := flag.String("scenario", "all", "scenario: all, ipfwd, pubsub, odns, ddos, attest")
 	metricsAddr := flag.String("metrics", "", "HTTP listen address for the /metrics exposition endpoint (empty disables)")
+	soakMode := flag.Bool("soak", false, "run compressed-time soak scenarios with SLO gates instead of the tour")
+	soakScenarios := flag.String("soak-scenarios", "all", "comma-separated soak scenario names, or all")
+	soakSeeds := flag.String("soak-seeds", "1,7,42", "comma-separated substrate seeds for soak runs")
+	soakOut := flag.String("soak-out", ".", "directory for SOAK_<scenario>.json capacity reports")
 	flag.Parse()
+
+	if *soakMode {
+		if err := runSoak(*soakScenarios, *soakSeeds, *soakOut); err != nil {
+			fail("soak: %v", err)
+		}
+		return
+	}
 
 	topo, world, err := build()
 	if err != nil {

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"interedge/internal/soak"
+)
+
+// runSoak executes the selected soak scenarios at each seed, writes one
+// SOAK_<scenario>.json report per scenario under outDir, and returns an
+// error naming every breached scenario. On breach it prints the per-gate
+// diff and the full registry dump so the failure is diagnosable from CI
+// output alone.
+func runSoak(scenarioCSV, seedCSV, outDir string) error {
+	catalog := soak.Scenarios()
+	var names []string
+	if scenarioCSV == "all" {
+		for name := range catalog {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	} else {
+		for _, name := range strings.Split(scenarioCSV, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, ok := catalog[name]; !ok {
+				return fmt.Errorf("unknown soak scenario %q (have: %s)", name, knownScenarios(catalog))
+			}
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no soak scenarios selected")
+	}
+	seeds, err := parseSeeds(seedCSV)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("create soak output dir: %v", err)
+	}
+
+	var breached []string
+	for _, name := range names {
+		sc := catalog[name]
+		rp := soak.NewReport(name)
+		for _, seed := range seeds {
+			res, err := soak.Run(sc, seed)
+			if err != nil {
+				return fmt.Errorf("soak %s seed=%d: %v", name, seed, err)
+			}
+			st := res.Stats
+			fmt.Printf("soak %-20s seed=%-3d sim=%6.0fs wall=%6.2fs sent=%-7d delivered=%-7d pass=%v\n",
+				name, seed, st.SimSeconds, st.WallSeconds, st.Sent, st.Delivered, res.Passed())
+			if !res.Passed() {
+				fmt.Printf("SLO breach in %s seed=%d:\n%s", name, seed, res.FailureDiff())
+				fmt.Println(res.DumpRegistries())
+				breached = append(breached, fmt.Sprintf("%s/seed%d", name, seed))
+			}
+			rp.AddRun(res)
+		}
+		path, err := rp.WriteFile(outDir)
+		if err != nil {
+			return fmt.Errorf("write soak report: %v", err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if len(breached) > 0 {
+		return fmt.Errorf("SLO gates breached: %s", strings.Join(breached, ", "))
+	}
+	return nil
+}
+
+func parseSeeds(csv string) ([]int64, error) {
+	var seeds []int64
+	for _, s := range strings.Split(csv, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %v", s, err)
+		}
+		seeds = append(seeds, v)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("no seeds given")
+	}
+	return seeds, nil
+}
+
+func knownScenarios(catalog map[string]soak.Scenario) string {
+	names := make([]string, 0, len(catalog))
+	for name := range catalog {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -462,6 +462,11 @@ func (h *Host) Close() error {
 		return nil
 	}
 	h.closed = true
+	h.mu.Unlock()
+	// Stop the pipe manager first: its Close waits for every RX worker,
+	// so once it returns no handlePacket can race a conn-channel close.
+	err := h.mgr.Close()
+	h.mu.Lock()
 	conns := make([]*Conn, 0, len(h.conns))
 	for _, c := range h.conns {
 		conns = append(conns, c)
@@ -470,7 +475,7 @@ func (h *Host) Close() error {
 	for _, c := range conns {
 		c.Close()
 	}
-	return h.mgr.Close()
+	return err
 }
 
 // SameSubnet returns a DirectPolicy allowing direct connectivity to

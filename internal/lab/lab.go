@@ -42,6 +42,7 @@ type Topology struct {
 	hosts    []*host.Host
 	closers  []func() error
 	snEdits  []func(*sn.Config)
+	trWrap   func(netsim.Transport) netsim.Transport
 }
 
 // Option configures a Topology.
@@ -63,6 +64,15 @@ func WithClock(c clock.Clock) Option {
 // on pipe keepalives and tune handshake retry behavior fleet-wide.
 func WithSNConfig(edit func(*sn.Config)) Option {
 	return func(t *Topology) { t.snEdits = append(t.snEdits, edit) }
+}
+
+// WithTransportWrap interposes wrap on every transport the topology
+// attaches (SNs and hosts alike). The soak runner uses it to install a
+// capture tap that records sealed wire traffic for fuzz-corpus seeding.
+// Wrappers should forward netsim.BatchSender and telemetry.Registrable
+// when the underlying transport implements them.
+func WithTransportWrap(wrap func(netsim.Transport) netsim.Transport) Option {
+	return func(t *Topology) { t.trWrap = wrap }
 }
 
 // New creates an empty topology.
@@ -93,6 +103,9 @@ func (t *Topology) NewSN(cfgEdit ...func(*sn.Config)) (*sn.SN, error) {
 	tr, err := t.Net.Attach(addr)
 	if err != nil {
 		return nil, err
+	}
+	if t.trWrap != nil {
+		tr = t.trWrap(tr)
 	}
 	id, err := handshake.NewIdentity()
 	if err != nil {
@@ -208,6 +221,9 @@ func (t *Topology) NewHost(ed *Edomain, snIdx int, cfgEdit ...func(*host.Config)
 	if err != nil {
 		return nil, err
 	}
+	if t.trWrap != nil {
+		tr = t.trWrap(tr)
+	}
 	id, err := handshake.NewIdentity()
 	if err != nil {
 		return nil, err
@@ -245,6 +261,9 @@ func (t *Topology) NewHostAt(addr string, cfgEdit ...func(*host.Config)) (*host.
 	tr, err := t.Net.Attach(a)
 	if err != nil {
 		return nil, err
+	}
+	if t.trWrap != nil {
+		tr = t.trWrap(tr)
 	}
 	id, err := handshake.NewIdentity()
 	if err != nil {

@@ -1,0 +1,191 @@
+package psp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// rxDispatchBatchSize mirrors internal/pipe's rxDispatchBatch: the largest
+// batch an RX worker hands to OpenBatch in one call. The boundary tests pin
+// behaviour at exactly that size so a pipe-side change to the dispatch
+// batch cannot silently cross an untested crypto-batch regime.
+const rxDispatchBatchSize = 32
+
+// TestOpenBatchSizeBoundaries drives seal+open round trips at the batch
+// sizes where run-length bookkeeping changes shape: empty, a single
+// packet (no run reuse), and exactly one full RX dispatch batch.
+func TestOpenBatchSizeBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+	}{
+		{"empty", 0},
+		{"single", 1},
+		{"rx-dispatch-batch", rxDispatchBatchSize},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			init, resp := pipePair(t)
+			pkts, hdrs, payloads := sealBatchPackets(t, init.TX, tc.n)
+			var s Scratch
+			out := make([]OpenResult, tc.n)
+			resp.RX.OpenBatch(&s, pkts, out)
+			for i, r := range out {
+				if r.Err != nil {
+					t.Fatalf("packet %d/%d: %v", i, tc.n, r.Err)
+				}
+				if !bytes.Equal(r.Hdr, hdrs[i]) || !bytes.Equal(r.Payload, payloads[i]) {
+					t.Fatalf("packet %d/%d: roundtrip mismatch", i, tc.n)
+				}
+			}
+			// The batch must consume exactly n IVs: the next sequential
+			// seal opens fine, proving no IV was skipped or reused.
+			pkt, err := init.TX.Seal(nil, []byte("after"), []byte("batch"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := resp.RX.Open(pkt); err != nil {
+				t.Fatalf("sequential seal after %d-batch: %v", tc.n, err)
+			}
+		})
+	}
+}
+
+// TestOpenBatchAllCorrupt feeds a batch where every packet fails
+// authentication: every result must carry ErrAuthFailed, no replay state
+// may be marked (the original packets still open afterwards), and the
+// scratch arena must stay consistent for the following good batch.
+func TestOpenBatchAllCorrupt(t *testing.T) {
+	init, resp := pipePair(t)
+	const n = 8
+	pkts, hdrs, _ := sealBatchPackets(t, init.TX, n)
+	corrupt := make([][]byte, n)
+	for i := range pkts {
+		corrupt[i] = append([]byte(nil), pkts[i]...)
+		corrupt[i][len(corrupt[i])-1] ^= 0xFF
+	}
+	var s Scratch
+	out := make([]OpenResult, n)
+	resp.RX.OpenBatch(&s, corrupt, out)
+	for i, r := range out {
+		if r.Err != ErrAuthFailed {
+			t.Fatalf("corrupt packet %d: err=%v, want ErrAuthFailed", i, r.Err)
+		}
+		if r.Hdr != nil || r.Payload != nil {
+			t.Fatalf("corrupt packet %d: non-nil Hdr/Payload on failure", i)
+		}
+	}
+	// Auth failures must not have consumed replay-window slots: the
+	// untampered originals still open as a batch.
+	resp.RX.OpenBatch(&s, pkts, out)
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("original packet %d after all-corrupt batch: %v", i, r.Err)
+		}
+		if !bytes.Equal(r.Hdr, hdrs[i]) {
+			t.Fatalf("original packet %d: header mismatch", i)
+		}
+	}
+}
+
+// TestOpenBatchEpochChangeMidRun pins the SPI-run bookkeeping: a batch
+// whose SPI changes mid-run (sender rotated between halves) must re-fetch
+// cipher state at the boundary, and each half must consume its own epoch's
+// replay window. A duplicate straddling the boundary is still rejected.
+func TestOpenBatchEpochChangeMidRun(t *testing.T) {
+	init, resp := pipePair(t)
+	const half = 4
+	old, oldHdrs, _ := sealBatchPackets(t, init.TX, half)
+	if err := init.TX.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, freshHdrs, _ := sealBatchPackets(t, init.TX, half)
+
+	// One batch, one SPI change exactly mid-run, plus a cross-epoch
+	// duplicate of an old packet at the tail.
+	batch := make([][]byte, 0, 2*half+1)
+	batch = append(batch, old...)
+	batch = append(batch, fresh...)
+	batch = append(batch, old[0])
+
+	var s Scratch
+	out := make([]OpenResult, len(batch))
+	resp.RX.OpenBatch(&s, batch, out)
+	for i := 0; i < half; i++ {
+		if out[i].Err != nil {
+			t.Fatalf("old-epoch packet %d: %v", i, out[i].Err)
+		}
+		if !bytes.Equal(out[i].Hdr, oldHdrs[i]) {
+			t.Fatalf("old-epoch packet %d: header mismatch", i)
+		}
+	}
+	for i := 0; i < half; i++ {
+		if out[half+i].Err != nil {
+			t.Fatalf("fresh-epoch packet %d: %v", i, out[half+i].Err)
+		}
+		if !bytes.Equal(out[half+i].Hdr, freshHdrs[i]) {
+			t.Fatalf("fresh-epoch packet %d: header mismatch", i)
+		}
+	}
+	if out[2*half].Err != ErrReplay {
+		t.Fatalf("cross-epoch duplicate: err=%v, want ErrReplay", out[2*half].Err)
+	}
+}
+
+// TestSealStagedBoundaries drives the stage-then-seal path at the same
+// boundary sizes, plus its argument-validation edge.
+func TestSealStagedBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+	}{
+		{"empty", 0},
+		{"single", 1},
+		{"rx-dispatch-batch", rxDispatchBatchSize},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			init, resp := pipePair(t)
+			pkts := make([][]byte, tc.n)
+			hdrLens := make([]int, tc.n)
+			hdrs := make([][]byte, tc.n)
+			payloads := make([][]byte, tc.n)
+			for i := range pkts {
+				hdrs[i] = []byte(fmt.Sprintf("staged-hdr-%02d", i))
+				payloads[i] = []byte(fmt.Sprintf("staged-payload-%02d", i))
+				pkts[i] = make([]byte, SealedSize(len(hdrs[i]), len(payloads[i])))
+				StageSeal(pkts[i], hdrs[i], payloads[i])
+				hdrLens[i] = len(hdrs[i])
+			}
+			var s Scratch
+			if err := init.TX.SealStaged(&s, pkts, hdrLens); err != nil {
+				t.Fatal(err)
+			}
+			out := make([]OpenResult, tc.n)
+			resp.RX.OpenBatch(&s, pkts, out)
+			for i, r := range out {
+				if r.Err != nil {
+					t.Fatalf("staged packet %d/%d: %v", i, tc.n, r.Err)
+				}
+				if !bytes.Equal(r.Hdr, hdrs[i]) || !bytes.Equal(r.Payload, payloads[i]) {
+					t.Fatalf("staged packet %d/%d: roundtrip mismatch", i, tc.n)
+				}
+			}
+		})
+	}
+
+	t.Run("length-mismatch", func(t *testing.T) {
+		init, _ := pipePair(t)
+		var s Scratch
+		pkt := make([]byte, SealedSize(4, 4))
+		if err := init.TX.SealStaged(&s, [][]byte{pkt}, []int{4, 4}); err == nil {
+			t.Fatal("SealStaged accepted mismatched pkts/hdrLens lengths")
+		}
+		// The mismatch must be rejected before any IV is reserved: the
+		// next sequential seal still uses IV 0 semantics (round-trips).
+		if err := init.TX.SealStaged(&s, [][]byte{}, []int{}); err != nil {
+			t.Fatalf("empty SealStaged after rejected call: %v", err)
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package soak
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"sync/atomic"
+
+	"interedge/internal/host"
+	"interedge/internal/sn"
+	"interedge/internal/wire"
+)
+
+// Soak payloads are self-verifying: a flow tag, a sequence number, a
+// deterministic fill, and a CRC over all of it. Substrate corruption
+// must be absorbed by PSP authentication, so a payload that reaches a
+// host with a bad CRC is an integrity breach, not background noise.
+const payloadLen = 32
+
+func fillPayload(buf []byte, tag uint8, seq uint32) {
+	buf[0] = tag
+	binary.BigEndian.PutUint32(buf[1:5], seq)
+	for i := 5; i < payloadLen-4; i++ {
+		buf[i] = byte(seq) + byte(i)
+	}
+	crc := crc32.ChecksumIEEE(buf[:payloadLen-4])
+	binary.BigEndian.PutUint32(buf[payloadLen-4:], crc)
+}
+
+func parsePayload(p []byte) (tag uint8, seq uint32, ok bool) {
+	if len(p) != payloadLen {
+		return 0, 0, false
+	}
+	if crc32.ChecksumIEEE(p[:payloadLen-4]) != binary.BigEndian.Uint32(p[payloadLen-4:]) {
+		return 0, 0, false
+	}
+	return p[0], binary.BigEndian.Uint32(p[1:5]), true
+}
+
+type flowClass int
+
+const (
+	classEcho flowClass = iota
+	classIPFwd
+	classCross
+	classFlaky
+)
+
+// reliable reports whether the class counts toward the delivery-ratio
+// SLO (flaky traffic is deliberately shed by breakers).
+func (c flowClass) reliable() bool { return c != classFlaky }
+
+// flow is one offered-load stream: a host conn, the service data sent
+// with each packet, and delivery tallies. Echo and flaky replies return
+// to the sending conn; ipfwd deliveries surface at the destination
+// host's OnService handler, matched back to the flow by payload tag.
+type flow struct {
+	class   flowClass
+	tag     uint8
+	conn    *host.Conn
+	svcData []byte
+
+	seq   uint32
+	carry float64
+
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	bad       atomic.Uint64
+}
+
+// offer sends n packets back to back.
+func (f *flow) offer(n int, buf []byte) {
+	for i := 0; i < n; i++ {
+		f.seq++
+		fillPayload(buf, f.tag, f.seq)
+		if err := f.conn.Send(f.svcData, buf); err != nil {
+			continue // pipe mid-re-establishment; the delivery gate budgets it
+		}
+		f.sent.Add(1)
+	}
+}
+
+// credit books one arrived payload against the flow named by its tag.
+// Deliveries are credited by tag, not by arrival point: connection IDs
+// are per-host counters, so a one-way ipfwd delivery can land on the
+// destination host's own (svc, conn)-colliding conn instead of its
+// OnService handler — the embedded tag still identifies the true flow.
+func credit(byTag map[uint8]*flow, payload []byte, bad *atomic.Uint64) {
+	tag, _, ok := parsePayload(payload)
+	if !ok {
+		bad.Add(1)
+		return
+	}
+	if f, found := byTag[tag]; found {
+		f.delivered.Add(1)
+		return
+	}
+	bad.Add(1)
+}
+
+// drainConn consumes a conn's receive channel until the conn closes.
+func (f *flow) drainConn(byTag map[uint8]*flow, bad *atomic.Uint64) {
+	for msg := range f.conn.Receive() {
+		credit(byTag, msg.Payload, bad)
+	}
+}
+
+// onServiceHandler builds a host.ServiceHandler crediting one-way
+// deliveries that matched no local conn.
+func onServiceHandler(byTag map[uint8]*flow, bad *atomic.Uint64) host.ServiceHandler {
+	return func(msg host.Message) {
+		credit(byTag, msg.Payload, bad)
+	}
+}
+
+// flakyModule is the deliberately unreliable slow-path module behind the
+// breaker-storm scenarios: in FlakyOK mode it echoes like SvcNull's
+// reply path, in FlakyError mode every invocation errors, in FlakyPanic
+// mode every invocation panics. It installs no cache rules, so every
+// packet takes the slow path through the dispatcher and its breaker.
+type flakyModule struct {
+	mode atomic.Int32
+}
+
+func (*flakyModule) Service() wire.ServiceID { return wire.SvcNull }
+func (*flakyModule) Name() string            { return "flaky" }
+func (*flakyModule) Version() string         { return "0.0-soak" }
+
+func (m *flakyModule) HandlePacket(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
+	switch FlakyMode(m.mode.Load()) {
+	case FlakyError:
+		return sn.Decision{}, errFlaky
+	case FlakyPanic:
+		panic("soak: flaky module storm")
+	}
+	return sn.Decision{Forwards: []sn.Forward{{Dst: pkt.Src}}}, nil
+}
+
+type flakyErr struct{}
+
+func (flakyErr) Error() string { return "soak: flaky module erroring" }
+
+var errFlaky = flakyErr{}

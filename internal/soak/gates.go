@@ -1,0 +1,214 @@
+package soak
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RunStats is everything a Gate may judge: flow-level tallies kept by
+// the runner, process-level resource measurements, and the merged
+// telemetry Totals of every node plus the fabric.
+type RunStats struct {
+	Scenario    string
+	Seed        int64
+	SimSeconds  float64
+	WallSeconds float64
+
+	// Reliable classes (echo, intra-edomain ipfwd, cross-edomain
+	// ipfwd): offered vs. received, plus integrity failures.
+	Sent      uint64
+	Delivered uint64
+	Bad       uint64
+
+	// Flaky class (breaker-storm traffic), tallied separately so
+	// deliberate sheds don't pollute the delivery-ratio SLO.
+	FlakySent      uint64
+	FlakyDelivered uint64
+
+	GoroutineBase int
+	GoroutineEnd  int
+	HeapBase      uint64
+	HeapEnd       uint64
+
+	Totals *Totals
+}
+
+// GateResult is one evaluated SLO.
+type GateResult struct {
+	Name     string  `json:"name"`
+	Observed float64 `json:"observed"`
+	Bound    float64 `json:"bound"`
+	Cmp      string  `json:"cmp"` // "<=" or ">="
+	Ok       bool    `json:"ok"`
+	Detail   string  `json:"detail,omitempty"`
+}
+
+func (g GateResult) String() string {
+	status := "ok  "
+	if !g.Ok {
+		status = "FAIL"
+	}
+	s := fmt.Sprintf("%s %-48s observed %.6g, want %s %.6g", status, g.Name, g.Observed, g.Cmp, g.Bound)
+	if g.Detail != "" {
+		s += " (" + g.Detail + ")"
+	}
+	return s
+}
+
+// Gate is one SLO: a named predicate over RunStats.
+type Gate struct {
+	Name string
+	Eval func(*RunStats) GateResult
+}
+
+func maxGate(name string, bound float64, obs func(*RunStats) (float64, string)) Gate {
+	return Gate{Name: name, Eval: func(r *RunStats) GateResult {
+		v, detail := obs(r)
+		return GateResult{Name: name, Observed: v, Bound: bound, Cmp: "<=", Ok: v <= bound, Detail: detail}
+	}}
+}
+
+func minGate(name string, bound float64, obs func(*RunStats) (float64, string)) Gate {
+	return Gate{Name: name, Eval: func(r *RunStats) GateResult {
+		v, detail := obs(r)
+		return GateResult{Name: name, Observed: v, Bound: bound, Cmp: ">=", Ok: v >= bound, Detail: detail}
+	}}
+}
+
+// QuantileMaxNs gates the q-quantile of a ns-valued histogram (summed
+// across nodes and label variants) at max. A scenario whose run never
+// observed the histogram fails the gate: an SLO on an unexercised path
+// is a broken scenario, not a pass.
+func QuantileMaxNs(metric string, q float64, max time.Duration) Gate {
+	name := fmt.Sprintf("p%g(%s)_ns", q*100, metric)
+	return Gate{Name: name, Eval: func(r *RunStats) GateResult {
+		h := r.Totals.Hist(metric)
+		if h == nil || h.Count == 0 {
+			return GateResult{Name: name, Observed: 0, Bound: float64(max.Nanoseconds()), Cmp: "<=",
+				Ok: false, Detail: "no observations"}
+		}
+		obs := float64(h.Quantile(q))
+		return GateResult{Name: name, Observed: obs, Bound: float64(max.Nanoseconds()), Cmp: "<=",
+			Ok: obs <= float64(max.Nanoseconds()),
+			Detail: fmt.Sprintf("count=%d sum=%s", h.Count, time.Duration(h.Sum))}
+	}}
+}
+
+// CounterMax gates the fleet-wide sum of a counter (all nodes, all label
+// variants of metric) at max.
+func CounterMax(metric string, max float64) Gate {
+	return maxGate("sum("+metric+")", max, func(r *RunStats) (float64, string) {
+		return r.Totals.Sum(metric), ""
+	})
+}
+
+// CounterMin requires the fleet-wide sum of a counter to reach min —
+// used to prove a scenario exercised what it claims (re-establishments
+// happened, breakers tripped and recovered, the fast path was hot).
+func CounterMin(metric string, min float64) Gate {
+	return minGate("sum("+metric+")", min, func(r *RunStats) (float64, string) {
+		return r.Totals.Sum(metric), ""
+	})
+}
+
+// RatioMax gates sum(num)/sum(den) at max (0/0 counts as 0): the
+// drop-budget shape, e.g. requeue drops per received packet.
+func RatioMax(num, den string, max float64) Gate {
+	name := fmt.Sprintf("ratio(%s/%s)", num, den)
+	return maxGate(name, max, func(r *RunStats) (float64, string) {
+		n, d := r.Totals.Sum(num), r.Totals.Sum(den)
+		detail := fmt.Sprintf("%v/%v", n, d)
+		if d == 0 {
+			if n == 0 {
+				return 0, detail
+			}
+			return n, detail + " (zero denominator)"
+		}
+		return n / d, detail
+	})
+}
+
+// DeliveryRatioMin requires Delivered/Sent of the reliable flow classes
+// to reach min. Fault scenarios set this below 1 by their loss budget.
+func DeliveryRatioMin(min float64) Gate {
+	return minGate("delivery_ratio", min, func(r *RunStats) (float64, string) {
+		detail := fmt.Sprintf("%d/%d", r.Delivered, r.Sent)
+		if r.Sent == 0 {
+			return 0, detail + " (nothing sent)"
+		}
+		return float64(r.Delivered) / float64(r.Sent), detail
+	})
+}
+
+// BadZero requires that no corrupted or misrouted payload ever surfaced
+// at a host: substrate corruption must be absorbed by PSP, never
+// delivered.
+func BadZero() Gate {
+	return maxGate("bad_payloads", 0, func(r *RunStats) (float64, string) {
+		return float64(r.Bad), ""
+	})
+}
+
+// GoroutineCeiling bounds goroutine growth across the whole run
+// (measured after teardown) at slack above the pre-run baseline.
+func GoroutineCeiling(slack int) Gate {
+	return maxGate("goroutine_growth", float64(slack), func(r *RunStats) (float64, string) {
+		return float64(r.GoroutineEnd - r.GoroutineBase), fmt.Sprintf("%d -> %d", r.GoroutineBase, r.GoroutineEnd)
+	})
+}
+
+// HeapGrowthMax bounds live-heap growth across the run (post-teardown,
+// post-GC) at max bytes.
+func HeapGrowthMax(max uint64) Gate {
+	return maxGate("heap_growth_bytes", float64(max), func(r *RunStats) (float64, string) {
+		growth := float64(r.HeapEnd) - float64(r.HeapBase)
+		if growth < 0 {
+			growth = 0
+		}
+		return growth, fmt.Sprintf("%d -> %d", r.HeapBase, r.HeapEnd)
+	})
+}
+
+// BaselineGates returns the SLOs every scenario shares: fast-path p99
+// service time, zero surfaced corruption, a requeue-drop budget, and
+// resource-leak ceilings. The p99 bound is build-tagged (race.go /
+// norace.go): the race detector inflates real service time by roughly
+// an order of magnitude, so race runs keep a looser bound that still
+// trips on catastrophic regressions (lock convoys, slow path leaking
+// onto the fast path) without flagging detector overhead as an SLO
+// breach.
+func BaselineGates() []Gate {
+	return []Gate{
+		QuantileMaxNs("sn_fastpath_service_ns", 0.99, fastpathP99Bound),
+		CounterMin("sn_fastpath_hits_total", 1),
+		BadZero(),
+		RatioMax("sn_requeue_drops_total", "sn_rx_packets_total", 0.05),
+		GoroutineCeiling(24),
+		HeapGrowthMax(64 << 20),
+	}
+}
+
+// EvalGates runs every gate and reports whether all passed.
+func EvalGates(gates []Gate, r *RunStats) ([]GateResult, bool) {
+	out := make([]GateResult, 0, len(gates))
+	ok := true
+	for _, g := range gates {
+		res := g.Eval(r)
+		ok = ok && res.Ok
+		out = append(out, res)
+	}
+	return out, ok
+}
+
+// DiffFailed renders the failed gates as a per-SLO diff, one line each.
+func DiffFailed(results []GateResult) string {
+	var b strings.Builder
+	for _, g := range results {
+		if !g.Ok {
+			b.WriteString(g.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,17 @@
+//go:build !race
+
+package soak
+
+import "time"
+
+// Plain builds need only a token yield per tick: processing keeps up
+// with the injected clock and the compressed-time target (<60s wall per
+// simulated hour) applies.
+const (
+	raceEnabled     = false
+	tickYieldBase   = 5 * time.Microsecond
+	tickYieldPerPkt = 200 * time.Nanosecond
+
+	// fastpathP99Bound is the baseline fast-path p99 service-time SLO.
+	fastpathP99Bound = 2 * time.Millisecond
+)

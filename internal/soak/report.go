@@ -1,0 +1,117 @@
+package soak
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Capacity summarizes what the fleet processed during a run, in both
+// simulated and wall-clock terms. SimPPS is the service rate against
+// injected time (the paper-facing number); WallPPS is how fast the stack
+// actually chewed through it, i.e. the compression headroom.
+type Capacity struct {
+	RxPackets     uint64  `json:"rx_packets"`
+	FastpathHits  uint64  `json:"fastpath_hits"`
+	Forwarded     uint64  `json:"forwarded"`
+	Requeued      uint64  `json:"requeued"`
+	RequeueDrops  uint64  `json:"requeue_drops"`
+	Reestablished uint64  `json:"reestablished"`
+	SimPPS        float64 `json:"sim_pps"`
+	WallPPS       float64 `json:"wall_pps"`
+	FastpathP50Ns uint64  `json:"fastpath_p50_ns"`
+	FastpathP99Ns uint64  `json:"fastpath_p99_ns"`
+}
+
+// RunReport is one seed's run in a scenario report.
+type RunReport struct {
+	Seed          int64        `json:"seed"`
+	SimSeconds    float64      `json:"sim_seconds"`
+	WallSeconds   float64      `json:"wall_seconds"`
+	Compression   float64      `json:"compression"`
+	Sent          uint64       `json:"sent"`
+	Delivered     uint64       `json:"delivered"`
+	DeliveryRatio float64      `json:"delivery_ratio"`
+	BadPayloads   uint64       `json:"bad_payloads"`
+	Capacity      Capacity     `json:"capacity"`
+	Gates         []GateResult `json:"gates"`
+	Passed        bool         `json:"passed"`
+}
+
+// Report is the machine-readable outcome of one scenario across its
+// seeds — written as SOAK_<scenario>.json next to the BENCH_*.json
+// artifacts.
+type Report struct {
+	Scenario string      `json:"scenario"`
+	Runs     []RunReport `json:"runs"`
+	Passed   bool        `json:"passed"`
+}
+
+// NewReport starts an empty report for a scenario.
+func NewReport(scenario string) *Report {
+	return &Report{Scenario: scenario, Passed: true}
+}
+
+// AddRun folds one finished run into the report.
+func (rp *Report) AddRun(res *Result) {
+	st := &res.Stats
+	ratio := 0.0
+	if st.Sent > 0 {
+		ratio = float64(st.Delivered) / float64(st.Sent)
+	}
+	compression := 0.0
+	if st.WallSeconds > 0 {
+		compression = st.SimSeconds / st.WallSeconds
+	}
+	cap := Capacity{
+		RxPackets:     uint64(st.Totals.Sum("sn_rx_packets_total")),
+		FastpathHits:  uint64(st.Totals.Sum("sn_fastpath_hits_total")),
+		Forwarded:     uint64(st.Totals.Sum("sn_forwarded_total")),
+		Requeued:      uint64(st.Totals.Sum("sn_requeued_total")),
+		RequeueDrops:  uint64(st.Totals.Sum("sn_requeue_drops_total")),
+		Reestablished: uint64(st.Totals.Sum("pipe_reestablished_total")),
+	}
+	if st.SimSeconds > 0 {
+		cap.SimPPS = float64(cap.RxPackets) / st.SimSeconds
+	}
+	if st.WallSeconds > 0 {
+		cap.WallPPS = float64(cap.RxPackets) / st.WallSeconds
+	}
+	if h := st.Totals.Hist("sn_fastpath_service_ns"); h != nil {
+		cap.FastpathP50Ns = h.Quantile(0.50)
+		cap.FastpathP99Ns = h.Quantile(0.99)
+	}
+	rp.Runs = append(rp.Runs, RunReport{
+		Seed:          st.Seed,
+		SimSeconds:    st.SimSeconds,
+		WallSeconds:   st.WallSeconds,
+		Compression:   compression,
+		Sent:          st.Sent,
+		Delivered:     st.Delivered,
+		DeliveryRatio: ratio,
+		BadPayloads:   st.Bad,
+		Capacity:      cap,
+		Gates:         res.Gates,
+		Passed:        res.Passed(),
+	})
+	rp.Passed = rp.Passed && res.Passed()
+}
+
+// Path returns the report's file name under dir: SOAK_<scenario>.json.
+func (rp *Report) Path(dir string) string {
+	return filepath.Join(dir, fmt.Sprintf("SOAK_%s.json", rp.Scenario))
+}
+
+// WriteFile writes the report under dir and returns its path.
+func (rp *Report) WriteFile(dir string) (string, error) {
+	b, err := json.MarshalIndent(rp, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := rp.Path(dir)
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,199 @@
+// Package soak runs compressed-time soak scenarios: one or more edomains
+// assembled with internal/lab on a manually advanced clock, driven
+// through declarative schedules of offered load (steady mixes, ramps,
+// bursts) and fault events (partition flaps, loss bursts, breaker
+// storms), so hours of simulated operation complete in seconds of wall
+// time. After a run the telemetry registries of every node are snapshot
+// and a set of SLO gates is evaluated against them; a breach produces a
+// per-gate diff plus a full registry dump, and every run yields a
+// machine-readable capacity report (SOAK_*.json, see report.go).
+package soak
+
+import (
+	"time"
+
+	"interedge/internal/clock"
+	"interedge/internal/host"
+	"interedge/internal/lab"
+	"interedge/internal/netsim"
+	"interedge/internal/wire"
+)
+
+// LoadPhase is one segment of a scenario's load schedule. The per-flow
+// offered rate ramps linearly from FromPPS to ToPPS (in simulated
+// packets per second) over Dur of simulated time; equal values give a
+// steady phase. A non-nil Burst gates sending onto an on/off duty cycle
+// within the phase, modelling flash crowds.
+type LoadPhase struct {
+	Dur     time.Duration
+	FromPPS float64
+	ToPPS   float64
+	Burst   *BurstSpec
+}
+
+// BurstSpec is an on/off duty cycle: the phase's rate applies during each
+// On window and drops to zero for the following Off window.
+type BurstSpec struct {
+	On  time.Duration
+	Off time.Duration
+}
+
+// FlakyMode selects the behavior of the scenario's flaky slow-path
+// module (see FlakySpec).
+type FlakyMode int32
+
+const (
+	// FlakyOK echoes packets back to their source.
+	FlakyOK FlakyMode = iota
+	// FlakyError returns an error from every invocation.
+	FlakyError
+	// FlakyPanic panics on every invocation.
+	FlakyPanic
+)
+
+// FlakySpec registers a deliberately unreliable SvcNull module (breaker
+// protected) on every SN and opens one conn per host against it at PPS.
+// Scenario events toggle the module between FlakyOK / FlakyError /
+// FlakyPanic via World.SetFlakyMode to provoke breaker storms. Flaky
+// traffic is tallied separately from the reliable classes so breaker
+// sheds do not pollute the delivery-ratio SLO.
+type FlakySpec struct {
+	PPS              float64
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+// Scenario is one declarative soak: a topology, a load schedule, a fault
+// schedule, and the SLO gates the resulting telemetry must satisfy.
+type Scenario struct {
+	Name string
+
+	// Topology shape. Every host runs one echo flow (host<->first-hop
+	// SN round trips) and one intra-edomain ipfwd flow (host -> SN ->
+	// SN -> host, exercising the decision-cache fast path end to end).
+	Edomains        int
+	SNsPerEdomain   int
+	HostsPerEdomain int
+
+	// SimDuration is how much injected-clock time the load schedule
+	// covers; Tick is the advancement quantum (default 500ms).
+	SimDuration time.Duration
+	Tick        time.Duration
+
+	// Keepalive / DeadAfter tune pipe liveness in simulated time
+	// (defaults 2s / 8s).
+	Keepalive time.Duration
+	DeadAfter time.Duration
+
+	// Load is the per-flow schedule, applied to every echo and ipfwd
+	// flow. Phases repeat from the start if they cover less than
+	// SimDuration.
+	Load []LoadPhase
+
+	// CrossPPS, if non-zero, adds one cross-edomain ipfwd flow per
+	// edomain (host 0 -> host 0 of the next edomain) at a steady rate,
+	// pushing transit traffic through the gateways.
+	CrossPPS float64
+
+	// Flaky, if non-nil, provokes breaker storms (see FlakySpec).
+	Flaky *FlakySpec
+
+	// DefaultFaults applies a baseline fault profile to every link.
+	DefaultFaults netsim.FaultProfile
+
+	// Events returns the scenario's scheduled fault events, timed on
+	// the injected clock. The World gives closures access to the
+	// network, gateway addresses, and the flaky-module toggle.
+	Events func(w *World) []netsim.FaultEvent
+
+	// Gates are the SLOs evaluated after the run.
+	Gates []Gate
+
+	// DrainTicks extends the run after the load schedule ends so
+	// in-flight traffic, re-establishments, and breaker recoveries
+	// settle before gating (default 60 ticks).
+	DrainTicks int
+}
+
+// withDefaults fills in unset tuning knobs.
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Tick == 0 {
+		sc.Tick = 500 * time.Millisecond
+	}
+	if sc.Keepalive == 0 {
+		sc.Keepalive = 2 * time.Second
+	}
+	if sc.DeadAfter == 0 {
+		sc.DeadAfter = 4 * sc.Keepalive
+	}
+	if sc.DrainTicks == 0 {
+		sc.DrainTicks = 60
+	}
+	if sc.Edomains == 0 {
+		sc.Edomains = 2
+	}
+	if sc.SNsPerEdomain == 0 {
+		sc.SNsPerEdomain = 2
+	}
+	if sc.HostsPerEdomain == 0 {
+		sc.HostsPerEdomain = 2
+	}
+	return sc
+}
+
+// rateAt returns the per-flow offered rate at sim-offset t into the load
+// schedule, honoring ramps and burst duty cycles. Phases repeat.
+func (sc *Scenario) rateAt(t time.Duration) float64 {
+	if len(sc.Load) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, ph := range sc.Load {
+		total += ph.Dur
+	}
+	if total <= 0 {
+		return 0
+	}
+	t = t % total
+	for _, ph := range sc.Load {
+		if t >= ph.Dur {
+			t -= ph.Dur
+			continue
+		}
+		if ph.Burst != nil {
+			cycle := ph.Burst.On + ph.Burst.Off
+			if cycle > 0 && t%cycle >= ph.Burst.On {
+				return 0
+			}
+		}
+		frac := float64(t) / float64(ph.Dur)
+		return ph.FromPPS + (ph.ToPPS-ph.FromPPS)*frac
+	}
+	return 0
+}
+
+// World exposes the assembled topology to a scenario's Events closure.
+type World struct {
+	Topo  *lab.Topology
+	Net   *netsim.Network
+	Clock *clock.Manual
+	Eds   []*lab.Edomain
+	// Hosts[e][h] is host h of edomain e.
+	Hosts [][]*host.Host
+
+	flaky []*flakyModule
+}
+
+// GatewayAddr returns the gateway SN address of edomain e.
+func (w *World) GatewayAddr(e int) wire.Addr { return w.Eds[e].Gateway().Addr() }
+
+// SNAddr returns the address of SN s in edomain e.
+func (w *World) SNAddr(e, s int) wire.Addr { return w.Eds[e].SNs[s].Addr() }
+
+// SetFlakyMode switches every registered flaky module to mode. Usable
+// from FaultEvent closures; safe under concurrent packet handling.
+func (w *World) SetFlakyMode(m FlakyMode) {
+	for _, f := range w.flaky {
+		f.mode.Store(int32(m))
+	}
+}

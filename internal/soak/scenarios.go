@@ -1,0 +1,219 @@
+package soak
+
+import (
+	"time"
+
+	"interedge/internal/netsim"
+)
+
+// mildFaults is the background pathology present on every link in most
+// scenarios: enough reorder/duplication/corruption/jitter that the PSP
+// and ordering machinery is continuously exercised, low enough that a
+// healthy stack absorbs it without SLO impact.
+var mildFaults = netsim.FaultProfile{
+	ReorderRate:     0.01,
+	ReorderDelayMin: time.Millisecond,
+	ReorderDelayMax: 4 * time.Millisecond,
+	DuplicateRate:   0.005,
+	CorruptRate:     0.002,
+	JitterMax:       2 * time.Millisecond,
+}
+
+// Scenarios returns the standing soak catalog, keyed by name. Every
+// scenario simulates at least one hour of injected-clock operation.
+func Scenarios() map[string]Scenario {
+	list := []Scenario{
+		SteadyDiurnal(),
+		GatewayFlapStorm(),
+		LossBurstAccess(),
+		DegradeRecover(),
+		BreakerStorm(),
+		BurstMix(),
+	}
+	m := make(map[string]Scenario, len(list))
+	for _, sc := range list {
+		m[sc.Name] = sc
+	}
+	return m
+}
+
+// SteadyDiurnal models a day compressed into an hour: load ramps up to a
+// midday plateau, back down to a nightly trough, under mild background
+// faults. The reference scenario for capacity numbers.
+func SteadyDiurnal() Scenario {
+	return Scenario{
+		Name:        "steady-diurnal",
+		SimDuration: time.Hour,
+		Load: []LoadPhase{
+			{Dur: 15 * time.Minute, FromPPS: 3, ToPPS: 8},
+			{Dur: 15 * time.Minute, FromPPS: 8, ToPPS: 8},
+			{Dur: 15 * time.Minute, FromPPS: 8, ToPPS: 2},
+			{Dur: 15 * time.Minute, FromPPS: 2, ToPPS: 2},
+		},
+		CrossPPS:      2,
+		DefaultFaults: mildFaults,
+		Gates: append(BaselineGates(),
+			DeliveryRatioMin(0.97),
+			CounterMin("sn_fastpath_hits_total", 5000),
+			CounterMin("sn_forwarded_total", 5000),
+		),
+	}
+}
+
+// GatewayFlapStorm partitions the two gateways repeatedly for two
+// minutes at a time. Dead-peer detection must fire, transit traffic must
+// requeue within budget, and the gateway pipes must re-establish with
+// fresh epochs after every heal.
+func GatewayFlapStorm() Scenario {
+	return Scenario{
+		Name:        "gateway-flap-storm",
+		SimDuration: time.Hour,
+		Load: []LoadPhase{
+			{Dur: time.Hour, FromPPS: 5, ToPPS: 5},
+		},
+		CrossPPS:      2,
+		DefaultFaults: mildFaults,
+		Events: func(w *World) []netsim.FaultEvent {
+			return netsim.FlapPartition(w.GatewayAddr(0), w.GatewayAddr(1),
+				5*time.Minute, 2*time.Minute, 6)
+		},
+		Gates: append(BaselineGates(),
+			DeliveryRatioMin(0.80),
+			CounterMin("pipe_reestablished_total", 2),
+			CounterMin("sn_peers_lost_total", 2),
+		),
+	}
+}
+
+// LossBurstAccess hits access links (host<->first-hop SN) with 30%% loss
+// bursts, one edomain at a time, on top of a corrupting substrate. PSP
+// must absorb every corruption; retless datagram loss is budgeted by the
+// delivery gate.
+func LossBurstAccess() Scenario {
+	return Scenario{
+		Name:        "loss-burst-access",
+		SimDuration: time.Hour,
+		Load: []LoadPhase{
+			{Dur: time.Hour, FromPPS: 6, ToPPS: 6},
+		},
+		DefaultFaults: netsim.FaultProfile{
+			CorruptRate: 0.01,
+			JitterMax:   2 * time.Millisecond,
+		},
+		Events: func(w *World) []netsim.FaultEvent {
+			base := netsim.LinkProfile{}
+			var evs []netsim.FaultEvent
+			evs = append(evs, netsim.LossBurst(w.Hosts[0][0].Addr(), w.SNAddr(0, 0),
+				base, 0.30, 10*time.Minute, 2*time.Minute)...)
+			evs = append(evs, netsim.LossBurst(w.Hosts[1][0].Addr(), w.SNAddr(1, 0),
+				base, 0.30, 25*time.Minute, 2*time.Minute)...)
+			evs = append(evs, netsim.LossBurst(w.Hosts[0][1].Addr(), w.SNAddr(0, 1),
+				base, 0.30, 40*time.Minute, 2*time.Minute)...)
+			return evs
+		},
+		Gates: append(BaselineGates(),
+			DeliveryRatioMin(0.93),
+			CounterMin("netsim_dropped_loss_total", 50),
+			CounterMin("netsim_corrupted_total", 100),
+		),
+	}
+}
+
+// DegradeRecover walks the inter-gateway link from healthy to lossy and
+// slow in steps, holds it degraded, then restores it, while load ramps
+// through its peak. The brown-out, not the blackout.
+func DegradeRecover() Scenario {
+	return Scenario{
+		Name:        "degrade-recover",
+		SimDuration: time.Hour,
+		Load: []LoadPhase{
+			{Dur: 20 * time.Minute, FromPPS: 3, ToPPS: 9},
+			{Dur: 20 * time.Minute, FromPPS: 9, ToPPS: 9},
+			{Dur: 20 * time.Minute, FromPPS: 9, ToPPS: 3},
+		},
+		CrossPPS:      2,
+		DefaultFaults: mildFaults,
+		Events: func(w *World) []netsim.FaultEvent {
+			a, b := w.GatewayAddr(0), w.GatewayAddr(1)
+			base := netsim.LinkProfile{}
+			worst := netsim.LinkProfile{Latency: 20 * time.Millisecond, LossRate: 0.10}
+			evs := netsim.Degrade(a, b, base, worst, 10*time.Minute, 2*time.Minute, 5)
+			evs = append(evs, netsim.FaultEvent{
+				At: 40 * time.Minute,
+				Do: func(n *netsim.Network) { n.SetLinkBoth(a, b, base) },
+			})
+			return evs
+		},
+		Gates: append(BaselineGates(),
+			DeliveryRatioMin(0.93),
+			CounterMin("netsim_dropped_loss_total", 20),
+		),
+	}
+}
+
+// BreakerStorm runs a deliberately flaky slow-path module through three
+// failure storms (errors, panics, errors again) with healthy traffic
+// alongside. Breakers must trip during each storm and recover after it,
+// and the reliable flow classes must not notice.
+func BreakerStorm() Scenario {
+	return Scenario{
+		Name:        "breaker-storm",
+		SimDuration: time.Hour,
+		Load: []LoadPhase{
+			{Dur: time.Hour, FromPPS: 4, ToPPS: 4},
+		},
+		Flaky: &FlakySpec{
+			PPS:              3,
+			BreakerThreshold: 5,
+			BreakerCooldown:  30 * time.Second,
+		},
+		DefaultFaults: mildFaults,
+		Events: func(w *World) []netsim.FaultEvent {
+			storm := func(at time.Duration, mode FlakyMode) netsim.FaultEvent {
+				return netsim.FaultEvent{At: at, Do: func(*netsim.Network) { w.SetFlakyMode(mode) }}
+			}
+			return []netsim.FaultEvent{
+				storm(10*time.Minute, FlakyError),
+				storm(14*time.Minute, FlakyOK),
+				storm(25*time.Minute, FlakyPanic),
+				storm(29*time.Minute, FlakyOK),
+				storm(40*time.Minute, FlakyError),
+				storm(44*time.Minute, FlakyOK),
+			}
+		},
+		Gates: append(BaselineGates(),
+			DeliveryRatioMin(0.97),
+			CounterMin("sn_module_breaker_trips_total", 2),
+			CounterMin("sn_module_breaker_recoveries_total", 2),
+			CounterMin("sn_module_panics_total", 1),
+		),
+	}
+}
+
+// BurstMix layers one-in-six-minutes flash crowds (5s at 60 pps per
+// flow) over a low steady mix, on a reordering, duplicating substrate —
+// the egress-coalescing and batch-open stress shape.
+func BurstMix() Scenario {
+	return Scenario{
+		Name:        "burst-mix",
+		SimDuration: time.Hour,
+		Load: []LoadPhase{
+			{Dur: time.Hour, FromPPS: 60, ToPPS: 60,
+				Burst: &BurstSpec{On: 5 * time.Second, Off: 355 * time.Second}},
+		},
+		CrossPPS: 1,
+		DefaultFaults: netsim.FaultProfile{
+			ReorderRate:     0.03,
+			ReorderDelayMin: time.Millisecond,
+			ReorderDelayMax: 6 * time.Millisecond,
+			DuplicateRate:   0.01,
+			CorruptRate:     0.002,
+			JitterMax:       4 * time.Millisecond,
+		},
+		Gates: append(BaselineGates(),
+			DeliveryRatioMin(0.95),
+			CounterMin("netsim_duplicated_total", 10),
+			CounterMin("netsim_reordered_total", 10),
+		),
+	}
+}

@@ -1,0 +1,147 @@
+package soak
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// soakSeeds returns the substrate seeds each scenario runs under.
+// -short (tier-1 race sweeps) keeps one seed; the full suite runs three.
+func soakSeeds() []int64 {
+	if testing.Short() {
+		return []int64{1}
+	}
+	return []int64{1, 7, 42}
+}
+
+// TestSoakScenarios runs the whole catalog: every scenario simulates at
+// least an hour of injected-clock operation and must hold its SLO gates
+// at every seed. A breach reports the per-gate diff and dumps every
+// node's telemetry registry.
+func TestSoakScenarios(t *testing.T) {
+	catalog := Scenarios()
+	names := make([]string, 0, len(catalog))
+	for name := range catalog {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) < 5 {
+		t.Fatalf("scenario catalog has %d scenarios, want >= 5", len(names))
+	}
+	for _, name := range names {
+		sc := catalog[name]
+		for _, seed := range soakSeeds() {
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				res, err := Run(sc, seed, WithLogf(t.Logf))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Stats.SimSeconds < 3600 {
+					t.Errorf("simulated only %.0fs, want >= 1h", res.Stats.SimSeconds)
+				}
+				// The compression target applies to plain builds; the
+				// race detector's slowdown is not an SLO regression.
+				if !raceEnabled && res.Stats.WallSeconds > 60 {
+					t.Errorf("run took %.1fs wall, want < 60s", res.Stats.WallSeconds)
+				}
+				if !res.Passed() {
+					t.Errorf("SLO breach:\n%s", res.FailureDiff())
+					t.Logf("all gates:\n%s", res.GateSummary())
+					t.Logf("registry dump:\n%s", res.DumpRegistries())
+				}
+			})
+		}
+	}
+}
+
+// TestBrokenSLOFailsWithDiff tightens one SLO to an impossible bound and
+// asserts the runner reports the breach the way operators will see it: a
+// per-gate diff naming the SLO, plus a non-empty registry dump.
+func TestBrokenSLOFailsWithDiff(t *testing.T) {
+	sc := SteadyDiurnal()
+	sc.Name = "broken-slo"
+	sc.SimDuration = 10 * time.Minute
+	sc.Gates = append(BaselineGates(),
+		QuantileMaxNs("sn_fastpath_service_ns", 0.99, time.Nanosecond))
+	res, err := Run(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Fatal("impossible p99 bound passed; gate evaluation is broken")
+	}
+	diff := res.FailureDiff()
+	if !strings.Contains(diff, "p99(sn_fastpath_service_ns)") {
+		t.Errorf("failure diff does not name the breached SLO:\n%s", diff)
+	}
+	if !strings.Contains(diff, "FAIL") {
+		t.Errorf("failure diff has no FAIL marker:\n%s", diff)
+	}
+	dump := res.DumpRegistries()
+	if !strings.Contains(dump, "sn_rx_packets_total") || !strings.Contains(dump, "netsim_sent_total") {
+		t.Errorf("registry dump missing expected instruments (len=%d)", len(dump))
+	}
+}
+
+// TestRateAt pins the load-schedule math: ramps interpolate, bursts
+// gate, and the schedule repeats past its end.
+func TestRateAt(t *testing.T) {
+	sc := Scenario{Load: []LoadPhase{
+		{Dur: 10 * time.Second, FromPPS: 0, ToPPS: 10},
+		{Dur: 10 * time.Second, FromPPS: 4, ToPPS: 4,
+			Burst: &BurstSpec{On: 2 * time.Second, Off: 3 * time.Second}},
+	}}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 0},
+		{5 * time.Second, 5},
+		{10 * time.Second, 4},  // burst phase, inside On window
+		{13 * time.Second, 0},  // inside Off window
+		{15 * time.Second, 4},  // next duty cycle's On window
+		{25 * time.Second, 5},  // schedule repeats
+	}
+	for _, c := range cases {
+		if got := sc.rateAt(c.at); got != c.want {
+			t.Errorf("rateAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+// TestReportWriteFile pins the SOAK_*.json artifact shape.
+func TestReportWriteFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a soak; covered by the full suite")
+	}
+	sc := SteadyDiurnal()
+	sc.SimDuration = 10 * time.Minute
+	res, err := Run(sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := NewReport(sc.Name)
+	rp.AddRun(res)
+	dir := t.TempDir()
+	path, err := rp.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "SOAK_steady-diurnal.json" {
+		t.Errorf("unexpected report name %s", path)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"scenario"`, `"sim_pps"`, `"gates"`, `"compression"`, `"delivery_ratio"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("report missing %s:\n%s", want, b)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package soak
+
+import (
+	"strings"
+
+	"interedge/internal/telemetry"
+)
+
+// Totals merges the telemetry snapshots of every node (and the fabric)
+// into fleet-wide aggregates. Counters and gauges sum; histograms with
+// identical bucket layouts merge. Lookups accept either a full labeled
+// instrument name or a bare base name, which sums/merges across every
+// label variant (e.g. "sn_module_breaker_trips_total" matches
+// `sn_module_breaker_trips_total{module="flaky"}` on every node).
+type Totals struct {
+	scalars map[string]float64
+	hists   map[string]*telemetry.HistogramView
+}
+
+func newTotals() *Totals {
+	return &Totals{
+		scalars: make(map[string]float64),
+		hists:   make(map[string]*telemetry.HistogramView),
+	}
+}
+
+// baseName strips a trailing {label="..."} suffix.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Add accumulates one node's snapshot.
+func (t *Totals) Add(snap telemetry.Snapshot) {
+	for _, s := range snap {
+		switch s.Kind {
+		case telemetry.KindHistogram:
+			if s.Hist == nil {
+				continue
+			}
+			if have, ok := t.hists[s.Name]; ok && len(have.Counts) == len(s.Hist.Counts) {
+				have.Merge(s.Hist)
+			} else if !ok {
+				cp := &telemetry.HistogramView{
+					Bounds: append([]uint64(nil), s.Hist.Bounds...),
+					Counts: append([]uint64(nil), s.Hist.Counts...),
+					Sum:    s.Hist.Sum,
+					Count:  s.Hist.Count,
+				}
+				t.hists[s.Name] = cp
+			}
+		default:
+			t.scalars[s.Name] += s.Value
+		}
+	}
+}
+
+// Sum returns the summed value of every counter/gauge whose full or base
+// name equals name.
+func (t *Totals) Sum(name string) float64 {
+	if v, ok := t.scalars[name]; ok && !strings.ContainsRune(name, '{') {
+		// A bare name may still also appear as a labeled variant;
+		// fall through to the scan only if labels exist for it.
+		sum := v
+		for k, lv := range t.scalars {
+			if k != name && baseName(k) == name {
+				sum += lv
+			}
+		}
+		return sum
+	}
+	if v, ok := t.scalars[name]; ok {
+		return v
+	}
+	var sum float64
+	for k, v := range t.scalars {
+		if baseName(k) == name {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Hist returns the merged view of every histogram whose full or base
+// name equals name, or nil if none matched.
+func (t *Totals) Hist(name string) *telemetry.HistogramView {
+	var merged *telemetry.HistogramView
+	for k, h := range t.hists {
+		if k != name && baseName(k) != name {
+			continue
+		}
+		if merged == nil {
+			merged = &telemetry.HistogramView{
+				Bounds: append([]uint64(nil), h.Bounds...),
+				Counts: append([]uint64(nil), h.Counts...),
+				Sum:    h.Sum,
+				Count:  h.Count,
+			}
+		} else if len(merged.Counts) == len(h.Counts) {
+			merged.Merge(h)
+		}
+	}
+	return merged
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/exposition.golden from current output")
+
+// TestWritePromGolden pins the Prometheus text exposition byte-for-byte
+// against a checked-in golden file. Scrapers, dashboards, and the soak
+// registry dumps all parse this format; an accidental change to HELP/TYPE
+// lines, label merging, escaping, or bucket rendering must fail loudly
+// here rather than silently break downstream consumers.
+//
+// Regenerate deliberately with:
+//
+//	go test ./internal/telemetry/ -run WritePromGolden -update-golden
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+
+	c := NewCounter("sn_rx_packets_total")
+	c.Add(12345)
+	labeled := NewCounter(Name("sn_module_handled_total", "module", "echo"))
+	labeled.Add(77)
+	escaped := NewCounter(Name("sn_module_handled_total", "module", `we"ird\label`+"\n"))
+	escaped.Add(3)
+	g := NewGauge("transport_rx_queue_depth")
+	g.Set(-4)
+	h := NewHistogram("sn_fastpath_service_ns", []uint64{100, 1000, 10000})
+	for _, v := range []uint64{50, 50, 500, 5000, 50000} {
+		h.Observe(v)
+	}
+	fn := NewGaugeFunc("pipe_open_pipes", func() int64 { return 2 })
+	r.MustRegister(c, labeled, escaped, g, h, fn)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteProm(&buf, "node", "ed0/sn0"); err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition format drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

@@ -1,50 +1,107 @@
 #!/usr/bin/env sh
-# CI gate: static checks, full build, race-detected tests, and a benchmark
-# smoke run whose results land in BENCH_6.json at the repo root.
+# CI gate: static checks, full build, race-detected tests, compressed-time
+# soak scenarios with SLO gates (capacity reports land in SOAK_*.json), and
+# a benchmark smoke run whose results land in BENCH_6.json at the repo root.
+#
+# Every suite runs even after an earlier failure; the script's exit code is
+# nonzero if ANY suite failed, so a later passing run can never mask an
+# earlier one (notably a -race failure followed by green plain-build runs).
 #
 # Usage: scripts/check.sh
-set -eu
+set -u
 
 cd "$(dirname "$0")/.."
 
+FAILURES=0
+FAILED_SUITES=""
+
+# run <label> <cmd...>: execute a suite, record its exit code.
+run() {
+	label="$1"
+	shift
+	echo "==> $label"
+	if ! "$@"; then
+		FAILURES=$((FAILURES + 1))
+		FAILED_SUITES="$FAILED_SUITES
+  FAIL: $label"
+		echo "!!! suite failed: $label"
+	fi
+}
+
+# Static checks and the build gate everything else; a broken tree makes
+# the remaining suites meaningless, so these two still fail fast.
 echo "==> go vet ./..."
-go vet ./...
+go vet ./... || exit 1
 
 echo "==> go build ./..."
-go build ./...
+go build ./... || exit 1
 
-echo "==> go test -race ./..."
-go test -race ./...
+# Broad race-detected sweep. -short keeps the soak package to one seed per
+# scenario here (the full three-seed matrix runs below without the race
+# detector's ~10x slowdown).
+run "go test -race -short ./..." \
+	go test -race -short -timeout 900s ./...
 
-echo "==> telemetry registry suite (race-detected + zero-alloc pins)"
-go test -race -count=1 -run 'TestRegistryConcurrency|TestSharedInstrument' ./internal/telemetry/
-go test -count=1 -run 'ZeroAlloc' ./internal/telemetry/
+run "compressed-time soak suite (full scenario x seed matrix, SLO gates)" \
+	go test -count=1 -timeout 600s ./internal/soak/
+
+run "soak capacity reports (fast subset; writes SOAK_*.json, fails on SLO breach)" \
+	go run ./cmd/interedge-lab -soak -soak-scenarios steady-diurnal,gateway-flap-storm -soak-seeds 1 -soak-out .
+
+run "telemetry registry suite (race-detected + zero-alloc pins)" \
+	go test -race -count=1 -run 'TestRegistryConcurrency|TestSharedInstrument' ./internal/telemetry/
+run "telemetry zero-alloc pins" \
+	go test -count=1 -run 'ZeroAlloc' ./internal/telemetry/
 
 echo "==> UDP GSO capability probe (informational; batch paths fall back when absent)"
 go test -count=1 -run 'TestUDPGSOCapabilityProbe' -v ./internal/netsim/ | grep -i 'gso\|PASS\|FAIL' || true
 
-echo "==> forced segmentation-offload fallback suite (INTEREDGE_NO_GSO=1)"
-INTEREDGE_NO_GSO=1 go test -count=1 ./internal/netsim/ ./internal/pipe/ ./internal/chaos/
+run "forced segmentation-offload fallback suite (INTEREDGE_NO_GSO=1)" \
+	env INTEREDGE_NO_GSO=1 go test -count=1 ./internal/netsim/ ./internal/pipe/ ./internal/chaos/
 
-echo "==> chaos suite (race-detected, fixed seeds, bounded)"
-go test -race -count=1 -timeout 180s ./internal/chaos/
+run "chaos suite (race-detected, fixed seeds, bounded)" \
+	go test -race -count=1 -timeout 180s ./internal/chaos/
 
-echo "==> module-fault containment suite (race-detected, fixed seeds)"
-go test -race -count=1 -timeout 120s -run 'TestModuleFaultContainmentChaos' ./internal/chaos/
-go test -race -count=1 -timeout 120s \
+run "module-fault containment suite (race-detected, fixed seeds)" \
+	go test -race -count=1 -timeout 120s -run 'TestModuleFaultContainmentChaos' ./internal/chaos/
+run "module-fault containment: sn unit suites" \
+	go test -race -count=1 -timeout 120s \
 	-run 'Breaker|PanicContainment|PanicIPC|DeadlineTimeout|Degraded|ChanInvokerCloseRace|IPCDecodeFailure|IPCRestarting' \
 	./internal/sn/
 
-echo "==> fuzz smoke runs (wire decode, PSP open)"
-go test -run '^$' -fuzz 'FuzzILPHeaderDecode' -fuzztime 5s ./internal/wire/
-go test -run '^$' -fuzz 'FuzzDatagramDecode' -fuzztime 5s ./internal/wire/
-go test -run '^$' -fuzz 'FuzzPSPOpen' -fuzztime 5s ./internal/psp/
+run "fuzz smoke: wire ILP header decode" \
+	go test -run '^$' -fuzz 'FuzzILPHeaderDecode' -fuzztime 5s ./internal/wire/
+run "fuzz smoke: wire datagram decode" \
+	go test -run '^$' -fuzz 'FuzzDatagramDecode' -fuzztime 5s ./internal/wire/
+run "fuzz smoke: PSP open" \
+	go test -run '^$' -fuzz 'FuzzPSPOpen' -fuzztime 5s ./internal/psp/
 
+# Benchmark output goes through a temp file, not a pipeline: a pipeline's
+# exit status is its last command's, which would swallow a bench failure.
 echo "==> benchmark smoke run (Figure 2 pipeline)"
-go test -run '^$' -bench Figure2 -benchtime 20000x -benchmem . |
-	BENCHJSON_OUT=BENCH_6.json go run ./scripts/benchjson
+BENCH_TMP="$(mktemp)"
+if go test -run '^$' -bench Figure2 -benchtime 20000x -benchmem . >"$BENCH_TMP"; then
+	if BENCHJSON_OUT=BENCH_6.json go run ./scripts/benchjson <"$BENCH_TMP"; then
+		echo "==> wrote BENCH_6.json"
+		run "benchmark gate (batch pipeline ratchet; fast path stays zero-alloc)" \
+			go run ./scripts/benchgate BENCH_6.json
+	else
+		FAILURES=$((FAILURES + 1))
+		FAILED_SUITES="$FAILED_SUITES
+  FAIL: benchjson conversion"
+	fi
+else
+	FAILURES=$((FAILURES + 1))
+	FAILED_SUITES="$FAILED_SUITES
+  FAIL: benchmark smoke run"
+	cat "$BENCH_TMP"
+fi
+rm -f "$BENCH_TMP"
 
-echo "==> wrote BENCH_6.json"
-
-echo "==> benchmark gate (batch pipeline ratchet; fast path stays zero-alloc)"
-go run ./scripts/benchgate BENCH_6.json
+if [ "$FAILURES" -ne 0 ]; then
+	echo ""
+	echo "check.sh: $FAILURES suite(s) failed:$FAILED_SUITES"
+	exit 1
+fi
+echo ""
+echo "check.sh: all suites passed"
