@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"interedge/internal/lookup"
+	"interedge/internal/lookup/rescache"
 	"interedge/internal/wire"
 )
 
@@ -54,9 +55,10 @@ type Core struct {
 	id     ID
 	global *lookup.Service
 
-	mu     sync.Mutex
-	sns    map[wire.Addr]struct{}
-	groups map[GroupID]*coreGroup
+	mu       sync.Mutex
+	sns      map[wire.Addr]struct{}
+	groups   map[GroupID]*coreGroup
+	resolver *rescache.Cache
 }
 
 // New creates a core for the given edomain backed by the global lookup
@@ -72,6 +74,62 @@ func New(id ID, global *lookup.Service) *Core {
 
 // ID returns the edomain's identifier.
 func (c *Core) ID() ID { return c.id }
+
+// NewResolver builds the edomain-tier resolution cache — the middle tier
+// of the resolution cache hierarchy (DESIGN.md), shared as the fill
+// backend by the edomain's SN-tier caches. Built at most once; later
+// calls return the existing cache. cfg.Backend defaults to the global
+// lookup service.
+func (c *Core) NewResolver(cfg rescache.Config) *rescache.Cache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.resolver == nil {
+		if cfg.Backend == nil {
+			cfg.Backend = c.global
+		}
+		c.resolver = rescache.New(cfg)
+	}
+	return c.resolver
+}
+
+// Resolver returns the edomain-tier resolution cache, or nil if
+// NewResolver was never called.
+func (c *Core) Resolver() *rescache.Cache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resolver
+}
+
+// Close releases the core's background resources: the edomain-tier
+// resolution cache watch and any global group watches still held on
+// behalf of registered senders.
+func (c *Core) Close() {
+	c.mu.Lock()
+	res := c.resolver
+	c.resolver = nil
+	type groupWatch struct {
+		group  GroupID
+		cancel func()
+		done   chan struct{}
+	}
+	var watches []groupWatch
+	for g, cg := range c.groups {
+		if cg.lookupCancel != nil {
+			watches = append(watches, groupWatch{g, cg.lookupCancel, cg.remoteDone})
+			cg.lookupCancel = nil
+			cg.remoteDone = nil
+		}
+	}
+	c.mu.Unlock()
+	for _, w := range watches {
+		w.cancel()
+		<-w.done
+		c.global.UnregisterSenderEdomain(w.group, c.id)
+	}
+	if res != nil {
+		res.Close()
+	}
+}
 
 // RegisterSN adds an SN to the edomain.
 func (c *Core) RegisterSN(addr wire.Addr) {
@@ -288,6 +346,24 @@ func (c *Core) registerWithGlobal(group GroupID, cg *coreGroup) error {
 	go func() {
 		defer close(done)
 		for ev := range events {
+			if ev.Resync {
+				// The watch overflowed and events were lost: refetch
+				// the authoritative member list instead of applying
+				// increments to a mirror that is now missing changes.
+				remotes, err := c.global.MemberEdomains(group)
+				if err != nil {
+					continue
+				}
+				c.mu.Lock()
+				clear(cg.remoteMembers)
+				for _, r := range remotes {
+					if r != c.id {
+						cg.remoteMembers[r] = struct{}{}
+					}
+				}
+				c.mu.Unlock()
+				continue
+			}
 			if ev.Edomain == c.id {
 				continue
 			}

@@ -13,6 +13,7 @@ import (
 	"interedge/internal/handshake"
 	"interedge/internal/host"
 	"interedge/internal/lookup"
+	"interedge/internal/lookup/rescache"
 	"interedge/internal/netsim"
 	"interedge/internal/peering"
 	"interedge/internal/sn"
@@ -78,7 +79,6 @@ func WithTransportWrap(wrap func(netsim.Transport) netsim.Transport) Option {
 // New creates an empty topology.
 func New(opts ...Option) *Topology {
 	t := &Topology{
-		Global:   lookup.New(),
 		Fabric:   peering.NewFabric(),
 		Clock:    clock.Real{},
 		alloc:    netsim.NewAddrAllocator(),
@@ -87,6 +87,9 @@ func New(opts ...Option) *Topology {
 	for _, o := range opts {
 		o(t)
 	}
+	// The lookup service shares the topology clock so lease expiry and
+	// watch-lag measurements stay meaningful under a manual clock.
+	t.Global = lookup.New(lookup.WithClock(t.Clock))
 	if t.Net == nil {
 		t.Net = netsim.NewNetwork()
 	}
@@ -137,6 +140,10 @@ func (t *Topology) AddEdomain(id edomain.ID, numSNs int, setup SNSetup) (*Edomai
 		return nil, fmt.Errorf("lab: edomain needs at least one SN")
 	}
 	ed := &Edomain{ID: id, Core: edomain.New(id, t.Global)}
+	// Build the edomain-tier resolution cache up front so SN-tier caches
+	// created later (NewNodeResolver) chain through it.
+	ed.Core.NewResolver(rescache.Config{Clock: t.Clock})
+	t.closers = append(t.closers, func() error { ed.Core.Close(); return nil })
 	for i := 0; i < numSNs; i++ {
 		node, err := t.NewSN()
 		if err != nil {
@@ -165,6 +172,36 @@ func (t *Topology) AddEdomain(id edomain.ID, numSNs int, setup SNSetup) (*Edomai
 	}
 	t.edomains[id] = ed
 	return ed, nil
+}
+
+// NewNodeResolver builds the SN-tier resolution cache for one node: the
+// bottom tier of the resolution cache hierarchy. Fills chain through the
+// edomain-tier cache (or straight to the global service when the edomain
+// has none), while invalidation events come from watching the global
+// service directly so updates apply in publish order. A record change or
+// revocation also invalidates the node's decision-cache rules that
+// forward toward that address, so the fast path cannot keep steering a
+// flow at a stale first-hop SN. The cache's instruments register into
+// the node's telemetry registry (visible through the control-plane
+// "metrics" op) and the topology closes the cache on Close.
+func (t *Topology) NewNodeResolver(ed *Edomain, node *sn.SN) *rescache.Cache {
+	var backend rescache.Resolver = t.Global
+	if r := ed.Core.Resolver(); r != nil {
+		backend = r
+	}
+	rc := rescache.New(rescache.Config{
+		Backend: backend,
+		Watch:   t.Global,
+		Clock:   t.Clock,
+		OnEvent: func(ev lookup.AddrEvent) {
+			if !ev.Resync {
+				node.Cache().InvalidateDest(ev.Addr)
+			}
+		},
+	})
+	rc.RegisterTelemetry(node.Telemetry())
+	t.closers = append(t.closers, func() error { rc.Close(); return nil })
+	return rc
 }
 
 // Edomain returns a previously created edomain.

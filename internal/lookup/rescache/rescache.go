@@ -1,0 +1,383 @@
+// Package rescache is the node-side tier of the resolution cache
+// hierarchy (DESIGN.md "Resolution cache hierarchy"): a lease-based
+// cache over a lookup resolver with negative caching and
+// invalidation-on-watch, so the SN slow path answers resolutions from
+// local memory and a cold resolution becomes an asynchronous fill — the
+// packet is parked and re-injected when the record arrives, never
+// blocking a dispatcher on the directory.
+//
+// Tiers chain through the Backend (an SN-tier cache fills from its
+// edomain-tier cache, which fills from the global service) while
+// invalidations fan out from the root: every tier watches the global
+// service directly, so each applies record updates in publish order and
+// no tier can refill a sibling with state older than an invalidation it
+// already processed.
+package rescache
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"interedge/internal/clock"
+	"interedge/internal/lookup"
+	"interedge/internal/telemetry"
+	"interedge/internal/wire"
+)
+
+// Resolver is the read interface a cache consumes and provides. Both
+// *lookup.Service and *Cache implement it, which is what lets tiers
+// stack.
+type Resolver interface {
+	ResolveAddress(addr wire.Addr) (lookup.AddrRecord, error)
+}
+
+// Watchable is an event source for invalidation: *lookup.Service
+// implements it.
+type Watchable interface {
+	WatchAddresses(buffer int) (<-chan lookup.AddrEvent, func())
+}
+
+// Config parameterizes a cache tier.
+type Config struct {
+	// Backend serves cache fills. Required. If it also implements
+	// Watchable and Watch is nil, it doubles as the event source.
+	Backend Resolver
+	// Watch, when set, overrides the invalidation event source. Cache
+	// tiers below the top set this to the global service so every tier
+	// sees record changes in publish order.
+	Watch Watchable
+	// Clock drives lease expiry and fan-out lag measurement. Defaults
+	// to the real clock.
+	Clock clock.Clock
+	// Lease bounds how long a positive entry may be served without
+	// revalidation (staleness ceiling when watch events are lost).
+	// Defaults to 30s.
+	Lease time.Duration
+	// NegativeLease bounds how long an unknown-address answer is
+	// cached. Defaults to 5s.
+	NegativeLease time.Duration
+	// WatchBuffer sizes the watch channel. Defaults to 256.
+	WatchBuffer int
+	// FillQueue bounds the callbacks parked on one in-flight fill —
+	// the resolution analogue of the SN's bounded per-destination
+	// requeue. Defaults to 256.
+	FillQueue int
+	// OnEvent, when set, observes every watch event after the cache
+	// has applied it (e.g. to invalidate decision-cache rules for the
+	// address). Called from the watch goroutine.
+	OnEvent func(lookup.AddrEvent)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+	if c.Lease <= 0 {
+		c.Lease = 30 * time.Second
+	}
+	if c.NegativeLease <= 0 {
+		c.NegativeLease = 5 * time.Second
+	}
+	if c.WatchBuffer <= 0 {
+		c.WatchBuffer = 256
+	}
+	if c.FillQueue <= 0 {
+		c.FillQueue = 256
+	}
+	return c
+}
+
+// entry is one immutable cache entry; replaced wholesale on update. The
+// map stores *entry, never entry: CompareAndDelete in the lazy-expiry
+// path compares values with ==, and pointer identity is both comparable
+// (an AddrRecord's slice fields are not) and exactly the intended
+// semantics — remove this exact entry, not one that happens to look
+// alike.
+type entry struct {
+	rec      lookup.AddrRecord
+	negative bool
+	expires  time.Time
+}
+
+// fill is one in-flight backend resolution with its parked callbacks.
+type fill struct {
+	cbs []func(lookup.AddrRecord, error)
+	// superseded is set when a watch event for the address arrives
+	// while the fill is in flight: the fetched record may predate the
+	// event, so it must not be cached over fresher state.
+	superseded bool
+}
+
+// Cache is one tier of the resolution cache hierarchy. Reads
+// (ResolveCached) are lock-free and allocation-free; fills and watch
+// processing serialize behind a mutex.
+type Cache struct {
+	cfg Config
+	clk clock.Clock
+
+	// entries maps wire.Addr -> entry. Swapped wholesale on resync
+	// flushes; readers load the pointer once per lookup.
+	entries atomic.Pointer[sync.Map]
+
+	mu     sync.Mutex
+	fills  map[wire.Addr]*fill
+	closed bool
+
+	watchCancel func()
+	watchDone   chan struct{}
+
+	hits           *telemetry.StripedCounter
+	misses         *telemetry.StripedCounter
+	negHits        *telemetry.StripedCounter
+	leaseExpiries  *telemetry.Counter
+	invalidations  *telemetry.Counter
+	resyncFlushes  *telemetry.Counter
+	fillsOK        *telemetry.Counter
+	fillErrors     *telemetry.Counter
+	fillsDiscarded *telemetry.Counter
+	waitersDropped *telemetry.Counter
+	fanoutLag      *telemetry.Histogram
+	instruments    []telemetry.Instrument
+}
+
+// New creates a cache tier and, when an event source is available,
+// starts its invalidation watch. Close releases the watch.
+func New(cfg Config) *Cache {
+	if cfg.Backend == nil {
+		panic("rescache: Config.Backend is required")
+	}
+	cfg = cfg.withDefaults()
+	c := &Cache{
+		cfg:   cfg,
+		clk:   cfg.Clock,
+		fills: make(map[wire.Addr]*fill),
+
+		hits:           telemetry.NewStripedCounter("lookup_cache_hits_total", 64),
+		misses:         telemetry.NewStripedCounter("lookup_cache_misses_total", 64),
+		negHits:        telemetry.NewStripedCounter("lookup_cache_negative_hits_total", 64),
+		leaseExpiries:  telemetry.NewCounter("lookup_cache_lease_expiries_total"),
+		invalidations:  telemetry.NewCounter("lookup_cache_invalidations_total"),
+		resyncFlushes:  telemetry.NewCounter("lookup_cache_resync_flushes_total"),
+		fillsOK:        telemetry.NewCounter("lookup_cache_fills_total"),
+		fillErrors:     telemetry.NewCounter("lookup_cache_fill_errors_total"),
+		fillsDiscarded: telemetry.NewCounter("lookup_cache_fills_discarded_total"),
+		waitersDropped: telemetry.NewCounter("lookup_cache_waiters_dropped_total"),
+		fanoutLag:      telemetry.NewHistogram("lookup_watch_fanout_lag_ns", telemetry.LatencyBuckets),
+	}
+	c.entries.Store(&sync.Map{})
+	c.instruments = []telemetry.Instrument{
+		c.hits, c.misses, c.negHits, c.leaseExpiries, c.invalidations,
+		c.resyncFlushes, c.fillsOK, c.fillErrors, c.fillsDiscarded,
+		c.waitersDropped, c.fanoutLag,
+		telemetry.NewGaugeFunc("lookup_cache_entries", func() int64 {
+			var n int64
+			c.entries.Load().Range(func(_, _ any) bool { n++; return true })
+			return n
+		}),
+	}
+
+	watch := cfg.Watch
+	if watch == nil {
+		if w, ok := cfg.Backend.(Watchable); ok {
+			watch = w
+		}
+	}
+	if watch != nil {
+		ch, cancel := watch.WatchAddresses(cfg.WatchBuffer)
+		c.watchCancel = cancel
+		c.watchDone = make(chan struct{})
+		go c.watchLoop(ch)
+	}
+	return c
+}
+
+// RegisterTelemetry exposes the cache's instruments through a registry
+// (telemetry.Registrable).
+func (c *Cache) RegisterTelemetry(r *telemetry.Registry) {
+	r.MustRegister(c.instruments...)
+}
+
+// Close stops the invalidation watch. In-flight fills complete and
+// still invoke their callbacks.
+func (c *Cache) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	if c.watchCancel != nil {
+		c.watchCancel()
+		<-c.watchDone
+	}
+}
+
+func stripeOf(a wire.Addr) int {
+	b := a.As16()
+	return int(b[15])
+}
+
+// ResolveCached answers from the cache only: (record, cached, negative).
+// cached && !negative is a positive hit; cached && negative means the
+// address is known-absent (within the negative lease); !cached means
+// the caller must fill (Resolve or ResolveAsync). Lock-free,
+// allocation-free.
+func (c *Cache) ResolveCached(addr wire.Addr) (lookup.AddrRecord, bool, bool) {
+	m := c.entries.Load()
+	v, ok := m.Load(addr)
+	if !ok {
+		c.misses.Inc(stripeOf(addr))
+		return lookup.AddrRecord{}, false, false
+	}
+	e := v.(*entry)
+	if c.clk.Now().After(e.expires) {
+		// Lazy expiry; only this exact entry is removed, so a
+		// concurrent refresh cannot be lost.
+		if m.CompareAndDelete(addr, v) {
+			c.leaseExpiries.Inc()
+		}
+		c.misses.Inc(stripeOf(addr))
+		return lookup.AddrRecord{}, false, false
+	}
+	if e.negative {
+		c.negHits.Inc(stripeOf(addr))
+		return lookup.AddrRecord{}, true, true
+	}
+	c.hits.Inc(stripeOf(addr))
+	return e.rec, true, false
+}
+
+// ResolveAddress resolves through the cache, filling synchronously on a
+// miss. This is the blocking form control-plane callers and upper cache
+// tiers use; packet paths use ResolveCached + ResolveAsync.
+func (c *Cache) ResolveAddress(addr wire.Addr) (lookup.AddrRecord, error) {
+	if rec, cached, negative := c.ResolveCached(addr); cached {
+		if negative {
+			return lookup.AddrRecord{}, lookup.ErrUnknownAddress
+		}
+		return rec, nil
+	}
+	type result struct {
+		rec lookup.AddrRecord
+		err error
+	}
+	done := make(chan result, 1)
+	if !c.ResolveAsync(addr, func(rec lookup.AddrRecord, err error) {
+		done <- result{rec, err}
+	}) {
+		// Fill queue saturated: resolve directly without caching.
+		return c.cfg.Backend.ResolveAddress(addr)
+	}
+	r := <-done
+	return r.rec, r.err
+}
+
+// ResolveAsync arranges for addr to be resolved without blocking: if a
+// fill is already in flight the callback is parked on it (bounded by
+// FillQueue — the resolution analogue of the SN's bounded requeue);
+// otherwise a fill goroutine is started. The callback runs exactly once,
+// from the fill goroutine, after the result has been cached. Returns
+// false — and never runs the callback — when the fill queue for the
+// address is saturated.
+func (c *Cache) ResolveAsync(addr wire.Addr, cb func(lookup.AddrRecord, error)) bool {
+	c.mu.Lock()
+	if f, ok := c.fills[addr]; ok {
+		if len(f.cbs) >= c.cfg.FillQueue {
+			c.mu.Unlock()
+			c.waitersDropped.Inc()
+			return false
+		}
+		f.cbs = append(f.cbs, cb)
+		c.mu.Unlock()
+		return true
+	}
+	f := &fill{cbs: []func(lookup.AddrRecord, error){cb}}
+	c.fills[addr] = f
+	c.mu.Unlock()
+	go c.runFill(addr, f)
+	return true
+}
+
+// runFill performs one backend resolution, caches the outcome (positive
+// or negative lease), and drains the parked callbacks. The superseded
+// check and the store form one critical section with the watch loop's
+// entry writes, so a fill result can never overwrite fresher state an
+// event already installed (or land in a map a resync just flushed).
+func (c *Cache) runFill(addr wire.Addr, f *fill) {
+	rec, err := c.cfg.Backend.ResolveAddress(addr)
+	now := c.clk.Now()
+
+	c.mu.Lock()
+	delete(c.fills, addr)
+	cbs := f.cbs
+	switch {
+	case f.superseded:
+		// A watch event for this address (or a resync) landed while
+		// the fill was in flight; the fetched record may predate it.
+		// Discard rather than cache stale state — re-injected packets
+		// simply miss again and refill against the fresh backend.
+		c.fillsDiscarded.Inc()
+	case err == nil:
+		c.entries.Load().Store(addr, &entry{rec: rec, expires: now.Add(c.cfg.Lease)})
+		c.fillsOK.Inc()
+	case err == lookup.ErrUnknownAddress:
+		c.entries.Load().Store(addr, &entry{negative: true, expires: now.Add(c.cfg.NegativeLease)})
+		c.fillErrors.Inc()
+	default:
+		// Transient backend failure: cache nothing.
+		c.fillErrors.Inc()
+	}
+	c.mu.Unlock()
+
+	for _, cb := range cbs {
+		cb(rec, err)
+	}
+}
+
+// watchLoop applies invalidation events from the root of the hierarchy.
+func (c *Cache) watchLoop(ch <-chan lookup.AddrEvent) {
+	defer close(c.watchDone)
+	for ev := range ch {
+		c.handleEvent(ev)
+	}
+}
+
+func (c *Cache) handleEvent(ev lookup.AddrEvent) {
+	if !ev.At.IsZero() {
+		if lag := c.clk.Now().Sub(ev.At); lag >= 0 {
+			c.fanoutLag.Observe(uint64(lag))
+		}
+	}
+	if ev.Resync {
+		// The watch overflowed upstream: arbitrary events were lost,
+		// so every cached entry and in-flight fill is suspect.
+		c.mu.Lock()
+		for _, f := range c.fills {
+			f.superseded = true
+		}
+		c.entries.Store(&sync.Map{})
+		c.mu.Unlock()
+		c.resyncFlushes.Inc()
+	} else {
+		c.mu.Lock()
+		if f, ok := c.fills[ev.Addr]; ok {
+			f.superseded = true
+		}
+		m := c.entries.Load()
+		switch {
+		case ev.Revoked:
+			if _, ok := m.LoadAndDelete(ev.Addr); ok {
+				c.invalidations.Inc()
+			}
+		default:
+			// Update in place — but only for addresses someone here
+			// actually asked for; events must not grow the cache.
+			if _, ok := m.Load(ev.Addr); ok {
+				m.Store(ev.Addr, &entry{rec: ev.Rec, expires: c.clk.Now().Add(c.cfg.Lease)})
+				c.invalidations.Inc()
+			}
+		}
+		c.mu.Unlock()
+	}
+	if c.cfg.OnEvent != nil {
+		c.cfg.OnEvent(ev)
+	}
+}

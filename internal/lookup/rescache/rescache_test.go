@@ -1,0 +1,493 @@
+package rescache
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"interedge/internal/clock"
+	"interedge/internal/cryptutil"
+	"interedge/internal/lookup"
+	"interedge/internal/wire"
+)
+
+func signer(t *testing.T) cryptutil.SigningKeypair {
+	t.Helper()
+	kp, err := cryptutil.NewSigningKeypair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}
+
+func testAddr(i int) wire.Addr {
+	var b [16]byte
+	b[0] = 0xfd
+	b[14] = byte(i >> 8)
+	b[15] = byte(i)
+	return netip.AddrFrom16(b)
+}
+
+// genSN encodes a generation number as an SN address (fe00::gen) so a
+// resolved record carries which registration produced it.
+func genSN(gen int64) wire.Addr {
+	var b [16]byte
+	b[0] = 0xfe
+	for i := 0; i < 8; i++ {
+		b[15-i] = byte(gen >> (8 * i))
+	}
+	return netip.AddrFrom16(b)
+}
+
+func genOf(rec lookup.AddrRecord) int64 {
+	b := rec.SNs[1].As16()
+	var g int64
+	for i := 0; i < 8; i++ {
+		g |= int64(b[15-i]) << (8 * i)
+	}
+	return g
+}
+
+func register(t *testing.T, svc *lookup.Service, kp cryptutil.SigningKeypair, addr wire.Addr, gen int64) {
+	t.Helper()
+	sns := []wire.Addr{wire.MustAddr("fc00::1"), genSN(gen)}
+	rec := lookup.AddrRecord{Addr: addr, Owner: kp.Public, SNs: sns}
+	if err := svc.RegisterAddress(rec, lookup.SignAddrRecord(kp, addr, sns)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func revoke(t *testing.T, svc *lookup.Service, kp cryptutil.SigningKeypair, addr wire.Addr) {
+	t.Helper()
+	if err := svc.UnregisterAddress(addr, lookup.SignAddrRevocation(kp, addr)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitUntil polls cond with a real-time deadline; watch fan-out is
+// asynchronous even under a manual clock.
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+func TestCacheHitMissNegative(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	svc := lookup.New(lookup.WithClock(clk))
+	kp := signer(t)
+	addr := testAddr(1)
+	register(t, svc, kp, addr, 1)
+
+	c := New(Config{Backend: svc, Clock: clk})
+	defer c.Close()
+
+	if _, cached, _ := c.ResolveCached(addr); cached {
+		t.Fatal("cold cache reports a hit")
+	}
+	rec, err := c.ResolveAddress(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if genOf(rec) != 1 {
+		t.Fatalf("resolved gen %d, want 1", genOf(rec))
+	}
+	rec, cached, negative := c.ResolveCached(addr)
+	if !cached || negative || genOf(rec) != 1 {
+		t.Fatalf("warm cache: cached=%v negative=%v", cached, negative)
+	}
+	if got := c.hits.Load(); got == 0 {
+		t.Fatal("hit not counted")
+	}
+
+	// Unknown address: first resolve errors and installs a negative
+	// entry, the second is a negative hit without touching the backend.
+	ghost := testAddr(999)
+	if _, err := c.ResolveAddress(ghost); err != lookup.ErrUnknownAddress {
+		t.Fatalf("ghost resolve err = %v", err)
+	}
+	_, cached, negative = c.ResolveCached(ghost)
+	if !cached || !negative {
+		t.Fatalf("ghost: cached=%v negative=%v, want negative hit", cached, negative)
+	}
+	if got := c.negHits.Load(); got == 0 {
+		t.Fatal("negative hit not counted")
+	}
+	// The negative lease expires sooner than the positive one.
+	clk.Advance(6 * time.Second)
+	if _, cached, _ := c.ResolveCached(ghost); cached {
+		t.Fatal("negative entry survived its lease")
+	}
+	if _, cached, _ := c.ResolveCached(addr); !cached {
+		t.Fatal("positive entry lost before its lease")
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	svc := lookup.New(lookup.WithClock(clk))
+	kp := signer(t)
+	addr := testAddr(2)
+	register(t, svc, kp, addr, 1)
+
+	c := New(Config{Backend: svc, Clock: clk, Lease: 10 * time.Second})
+	defer c.Close()
+	if _, err := c.ResolveAddress(addr); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(11 * time.Second)
+	if _, cached, _ := c.ResolveCached(addr); cached {
+		t.Fatal("entry served past its lease")
+	}
+	if got := c.leaseExpiries.Load(); got != 1 {
+		t.Fatalf("lease expiries = %d, want 1", got)
+	}
+	// The expired entry refills on demand.
+	if _, err := c.ResolveAddress(addr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidationOnWatch(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	svc := lookup.New(lookup.WithClock(clk))
+	kp := signer(t)
+	addr := testAddr(3)
+	other := testAddr(4)
+	register(t, svc, kp, addr, 1)
+	register(t, svc, kp, other, 1)
+
+	c := New(Config{Backend: svc, Clock: clk})
+	defer c.Close()
+	if _, err := c.ResolveAddress(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	// A re-registration refreshes the cached entry in place.
+	register(t, svc, kp, addr, 2)
+	waitUntil(t, func() bool {
+		rec, cached, _ := c.ResolveCached(addr)
+		return cached && genOf(rec) == 2
+	})
+	// An event for an address never resolved here must not grow the
+	// cache.
+	if _, cached, _ := c.ResolveCached(other); cached {
+		t.Fatal("watch event populated an unrequested address")
+	}
+
+	// A revocation drops the entry.
+	revoke(t, svc, kp, addr)
+	waitUntil(t, func() bool {
+		_, cached, _ := c.ResolveCached(addr)
+		return !cached
+	})
+	if got := c.invalidations.Load(); got < 2 {
+		t.Fatalf("invalidations = %d, want >= 2", got)
+	}
+}
+
+func TestResyncFlushesEverything(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	svc := lookup.New(lookup.WithClock(clk))
+	kp := signer(t)
+	addr := testAddr(5)
+	register(t, svc, kp, addr, 1)
+
+	c := New(Config{Backend: svc, Clock: clk})
+	defer c.Close()
+	if _, err := c.ResolveAddress(addr); err != nil {
+		t.Fatal(err)
+	}
+	// RestoreRecords publishes a Resync: the watch overflowed (or state
+	// was bulk-replaced) so every cached entry is suspect.
+	svc.RestoreRecords(nil)
+	waitUntil(t, func() bool {
+		_, cached, _ := c.ResolveCached(addr)
+		return !cached
+	})
+	if got := c.resyncFlushes.Load(); got == 0 {
+		t.Fatal("resync flush not counted")
+	}
+}
+
+// blockingBackend parks every ResolveAddress until released, so tests
+// can hold a fill in flight while events land.
+type blockingBackend struct {
+	inner   Resolver
+	release chan struct{}
+	waiting chan struct{} // one token per parked resolve
+}
+
+func (b *blockingBackend) ResolveAddress(addr wire.Addr) (lookup.AddrRecord, error) {
+	b.waiting <- struct{}{}
+	<-b.release
+	return b.inner.ResolveAddress(addr)
+}
+
+// TestSupersededFillDiscarded: a revocation that lands while a fill is
+// in flight must win — the fill's result is stale the moment it was
+// fetched, and caching it would resurrect a revoked record.
+func TestSupersededFillDiscarded(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	svc := lookup.New(lookup.WithClock(clk))
+	kp := signer(t)
+	addr := testAddr(6)
+	register(t, svc, kp, addr, 1)
+
+	bb := &blockingBackend{inner: svc, release: make(chan struct{}), waiting: make(chan struct{}, 4)}
+	var applied atomic.Bool
+	c := New(Config{Backend: bb, Watch: svc, Clock: clk,
+		OnEvent: func(ev lookup.AddrEvent) {
+			if ev.Revoked {
+				applied.Store(true)
+			}
+		}})
+	defer c.Close()
+
+	done := make(chan error, 1)
+	if !c.ResolveAsync(addr, func(_ lookup.AddrRecord, err error) { done <- err }) {
+		t.Fatal("ResolveAsync refused a fresh fill")
+	}
+	<-bb.waiting // fill is parked inside the backend
+
+	// Revoke while the fill is in flight; OnEvent fires after the cache
+	// has marked the fill superseded under its mutex.
+	revoke(t, svc, kp, addr)
+	waitUntil(t, func() bool { return applied.Load() })
+	close(bb.release)
+	<-done
+
+	if _, cached, _ := c.ResolveCached(addr); cached {
+		t.Fatal("superseded fill result was cached")
+	}
+	if got := c.fillsDiscarded.Load(); got != 1 {
+		t.Fatalf("fills discarded = %d, want 1", got)
+	}
+}
+
+// TestFillQueueBound: callbacks parked on one in-flight fill are bounded
+// by FillQueue; excess ResolveAsync calls are refused, never queued
+// unboundedly and never silently dropped.
+func TestFillQueueBound(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	svc := lookup.New(lookup.WithClock(clk))
+	kp := signer(t)
+	addr := testAddr(7)
+	register(t, svc, kp, addr, 1)
+
+	bb := &blockingBackend{inner: svc, release: make(chan struct{}), waiting: make(chan struct{}, 4)}
+	c := New(Config{Backend: bb, Watch: svc, Clock: clk, FillQueue: 2})
+	defer c.Close()
+
+	var delivered atomic.Int64
+	cb := func(lookup.AddrRecord, error) { delivered.Add(1) }
+	if !c.ResolveAsync(addr, cb) {
+		t.Fatal("first ResolveAsync refused")
+	}
+	<-bb.waiting
+	if !c.ResolveAsync(addr, cb) {
+		t.Fatal("second ResolveAsync refused under FillQueue=2")
+	}
+	if c.ResolveAsync(addr, cb) {
+		t.Fatal("third ResolveAsync accepted past the bound")
+	}
+	if got := c.waitersDropped.Load(); got != 1 {
+		t.Fatalf("waiters dropped = %d, want 1", got)
+	}
+	close(bb.release)
+	waitUntil(t, func() bool { return delivered.Load() == 2 })
+}
+
+// TestConcurrentResolutionProperty is the seeded interleaving suite:
+// lease expiry, invalidation-on-watch, and negative fills race against
+// concurrent readers, and the cache must never serve a record that was
+// revoked before the read began, never serve a generation older than
+// one the watch already applied, and never invent a record for an
+// address that was never registered.
+//
+// Revocations are terminal (a revoked address is never re-registered)
+// so "revoked flag observed, then a positive resolve" is a true
+// violation, not an interleaving with a legitimate refill. The reader
+// loads the revoked/generation atomics BEFORE resolving; OnEvent sets
+// them AFTER the cache applied the event under its mutex, so the
+// happens-before chain makes the assertion sound.
+func TestConcurrentResolutionProperty(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runResolutionProperty(t, seed)
+		})
+	}
+}
+
+func runResolutionProperty(t *testing.T, seed int64) {
+	const (
+		liveAddrs    = 16
+		phantomAddrs = 4
+		readers      = 4
+		steps        = 400
+	)
+	clk := clock.NewManual(time.Unix(0, 0))
+	svc := lookup.New(lookup.WithClock(clk))
+	kp := signer(t)
+
+	addrs := make([]wire.Addr, liveAddrs)
+	index := make(map[wire.Addr]int, liveAddrs)
+	gens := make([]int64, liveAddrs)
+	for i := range addrs {
+		addrs[i] = testAddr(100 + i)
+		index[addrs[i]] = i
+		gens[i] = 1
+		register(t, svc, kp, addrs[i], 1)
+	}
+	phantoms := make([]wire.Addr, phantomAddrs)
+	for i := range phantoms {
+		phantoms[i] = testAddr(900 + i)
+	}
+
+	// revoked[i] and genFloor[i] are set from OnEvent, which fires after
+	// the cache applied the event; readers load them before resolving.
+	var revoked [liveAddrs]atomic.Bool
+	var genFloor [liveAddrs]atomic.Int64
+	c := New(Config{
+		Backend:     svc,
+		Clock:       clk,
+		Lease:       5 * time.Second,
+		WatchBuffer: 1024,
+		OnEvent: func(ev lookup.AddrEvent) {
+			if ev.Resync {
+				return
+			}
+			i, ok := index[ev.Addr]
+			if !ok {
+				return
+			}
+			if ev.Revoked {
+				revoked[i].Store(true)
+				return
+			}
+			g := genOf(ev.Rec)
+			for {
+				cur := genFloor[i].Load()
+				if g <= cur || genFloor[i].CompareAndSwap(cur, g) {
+					break
+				}
+			}
+		},
+	})
+	defer c.Close()
+
+	var stop atomic.Bool
+	var violation atomic.Pointer[string]
+	fail := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		violation.CompareAndSwap(nil, &msg)
+		stop.Store(true)
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*1000 + int64(r)))
+			for !stop.Load() {
+				if rng.Intn(8) == 0 {
+					// Phantoms must always come back unknown — whether
+					// answered by the negative cache or the backend.
+					p := phantoms[rng.Intn(len(phantoms))]
+					if rec, cached, negative := c.ResolveCached(p); cached && !negative {
+						fail("phantom %s resolved to %+v", p, rec)
+						return
+					}
+					if _, err := c.ResolveAddress(p); err != lookup.ErrUnknownAddress {
+						fail("phantom %s resolve err = %v", p, err)
+						return
+					}
+					continue
+				}
+				i := rng.Intn(liveAddrs)
+				// Load the flags BEFORE resolving: anything the cache
+				// serves afterwards must be at least this fresh.
+				wasRevoked := revoked[i].Load()
+				floor := genFloor[i].Load()
+				rec, cached, negative := c.ResolveCached(addrs[i])
+				if cached && !negative {
+					if wasRevoked {
+						fail("addr %s served after revocation (gen %d)", addrs[i], genOf(rec))
+						return
+					}
+					if g := genOf(rec); g < floor {
+						fail("addr %s served gen %d below floor %d", addrs[i], g, floor)
+						return
+					}
+				}
+				if !cached && !wasRevoked && rng.Intn(4) == 0 {
+					// Occasionally fill like the slow path would.
+					c.ResolveAsync(addrs[i], func(lookup.AddrRecord, error) {})
+				}
+			}
+		}(r)
+	}
+
+	// gone is the driver's own (synchronous) revocation record; the
+	// revoked[] atomics lag it by watch fan-out.
+	rng := rand.New(rand.NewSource(seed))
+	gone := make([]bool, liveAddrs)
+	liveCount := liveAddrs
+	for s := 0; s < steps && !stop.Load(); s++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // re-register a live address with the next generation
+			i := rng.Intn(liveAddrs)
+			if gone[i] {
+				continue
+			}
+			gens[i]++
+			register(t, svc, kp, addrs[i], gens[i])
+		case op < 7: // advance past lease boundaries to force expiry races
+			clk.Advance(2500 * time.Millisecond)
+		case op < 8: // terminal revocation, keeping at least half alive
+			if liveCount <= liveAddrs/2 {
+				continue
+			}
+			i := rng.Intn(liveAddrs)
+			if gone[i] {
+				continue
+			}
+			revoke(t, svc, kp, addrs[i])
+			gone[i] = true
+			liveCount--
+		default: // let the readers and watch goroutine interleave
+			time.Sleep(time.Millisecond)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if msg := violation.Load(); msg != nil {
+		t.Fatal(*msg)
+	}
+
+	// Quiescence: once the watch drains, every revoked address is gone
+	// and every live one resolves at its final generation.
+	for i, a := range addrs {
+		if gone[i] {
+			waitUntil(t, func() bool {
+				_, cached, _ := c.ResolveCached(a)
+				return !cached
+			})
+			continue
+		}
+		waitUntil(t, func() bool {
+			rec, err := c.ResolveAddress(a)
+			return err == nil && genOf(rec) == gens[i]
+		})
+	}
+}

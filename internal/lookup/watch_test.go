@@ -1,0 +1,188 @@
+package lookup
+
+import (
+	"testing"
+	"time"
+
+	"interedge/internal/wire"
+)
+
+func awaitAddrEvent(t *testing.T, ch <-chan AddrEvent) AddrEvent {
+	t.Helper()
+	select {
+	case ev := <-ch:
+		return ev
+	case <-time.After(2 * time.Second):
+		t.Fatal("no address event")
+		panic("unreachable")
+	}
+}
+
+func TestWatchAddressesDeliversUpdatesAndRevocations(t *testing.T) {
+	svc := New()
+	owner := signer(t)
+	ch, cancel := svc.WatchAddresses(8)
+	defer cancel()
+
+	addr := wire.MustAddr("fd00::10")
+	sns := []wire.Addr{wire.MustAddr("fc00::1")}
+	rec := AddrRecord{Addr: addr, Owner: owner.Public, SNs: sns}
+	if err := svc.RegisterAddress(rec, SignAddrRecord(owner, addr, sns)); err != nil {
+		t.Fatal(err)
+	}
+	ev := awaitAddrEvent(t, ch)
+	if ev.Addr != addr || ev.Revoked || ev.Resync {
+		t.Fatalf("unexpected event %+v", ev)
+	}
+	if len(ev.Rec.SNs) != 1 || ev.Rec.SNs[0] != sns[0] {
+		t.Fatalf("event record %+v lacks the registered SNs", ev.Rec)
+	}
+
+	if err := svc.UnregisterAddress(addr, SignAddrRevocation(owner, addr)); err != nil {
+		t.Fatal(err)
+	}
+	ev = awaitAddrEvent(t, ch)
+	if ev.Addr != addr || !ev.Revoked {
+		t.Fatalf("expected revocation event, got %+v", ev)
+	}
+	if _, err := svc.ResolveAddress(addr); err == nil {
+		t.Fatal("revoked address still resolves")
+	}
+}
+
+func TestUnregisterAddressRequiresOwnerSignature(t *testing.T) {
+	svc := New()
+	owner := signer(t)
+	mallory := signer(t)
+	addr := wire.MustAddr("fd00::11")
+	sns := []wire.Addr{wire.MustAddr("fc00::1")}
+	rec := AddrRecord{Addr: addr, Owner: owner.Public, SNs: sns}
+	if err := svc.RegisterAddress(rec, SignAddrRecord(owner, addr, sns)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.UnregisterAddress(addr, SignAddrRevocation(mallory, addr)); err == nil {
+		t.Fatal("revocation by a non-owner succeeded")
+	}
+	if _, err := svc.ResolveAddress(addr); err != nil {
+		t.Fatalf("record vanished after rejected revocation: %v", err)
+	}
+	if err := svc.UnregisterAddress(addr, SignAddrRevocation(owner, addr)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatchOverflowForcesResync: a watcher that stops draining loses
+// events — the service must not block the write path, must count the
+// drops, and once the watcher drains again the next deliverable event
+// must be a Resync ordering it to refetch everything.
+func TestWatchOverflowForcesResync(t *testing.T) {
+	svc := New()
+	owner := signer(t)
+	ch, cancel := svc.WatchAddresses(1)
+	defer cancel()
+
+	sns := []wire.Addr{wire.MustAddr("fc00::1")}
+	reg := func(s string) {
+		t.Helper()
+		addr := wire.MustAddr(s)
+		rec := AddrRecord{Addr: addr, Owner: owner.Public, SNs: sns}
+		if err := svc.RegisterAddress(rec, SignAddrRecord(owner, addr, sns)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First fills the buffer; the rest overflow without blocking.
+	reg("fd00::20")
+	reg("fd00::21")
+	reg("fd00::22")
+	if got := svc.watchDropped.Load(); got == 0 {
+		t.Fatal("overflowed watcher recorded no dropped events")
+	}
+
+	// Drain the buffered event, then trigger one more write: with the
+	// watcher marked overflowed, the deliverable event must be a resync.
+	ev := awaitAddrEvent(t, ch)
+	if ev.Resync {
+		t.Fatalf("first buffered event already a resync: %+v", ev)
+	}
+	reg("fd00::23")
+	ev = awaitAddrEvent(t, ch)
+	if !ev.Resync {
+		t.Fatalf("post-overflow event is not a resync: %+v", ev)
+	}
+	if got := svc.watchResyncs.Load(); got == 0 {
+		t.Fatal("resync delivery not counted")
+	}
+
+	// After the resync the watcher is whole again: further events arrive
+	// as themselves.
+	reg("fd00::24")
+	ev = awaitAddrEvent(t, ch)
+	if ev.Resync || ev.Addr != wire.MustAddr("fd00::24") {
+		t.Fatalf("post-resync event wrong: %+v", ev)
+	}
+}
+
+func TestRestoreRecordsBulkLoadsAndEmitsResync(t *testing.T) {
+	svc := New()
+	owner := signer(t)
+	ch, cancel := svc.WatchAddresses(4)
+	defer cancel()
+
+	recs := []AddrRecord{
+		{Addr: wire.MustAddr("fd00::30"), Owner: owner.Public, SNs: []wire.Addr{wire.MustAddr("fc00::1")}},
+		{Addr: wire.MustAddr("fd00::31"), Owner: owner.Public, SNs: []wire.Addr{wire.MustAddr("fc00::2")}},
+	}
+	svc.RestoreRecords(recs)
+	for _, r := range recs {
+		got, err := svc.ResolveAddress(r.Addr)
+		if err != nil {
+			t.Fatalf("restored %s does not resolve: %v", r.Addr, err)
+		}
+		if got.SNs[0] != r.SNs[0] {
+			t.Fatalf("restored %s has SNs %v", r.Addr, got.SNs)
+		}
+	}
+	ev := awaitAddrEvent(t, ch)
+	if !ev.Resync {
+		t.Fatalf("restore emitted %+v, want resync", ev)
+	}
+	// Restored records obey the same ownership rules as registered ones.
+	mallory := signer(t)
+	rec := AddrRecord{Addr: recs[0].Addr, Owner: mallory.Public, SNs: recs[0].SNs}
+	if err := svc.RegisterAddress(rec, SignAddrRecord(mallory, rec.Addr, rec.SNs)); err == nil {
+		t.Fatal("restored record hijacked by a different key")
+	}
+}
+
+// TestDeltaFoldPreservesRecords pushes past the delta-merge threshold and
+// checks every record (and tombstone) survives the fold into a fresh
+// base snapshot.
+func TestDeltaFoldPreservesRecords(t *testing.T) {
+	svc := New()
+	owner := signer(t)
+	sns := []wire.Addr{wire.MustAddr("fc00::1")}
+	addrs := make([]wire.Addr, 0, addrDeltaMerge+10)
+	for i := 0; i < addrDeltaMerge+10; i++ {
+		addrs = append(addrs, benchAddr(i))
+	}
+	for _, a := range addrs {
+		rec := AddrRecord{Addr: a, Owner: owner.Public, SNs: sns}
+		if err := svc.RegisterAddress(rec, SignAddrRecord(owner, a, sns)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if svc.deltaMerges.Load() == 0 {
+		t.Fatalf("no delta fold after %d registrations", len(addrs))
+	}
+	if err := svc.UnregisterAddress(addrs[0], SignAddrRevocation(owner, addrs[0])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ResolveAddress(addrs[0]); err == nil {
+		t.Fatal("tombstoned record resolves")
+	}
+	for _, a := range addrs[1:] {
+		if _, err := svc.ResolveAddress(a); err != nil {
+			t.Fatalf("record %s lost across fold: %v", a, err)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"interedge/internal/lookup"
 	"interedge/internal/sn"
@@ -67,19 +68,36 @@ type TransferRecord struct {
 	FeesOwed uint64
 }
 
+// routeView is the immutable routing state packet-path reads consult:
+// the gateway-pair table plus the direct-connect flag. Topology writes
+// republish it atomically (RCU), so NextHop and the gateway lookups are
+// lock-free on every SN while registrations serialize behind the write
+// mutex — the same snapshot-read contract as the lookup service.
+type routeView struct {
+	pairs map[pairKey]gatewayPair
+	// directConnect enables the §3.2 optimization: SNs may "establish,
+	// on demand, a connection directly to the destination's associated
+	// SN in another edomain" instead of routing via gateways.
+	directConnect bool
+}
+
 // Fabric is the global view of edomain peering used by SNs and services.
 // In a production deployment each edomain would hold its slice of this
 // state; the simulator shares one fabric the way it shares the substrate.
 type Fabric struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // serializes topology writes
 	edomains map[EdomainID]*edomainInfo
-	byAddr   map[wire.Addr]EdomainID
-	pairs    map[pairKey]gatewayPair
+
+	// byAddr maps every registered address to its edomain. Written only
+	// under mu; probed lock-free by EdomainOf on the packet path.
+	byAddr sync.Map // wire.Addr -> EdomainID
+	routes atomic.Pointer[routeView]
+
+	// The settlement ledger is write-heavy (one tally per transit
+	// packet on the slow path) and shares no state with routing, so it
+	// contends on its own lock.
+	ledgerMu sync.Mutex
 	ledger   map[pairKey]*ledgerEntry
-	// DirectConnect enables the §3.2 optimization: SNs may "establish, on
-	// demand, a connection directly to the destination's associated SN in
-	// another edomain" instead of routing via gateways.
-	directConnect bool
 }
 
 type ledgerEntry struct {
@@ -89,26 +107,39 @@ type ledgerEntry struct {
 
 // NewFabric creates an empty fabric.
 func NewFabric() *Fabric {
-	return &Fabric{
+	f := &Fabric{
 		edomains: make(map[EdomainID]*edomainInfo),
-		byAddr:   make(map[wire.Addr]EdomainID),
-		pairs:    make(map[pairKey]gatewayPair),
 		ledger:   make(map[pairKey]*ledgerEntry),
 	}
+	f.routes.Store(&routeView{pairs: make(map[pairKey]gatewayPair)})
+	return f
+}
+
+// publishRoutesLocked clones the current route view, applies mutate, and
+// swaps the result in. Caller holds mu.
+func (f *Fabric) publishRoutesLocked(mutate func(*routeView)) {
+	old := f.routes.Load()
+	next := &routeView{
+		pairs:         make(map[pairKey]gatewayPair, len(old.pairs)+1),
+		directConnect: old.directConnect,
+	}
+	for k, v := range old.pairs {
+		next.pairs[k] = v
+	}
+	mutate(next)
+	f.routes.Store(next)
 }
 
 // SetDirectConnect toggles the direct SN-to-SN optimization.
 func (f *Fabric) SetDirectConnect(on bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.directConnect = on
+	f.publishRoutesLocked(func(v *routeView) { v.directConnect = on })
 }
 
-// DirectConnect reports whether the optimization is enabled.
+// DirectConnect reports whether the optimization is enabled. Lock-free.
 func (f *Fabric) DirectConnect() bool {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.directConnect
+	return f.routes.Load().directConnect
 }
 
 // AddEdomain registers an edomain with its gateway SNs (which are also
@@ -125,7 +156,7 @@ func (f *Fabric) AddEdomain(id EdomainID, gateways ...wire.Addr) error {
 	info := &edomainInfo{id: id, gateways: append([]wire.Addr(nil), gateways...), sns: make(map[wire.Addr]struct{})}
 	for _, g := range gateways {
 		info.sns[g] = struct{}{}
-		f.byAddr[g] = id
+		f.byAddr.Store(g, id)
 	}
 	f.edomains[id] = info
 	return nil
@@ -141,16 +172,18 @@ func (f *Fabric) RegisterAddr(id EdomainID, addr wire.Addr) error {
 		return fmt.Errorf("peering: unknown edomain %s", id)
 	}
 	info.sns[addr] = struct{}{}
-	f.byAddr[addr] = id
+	f.byAddr.Store(addr, id)
 	return nil
 }
 
-// EdomainOf returns the edomain containing addr.
+// EdomainOf returns the edomain containing addr. Lock-free: it runs for
+// every transit packet that reaches a gateway's slow path.
 func (f *Fabric) EdomainOf(addr wire.Addr) (EdomainID, bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	id, ok := f.byAddr[addr]
-	return id, ok
+	v, ok := f.byAddr.Load(addr)
+	if !ok {
+		return "", false
+	}
+	return v.(EdomainID), true
 }
 
 // Edomains lists registered edomains.
@@ -166,11 +199,9 @@ func (f *Fabric) Edomains() []EdomainID {
 }
 
 // GatewayOf returns the designated gateway SN of fromEd for traffic toward
-// toEd.
+// toEd. Lock-free.
 func (f *Fabric) GatewayOf(fromEd, toEd EdomainID) (wire.Addr, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	pair, ok := f.pairs[mkPair(fromEd, toEd)]
+	pair, ok := f.routes.Load().pairs[mkPair(fromEd, toEd)]
 	if !ok {
 		return wire.Addr{}, fmt.Errorf("%w: %s<->%s", ErrNoGateway, fromEd, toEd)
 	}
@@ -179,10 +210,9 @@ func (f *Fabric) GatewayOf(fromEd, toEd EdomainID) (wire.Addr, error) {
 
 // RemoteGatewayOf returns the gateway SN on toEd's side of the
 // fromEd<->toEd pipe — the entry point for traffic fanned into toEd.
+// Lock-free.
 func (f *Fabric) RemoteGatewayOf(fromEd, toEd EdomainID) (wire.Addr, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	pair, ok := f.pairs[mkPair(fromEd, toEd)]
+	pair, ok := f.routes.Load().pairs[mkPair(fromEd, toEd)]
 	if !ok {
 		return wire.Addr{}, fmt.Errorf("%w: %s<->%s", ErrNoGateway, fromEd, toEd)
 	}
@@ -195,6 +225,7 @@ func (f *Fabric) RemoteGatewayOf(fromEd, toEd EdomainID) (wire.Addr, error) {
 // directly with all other edomains via an ILP connection", §3.2).
 func (f *Fabric) EstablishMesh(connect func(a, b wire.Addr) error) error {
 	f.mu.Lock()
+	existing := f.routes.Load().pairs
 	ids := make([]EdomainID, 0, len(f.edomains))
 	for id := range f.edomains {
 		ids = append(ids, id)
@@ -208,7 +239,7 @@ func (f *Fabric) EstablishMesh(connect func(a, b wire.Addr) error) error {
 	for i := 0; i < len(ids); i++ {
 		for j := i + 1; j < len(ids); j++ {
 			key := mkPair(ids[i], ids[j])
-			if _, done := f.pairs[key]; done {
+			if _, done := existing[key]; done {
 				continue
 			}
 			// Spread load across gateways deterministically.
@@ -225,10 +256,12 @@ func (f *Fabric) EstablishMesh(connect func(a, b wire.Addr) error) error {
 		if err := connect(jb.a, jb.b); err != nil {
 			return fmt.Errorf("peering: connect %s<->%s: %w", jb.a, jb.b, err)
 		}
+		edA, _ := f.EdomainOf(jb.a)
+		edB, _ := f.EdomainOf(jb.b)
 		f.mu.Lock()
-		edA := f.byAddr[jb.a]
-		edB := f.byAddr[jb.b]
-		f.pairs[jb.key] = gatewayPair{gw: map[EdomainID]wire.Addr{edA: jb.a, edB: jb.b}}
+		f.publishRoutesLocked(func(v *routeView) {
+			v.pairs[jb.key] = gatewayPair{gw: map[EdomainID]wire.Addr{edA: jb.a, edB: jb.b}}
+		})
 		f.mu.Unlock()
 	}
 	return nil
@@ -237,33 +270,34 @@ func (f *Fabric) EstablishMesh(connect func(a, b wire.Addr) error) error {
 // MeshComplete reports whether every edomain pair has a gateway pipe.
 func (f *Fabric) MeshComplete() bool {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	n := len(f.edomains)
-	return len(f.pairs) == n*(n-1)/2
+	f.mu.Unlock()
+	return len(f.routes.Load().pairs) == n*(n-1)/2
 }
 
 // NextHop computes where the SN at 'from' should send a transit packet
 // bound for finalDst: stay inside the edomain, hop to the local gateway,
-// cross the gateway pipe, or complete delivery.
+// cross the gateway pipe, or complete delivery. Lock-free: one route
+// snapshot plus two byAddr probes, so every gateway's slow path decides
+// without contending on fleet-shared state.
 func (f *Fabric) NextHop(from, finalDst wire.Addr) (wire.Addr, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	edFrom, ok := f.byAddr[from]
+	edFrom, ok := f.EdomainOf(from)
 	if !ok {
 		return wire.Addr{}, fmt.Errorf("%w: %s", ErrUnknownEdomain, from)
 	}
-	edDst, ok := f.byAddr[finalDst]
+	edDst, ok := f.EdomainOf(finalDst)
 	if !ok {
 		return wire.Addr{}, fmt.Errorf("%w: %s", ErrUnknownEdomain, finalDst)
 	}
 	if edFrom == edDst {
 		return finalDst, nil
 	}
-	if f.directConnect {
+	routes := f.routes.Load()
+	if routes.directConnect {
 		// §3.2 optimization: connect straight to the destination SN.
 		return finalDst, nil
 	}
-	pair, ok := f.pairs[mkPair(edFrom, edDst)]
+	pair, ok := routes.pairs[mkPair(edFrom, edDst)]
 	if !ok {
 		return wire.Addr{}, fmt.Errorf("%w: %s<->%s", ErrNoGateway, edFrom, edDst)
 	}
@@ -276,8 +310,8 @@ func (f *Fabric) NextHop(from, finalDst wire.Addr) (wire.Addr, error) {
 
 // RecordTransfer tallies transit traffic crossing between two edomains.
 func (f *Fabric) RecordTransfer(fromEd, toEd EdomainID, bytes int) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.ledgerMu.Lock()
+	defer f.ledgerMu.Unlock()
 	key := mkPair(fromEd, toEd)
 	e, ok := f.ledger[key]
 	if !ok {
@@ -291,8 +325,8 @@ func (f *Fabric) RecordTransfer(fromEd, toEd EdomainID, bytes int) {
 // Ledger reports per-direction transfer records. FeesOwed is zero on every
 // record: edomain peering is settlement-free by architecture (§5).
 func (f *Fabric) Ledger() []TransferRecord {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.ledgerMu.Lock()
+	defer f.ledgerMu.Unlock()
 	var out []TransferRecord
 	for key, e := range f.ledger {
 		for _, dir := range []struct{ from, to EdomainID }{{key.lo, key.hi}, {key.hi, key.lo}} {

@@ -15,22 +15,41 @@ import (
 	"fmt"
 
 	"interedge/internal/lookup"
+	"interedge/internal/lookup/rescache"
 	"interedge/internal/peering"
 	"interedge/internal/sn"
 	"interedge/internal/sn/cache"
 	"interedge/internal/wire"
 )
 
-// Module is the IP-like forwarding service.
-type Module struct {
-	global *lookup.Service
-	fabric *peering.Fabric
+// AsyncResolver is a resolver that can answer from cache and fill
+// asynchronously — *rescache.Cache. When the module's resolver
+// implements it, a cold resolution parks the packet and re-injects it
+// when the fill completes instead of blocking the slow-path dispatcher
+// on the directory.
+type AsyncResolver interface {
+	rescache.Resolver
+	ResolveCached(addr wire.Addr) (lookup.AddrRecord, bool, bool)
+	ResolveAsync(addr wire.Addr, cb func(lookup.AddrRecord, error)) bool
 }
 
-// New creates the forwarding module. fabric may be nil for single-edomain
+// Module is the IP-like forwarding service.
+type Module struct {
+	resolver rescache.Resolver
+	async    AsyncResolver // non-nil when resolver supports cached/async reads
+	fabric   *peering.Fabric
+}
+
+// New creates the forwarding module. resolver is typically the SN-tier
+// *rescache.Cache (enabling the non-blocking miss path) or the global
+// *lookup.Service directly. fabric may be nil for single-edomain
 // deployments.
-func New(global *lookup.Service, fabric *peering.Fabric) *Module {
-	return &Module{global: global, fabric: fabric}
+func New(resolver rescache.Resolver, fabric *peering.Fabric) *Module {
+	m := &Module{resolver: resolver, fabric: fabric}
+	if a, ok := resolver.(AsyncResolver); ok {
+		m.async = a
+	}
+	return m
 }
 
 // Service implements sn.Module.
@@ -67,9 +86,22 @@ func (m *Module) HandlePacket(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
 	local := env.LocalAddr()
 
 	// Destination directly attached here? (Its lookup record lists this SN.)
-	rec, err := m.global.ResolveAddress(dst)
-	if err != nil {
-		return sn.Decision{}, fmt.Errorf("ipfwd: resolve %s: %w", dst, err)
+	var rec lookup.AddrRecord
+	if m.async != nil {
+		var cached, negative bool
+		rec, cached, negative = m.async.ResolveCached(dst)
+		if negative {
+			return sn.Decision{}, fmt.Errorf("ipfwd: resolve %s: %w", dst, lookup.ErrUnknownAddress)
+		}
+		if !cached {
+			return m.fillAndRequeue(env, pkt, dst)
+		}
+	} else {
+		var err error
+		rec, err = m.resolver.ResolveAddress(dst)
+		if err != nil {
+			return sn.Decision{}, fmt.Errorf("ipfwd: resolve %s: %w", dst, err)
+		}
 	}
 	for _, snAddr := range rec.SNs {
 		if snAddr == local {
@@ -112,6 +144,26 @@ func (m *Module) HandlePacket(env sn.Env, pkt *sn.Packet) (sn.Decision, error) {
 	// completes last-hop delivery.
 	if err := peering.SendTransit(env, m.fabric, dstSN, pkt.Src, &pkt.Hdr, pkt.Payload); err != nil {
 		return sn.Decision{}, fmt.Errorf("ipfwd: transit: %w", err)
+	}
+	return sn.Decision{}, nil
+}
+
+// fillAndRequeue is the non-blocking cold-resolution path: park a copy
+// of the packet on an asynchronous cache fill and re-inject it into the
+// pipe-terminus when the record arrives. The slow-path dispatcher
+// returns immediately; a directory that is slow (or a destination that
+// does not exist) never stalls packets behind this one. A re-injected
+// packet re-enters this module and either decides from the now-warm
+// cache or surfaces the negative-cache error.
+func (m *Module) fillAndRequeue(env sn.Env, pkt *sn.Packet, dst wire.Addr) (sn.Decision, error) {
+	src := pkt.Src
+	hdr := pkt.Hdr
+	hdr.Data = append([]byte(nil), pkt.Hdr.Data...)
+	payload := append([]byte(nil), pkt.Payload...)
+	if !m.async.ResolveAsync(dst, func(lookup.AddrRecord, error) {
+		env.Inject(src, hdr, payload)
+	}) {
+		return sn.Decision{}, fmt.Errorf("ipfwd: resolution fill queue full for %s", dst)
 	}
 	return sn.Decision{}, nil
 }

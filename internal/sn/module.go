@@ -99,6 +99,13 @@ type Env interface {
 	// Send transmits an ILP packet to dst over an established pipe,
 	// establishing one first if needed.
 	Send(dst wire.Addr, hdr *wire.ILPHeader, payload []byte) error
+	// Inject re-enters a packet into the pipe-terminus as if it had
+	// just arrived from src — the asynchronous-requeue primitive: a
+	// module that parked a packet pending slow external work (e.g. a
+	// cold resolution fill) re-injects it once the result is in. Safe
+	// to call from any goroutine; hdr and payload must not alias
+	// runtime buffers the caller does not own.
+	Inject(src wire.Addr, hdr wire.ILPHeader, payload []byte)
 	// Connect ensures a pipe to dst exists.
 	Connect(dst wire.Addr) error
 	// PeerIdentity returns the verified identity of an established pipe

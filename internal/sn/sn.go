@@ -960,7 +960,10 @@ type snEnv struct {
 	service wire.ServiceID
 }
 
-func (e *snEnv) LocalAddr() wire.Addr                   { return e.sn.Addr() }
+func (e *snEnv) LocalAddr() wire.Addr { return e.sn.Addr() }
+func (e *snEnv) Inject(src wire.Addr, hdr wire.ILPHeader, payload []byte) {
+	e.sn.Inject(src, hdr, payload)
+}
 func (e *snEnv) Now() time.Time                         { return e.sn.cfg.Clock.Now() }
 func (e *snEnv) After(d time.Duration) <-chan time.Time { return e.sn.cfg.Clock.After(d) }
 func (e *snEnv) Connect(dst wire.Addr) error            { return e.sn.mgr.Connect(dst) }

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 
+	"interedge/internal/cryptutil"
+	"interedge/internal/lookup"
 	"interedge/internal/netsim"
 	"interedge/internal/telemetry"
 	"interedge/internal/wire"
@@ -120,5 +122,59 @@ func TestTraceHooks(t *testing.T) {
 	smp, ok := node.Telemetry().Snapshot().Get("sn_fastpath_service_ns")
 	if !ok || smp.Hist == nil || smp.Hist.Count < 1 {
 		t.Fatalf("sn_fastpath_service_ns = %+v, want >= 1 observation", smp)
+	}
+}
+
+// TestControlMetricsOpExposesLookupCounters: a lookup service whose
+// instruments are registered into a node's registry surfaces its
+// lookup_* counters through the same control-plane "metrics" op as the
+// node's own layers — the directory is scraped like any other subsystem.
+func TestControlMetricsOpExposesLookupCounters(t *testing.T) {
+	network := netsim.NewNetwork()
+	node := newTestSN(t, network, "fd00::5")
+	svc := lookup.New()
+	svc.RegisterTelemetry(node.Telemetry())
+	owner, err := cryptutil.NewSigningKeypair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := wire.MustAddr("fd00::a1")
+	sns := []wire.Addr{node.Addr()}
+	rec := lookup.AddrRecord{Addr: addr, Owner: owner.Public, SNs: sns}
+	if err := svc.RegisterAddress(rec, lookup.SignAddrRecord(owner, addr, sns)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ResolveAddress(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	cl := newClient(t, network, "fd00::1")
+	if err := cl.mgr.Connect(node.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := json.Marshal(ControlRequest{Target: wire.SvcNone, Op: "metrics"})
+	if err := cl.mgr.Send(node.Addr(), &wire.ILPHeader{Service: wire.SvcControl, Conn: 9}, req); err != nil {
+		t.Fatal(err)
+	}
+	got := cl.await(t)
+	var resp ControlResponse
+	if err := json.Unmarshal(got.payload, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("metrics op error: %s", resp.Error)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(resp.Data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if v := snap.Value("lookup_registrations_total"); v < 1 {
+		t.Errorf("lookup_registrations_total = %v, want >= 1", v)
+	}
+	if v := snap.Value("lookup_resolves_total"); v < 1 {
+		t.Errorf("lookup_resolves_total = %v, want >= 1", v)
+	}
+	if _, ok := snap.Get("lookup_records"); !ok {
+		t.Error("snapshot missing lookup_records gauge")
 	}
 }

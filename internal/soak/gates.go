@@ -90,7 +90,7 @@ func QuantileMaxNs(metric string, q float64, max time.Duration) Gate {
 		}
 		obs := float64(h.Quantile(q))
 		return GateResult{Name: name, Observed: obs, Bound: float64(max.Nanoseconds()), Cmp: "<=",
-			Ok: obs <= float64(max.Nanoseconds()),
+			Ok:     obs <= float64(max.Nanoseconds()),
 			Detail: fmt.Sprintf("count=%d sum=%s", h.Count, time.Duration(h.Sum))}
 	}}
 }
@@ -126,6 +126,38 @@ func RatioMax(num, den string, max float64) Gate {
 			return n, detail + " (zero denominator)"
 		}
 		return n / d, detail
+	})
+}
+
+// RatioMin requires sum(num)/sum(den) to reach min. A run where the
+// denominator stayed zero fails the gate: a ratio SLO on an unexercised
+// path is a broken scenario, not a pass.
+func RatioMin(num, den string, min float64) Gate {
+	name := fmt.Sprintf("ratio(%s/%s)", num, den)
+	return minGate(name, min, func(r *RunStats) (float64, string) {
+		n, d := r.Totals.Sum(num), r.Totals.Sum(den)
+		detail := fmt.Sprintf("%v/%v", n, d)
+		if d == 0 {
+			return 0, detail + " (denominator unexercised)"
+		}
+		return n / d, detail
+	})
+}
+
+// LookupHitRateMin gates the fleet-wide SN-tier resolution-cache hit
+// rate, hits/(hits+misses), at min. Structurally every miss triggers an
+// async fill whose requeued packet resolves again from the warm cache,
+// so a healthy hierarchy sits well above 0.5; watch-driven refreshes
+// under churn push it higher. A run that never touched the caches fails.
+func LookupHitRateMin(min float64) Gate {
+	return minGate("lookup_cache_hit_rate", min, func(r *RunStats) (float64, string) {
+		hits := r.Totals.Sum("lookup_cache_hits_total")
+		misses := r.Totals.Sum("lookup_cache_misses_total")
+		detail := fmt.Sprintf("%v hits, %v misses", hits, misses)
+		if hits+misses == 0 {
+			return 0, detail + " (caches unexercised)"
+		}
+		return hits / (hits + misses), detail
 	})
 }
 

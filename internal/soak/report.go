@@ -18,6 +18,9 @@ type Capacity struct {
 	Requeued      uint64  `json:"requeued"`
 	RequeueDrops  uint64  `json:"requeue_drops"`
 	Reestablished uint64  `json:"reestablished"`
+	LookupHits    uint64  `json:"lookup_hits,omitempty"`
+	LookupMisses  uint64  `json:"lookup_misses,omitempty"`
+	LookupHitRate float64 `json:"lookup_hit_rate,omitempty"`
 	SimPPS        float64 `json:"sim_pps"`
 	WallPPS       float64 `json:"wall_pps"`
 	FastpathP50Ns uint64  `json:"fastpath_p50_ns"`
@@ -71,6 +74,11 @@ func (rp *Report) AddRun(res *Result) {
 		Requeued:      uint64(st.Totals.Sum("sn_requeued_total")),
 		RequeueDrops:  uint64(st.Totals.Sum("sn_requeue_drops_total")),
 		Reestablished: uint64(st.Totals.Sum("pipe_reestablished_total")),
+		LookupHits:    uint64(st.Totals.Sum("lookup_cache_hits_total")),
+		LookupMisses:  uint64(st.Totals.Sum("lookup_cache_misses_total")),
+	}
+	if total := cap.LookupHits + cap.LookupMisses; total > 0 {
+		cap.LookupHitRate = float64(cap.LookupHits) / float64(total)
 	}
 	if st.SimSeconds > 0 {
 		cap.SimPPS = float64(cap.RxPackets) / st.SimSeconds

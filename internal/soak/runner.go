@@ -13,6 +13,7 @@ import (
 	"interedge/internal/edomain"
 	"interedge/internal/host"
 	"interedge/internal/lab"
+	"interedge/internal/lookup"
 	"interedge/internal/netsim"
 	"interedge/internal/services/echo"
 	"interedge/internal/services/ipfwd"
@@ -187,13 +188,21 @@ func runScenario(sc Scenario, seed int64, ro *runOpts) (*runOutcome, error) {
 	topo := lab.New(topoOpts...)
 	w.Topo = topo
 	defer topo.Close()
+	// The global lookup service's instruments go into the fabric registry:
+	// it is a singleton, and registering it per node would multiply its
+	// counts in the summed Totals the gates read.
+	topo.Global.RegisterTelemetry(fabricReg)
 
 	setup := func(node *sn.SN, ed *lab.Edomain) error {
 		if err := node.Register(echo.New(),
 			sn.WithWorkers(2), sn.WithQueueDepth(1024)); err != nil {
 			return err
 		}
-		if err := node.Register(ipfwd.New(topo.Global, topo.Fabric),
+		// Each node forwards through its own SN-tier resolution cache:
+		// cold resolutions become async fills with packet requeue, and
+		// address-record churn invalidates both the cache entry and the
+		// decision-cache rules toward the moved host.
+		if err := node.Register(ipfwd.New(topo.NewNodeResolver(ed, node), topo.Fabric),
 			sn.WithWorkers(2), sn.WithQueueDepth(1024)); err != nil {
 			return err
 		}
@@ -217,6 +226,11 @@ func runScenario(sc Scenario, seed int64, ro *runOpts) (*runOutcome, error) {
 	if err := topo.Mesh(); err != nil {
 		return nil, fmt.Errorf("soak: mesh: %w", err)
 	}
+	type churnTarget struct {
+		h        *host.Host
+		firstHop wire.Addr
+	}
+	var churnTargets []churnTarget
 	for e, ed := range w.Eds {
 		var hosts []*host.Host
 		for hIdx := 0; hIdx < sc.HostsPerEdomain; hIdx++ {
@@ -225,6 +239,7 @@ func runScenario(sc Scenario, seed int64, ro *runOpts) (*runOutcome, error) {
 				return nil, fmt.Errorf("soak: host %d/%d: %w", e, hIdx, err)
 			}
 			hosts = append(hosts, h)
+			churnTargets = append(churnTargets, churnTarget{h, ed.SNs[hIdx%sc.SNsPerEdomain].Addr()})
 		}
 		w.Hosts = append(w.Hosts, hosts)
 	}
@@ -264,8 +279,34 @@ func runScenario(sc Scenario, seed int64, ro *runOpts) (*runOutcome, error) {
 	ticks := int(sc.SimDuration / sc.Tick)
 	tickSec := sc.Tick.Seconds()
 	buf := make([]byte, payloadLen)
+	churnIdx := 0
+	nextChurn := time.Duration(-1)
+	if sc.Churn != nil {
+		nextChurn = sc.Churn.Start
+	}
 	for tick := 0; tick < ticks; tick++ {
-		rate := sc.rateAt(time.Duration(tick) * sc.Tick)
+		simT := time.Duration(tick) * sc.Tick
+		// Registration churn: one host re-signs and re-registers its
+		// address record per interval. The record is unchanged, but the
+		// write still publishes a fresh snapshot, fans out to every
+		// watching cache tier, and invalidates the decision-cache rules
+		// steering at the host.
+		for nextChurn >= 0 && simT >= nextChurn {
+			if simT >= sc.Churn.Start+sc.Churn.Dur {
+				nextChurn = -1
+				break
+			}
+			ct := churnTargets[churnIdx%len(churnTargets)]
+			churnIdx++
+			sns := []wire.Addr{ct.firstHop}
+			rec := lookup.AddrRecord{Addr: ct.h.Addr(), Owner: ct.h.Identity().PublicKey(), SNs: sns}
+			sig := lookup.SignAddrRecord(ct.h.Identity().Signing, ct.h.Addr(), sns)
+			if err := topo.Global.RegisterAddress(rec, sig); err != nil {
+				return nil, fmt.Errorf("soak: churn re-registration: %w", err)
+			}
+			nextChurn += sc.Churn.Interval
+		}
+		rate := sc.rateAt(simT)
 		offered := 0
 		for _, f := range flows {
 			var r float64

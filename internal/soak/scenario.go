@@ -63,6 +63,19 @@ type FlakySpec struct {
 	BreakerCooldown  time.Duration
 }
 
+// ChurnSpec drives registration churn against the global lookup service:
+// starting at Start and for Dur of simulated time, every Interval one
+// host (round-robin) re-signs and re-registers its address record. Each
+// re-registration fans out through the address watches, refreshes the
+// SN-tier resolution caches, and invalidates the decision-cache rules
+// steering traffic at the host — so the scenario exercises the whole
+// resolution cache hierarchy under load, not just the first-packet fill.
+type ChurnSpec struct {
+	Start    time.Duration
+	Dur      time.Duration
+	Interval time.Duration
+}
+
 // Scenario is one declarative soak: a topology, a load schedule, a fault
 // schedule, and the SLO gates the resulting telemetry must satisfy.
 type Scenario struct {
@@ -97,6 +110,10 @@ type Scenario struct {
 
 	// Flaky, if non-nil, provokes breaker storms (see FlakySpec).
 	Flaky *FlakySpec
+
+	// Churn, if non-nil, re-registers host address records on a schedule
+	// (see ChurnSpec).
+	Churn *ChurnSpec
 
 	// DefaultFaults applies a baseline fault profile to every link.
 	DefaultFaults netsim.FaultProfile

@@ -52,10 +52,22 @@ func SteadyDiurnal() Scenario {
 		},
 		CrossPPS:      2,
 		DefaultFaults: mildFaults,
+		// Registration churn through the midday plateau: one host
+		// re-registers every 20s of simulated time for 30 minutes,
+		// exercising watch fan-out, cache refresh, and decision-cache
+		// invalidation while the load curve is at its peak.
+		Churn: &ChurnSpec{
+			Start:    15 * time.Minute,
+			Dur:      30 * time.Minute,
+			Interval: 20 * time.Second,
+		},
 		Gates: append(BaselineGates(),
 			DeliveryRatioMin(0.97),
 			CounterMin("sn_fastpath_hits_total", 5000),
 			CounterMin("sn_forwarded_total", 5000),
+			LookupHitRateMin(0.5),
+			CounterMin("lookup_cache_hits_total", 50),
+			CounterMin("lookup_registrations_total", 50),
 		),
 	}
 }

@@ -102,10 +102,10 @@ func TestRateAt(t *testing.T) {
 	}{
 		{0, 0},
 		{5 * time.Second, 5},
-		{10 * time.Second, 4},  // burst phase, inside On window
-		{13 * time.Second, 0},  // inside Off window
-		{15 * time.Second, 4},  // next duty cycle's On window
-		{25 * time.Second, 5},  // schedule repeats
+		{10 * time.Second, 4}, // burst phase, inside On window
+		{13 * time.Second, 0}, // inside Off window
+		{15 * time.Second, 4}, // next duty cycle's On window
+		{25 * time.Second, 5}, // schedule repeats
 	}
 	for _, c := range cases {
 		if got := sc.rateAt(c.at); got != c.want {

@@ -134,6 +134,63 @@ func (c *Counter) Sample() Sample {
 	return Sample{Name: c.name, Kind: KindCounter, Value: float64(c.v.Load())}
 }
 
+// --- StripedCounter ----------------------------------------------------------
+
+// stripedCell pads each counter cell to its own cache line so stripes
+// written from different cores never false-share.
+type stripedCell struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// StripedCounter is a monotonic counter sharded across padded cells.
+// Hot paths that increment one logical counter from many cores at once
+// (e.g. per-resolve accounting in the lookup read path) pick a stripe —
+// typically derived from the key they are working on — so concurrent
+// increments land on different cache lines instead of contending on a
+// single atomic. Sample and Load sum the cells.
+type StripedCounter struct {
+	name  string
+	cells []stripedCell
+	mask  int
+}
+
+// NewStripedCounter creates a standalone striped counter. stripes is
+// rounded up to the next power of two (minimum 1) so stripe selection
+// is a mask, not a modulo.
+func NewStripedCounter(name string, stripes int) *StripedCounter {
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	return &StripedCounter{name: name, cells: make([]stripedCell, n), mask: n - 1}
+}
+
+// Add increments the counter by n on the given stripe (reduced by mask,
+// so any int is a valid stripe).
+func (c *StripedCounter) Add(stripe int, n uint64) { c.cells[stripe&c.mask].v.Add(n) }
+
+// Inc increments the counter by one on the given stripe.
+func (c *StripedCounter) Inc(stripe int) { c.cells[stripe&c.mask].v.Add(1) }
+
+// Load sums the stripes. Each cell is read atomically; the sum is
+// monotonic across calls because every cell is.
+func (c *StripedCounter) Load() uint64 {
+	var total uint64
+	for i := range c.cells {
+		total += c.cells[i].v.Load()
+	}
+	return total
+}
+
+// InstrumentName implements Instrument.
+func (c *StripedCounter) InstrumentName() string { return c.name }
+
+// Sample implements Instrument (per-cell atomic reads, summed).
+func (c *StripedCounter) Sample() Sample {
+	return Sample{Name: c.name, Kind: KindCounter, Value: float64(c.Load())}
+}
+
 // --- Gauge -------------------------------------------------------------------
 
 // Gauge is an instantaneous value that may go up or down.

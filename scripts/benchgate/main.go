@@ -1,5 +1,8 @@
-// Command benchgate enforces the fast-path performance invariants on a
-// BENCH_*.json artifact (as written by scripts/benchjson):
+// Command benchgate enforces performance invariants on a BENCH_*.json
+// artifact (as written by scripts/benchjson). It recognizes two suites by
+// the benchmarks present in the artifact and applies the matching gates:
+//
+// Fast-path suite (Figure2_FullFastPath benchmarks, BENCH_6.json):
 //
 //   - the batched parallel fast path must not be slower than the
 //     per-packet single-worker fast path. The seed repo shipped with that
@@ -19,7 +22,22 @@
 //     count means someone put an allocation — telemetry included — back on
 //     the per-packet path.
 //
-// Usage: go run ./scripts/benchgate BENCH_6.json
+// Lookup suite (LookupResolve benchmarks, BENCH_8.json):
+//
+//   - LookupResolve and LookupResolveParallel must report 0 allocs/op:
+//     resolution against the RCU snapshot is a pointer load plus map
+//     probes and must stay allocation-free at 10^6 records;
+//   - absolute ceiling: LookupResolve must stay under lookupCeilingNs per
+//     op at 10^6 records (measured ~530 ns/op on the reference machine;
+//     the ceiling leaves headroom for noise but catches an accidental
+//     return to lock-guarded or copying reads);
+//   - contention: LookupResolveParallel ns/op must stay within
+//     lookupParallelSlack of the single-thread number. Snapshot reads
+//     share no lock, so parallel throughput must meet single-thread
+//     throughput (and exceed it on multicore machines); a mutex on the
+//     read path shows up here first.
+//
+// Usage: go run ./scripts/benchgate <BENCH_*.json>
 package main
 
 import (
@@ -39,10 +57,109 @@ const parallelCeilingNs = 1800.0
 // per-packet single-worker path.
 const parallelRatchet = 0.85
 
+// lookupCeilingNs is the absolute per-op budget for LookupResolve at 10^6
+// records (~530 ns/op measured, ~2.8x headroom).
+const lookupCeilingNs = 1500.0
+
+// lookupParallelSlack bounds LookupResolveParallel relative to
+// LookupResolve. On a single-core runner the two are equal modulo noise;
+// on multicore, lock-free reads come in well under 1.0x. A read path
+// that reacquired a lock would blow through this on any parallel machine.
+const lookupParallelSlack = 1.15
+
 type result struct {
 	Name    string             `json:"name"`
 	NsPerOp float64            `json:"ns_per_op"`
 	Metrics map[string]float64 `json:"metrics"`
+}
+
+type artifact struct {
+	path    string
+	results []result
+}
+
+// find locates a benchmark by base name, tolerating the -GOMAXPROCS
+// suffix go test appends depending on how the artifact was produced.
+func (a *artifact) find(bench string) *result {
+	for i := range a.results {
+		name := a.results[i].Name
+		if j := strings.LastIndex(name, "-"); j > 0 {
+			if base := name[:j]; strings.HasSuffix(base, bench) {
+				name = base
+			}
+		}
+		if strings.HasSuffix(name, bench) {
+			return &a.results[i]
+		}
+	}
+	return nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: FAIL — "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// gateAllocs enforces 0 allocs/op on the named benchmarks, skipping
+// (with a note) artifacts produced without -benchmem.
+func gateAllocs(a *artifact, what string, benches ...string) {
+	for _, bench := range benches {
+		r := a.find(bench)
+		allocs, ok := r.Metrics["allocs/op"]
+		if !ok {
+			fmt.Printf("benchgate: %s has no allocs/op (artifact built without -benchmem); skipping alloc gate\n", bench)
+			continue
+		}
+		fmt.Printf("benchgate: %s allocs/op=%g\n", bench, allocs)
+		if allocs > 0 {
+			fail("%s allocates %g/op; %s must stay allocation-free", bench, allocs, what)
+		}
+	}
+}
+
+func gateFastPath(a *artifact) {
+	single := a.find("Figure2_FullFastPath")
+	parallel := a.find("Figure2_FullFastPathParallel")
+	if single.Metrics["pps"] == 0 || parallel.Metrics["pps"] == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: missing full-fast-path pps metrics in %s\n", a.path)
+		os.Exit(2)
+	}
+	fmt.Printf("benchgate: single=%.0f pps (%.0f ns/op), parallel=%.0f pps (%.0f ns/op, %.2fx)\n",
+		single.Metrics["pps"], single.NsPerOp, parallel.Metrics["pps"], parallel.NsPerOp,
+		parallel.Metrics["pps"]/single.Metrics["pps"])
+	if parallel.Metrics["pps"] < single.Metrics["pps"] {
+		fail("parallel fast path (%.0f pps) is slower than single (%.0f pps); egress batching regressed",
+			parallel.Metrics["pps"], single.Metrics["pps"])
+	}
+	if single.NsPerOp > 0 && parallel.NsPerOp > parallelRatchet*single.NsPerOp {
+		fail("parallel %.0f ns/op exceeds %.2fx of single %.0f ns/op; the batch pipeline stopped amortizing",
+			parallel.NsPerOp, parallelRatchet, single.NsPerOp)
+	}
+	if parallel.NsPerOp > parallelCeilingNs {
+		fail("parallel %.0f ns/op exceeds the %.0f ns/op ceiling (BENCH_6 ratchet)",
+			parallel.NsPerOp, parallelCeilingNs)
+	}
+	gateAllocs(a, "the fast path", "Figure2_FullFastPath", "Figure2_FullFastPathParallel")
+}
+
+func gateLookup(a *artifact) {
+	single := a.find("LookupResolve")
+	parallel := a.find("LookupResolveParallel")
+	fmt.Printf("benchgate: resolve=%.0f ns/op, parallel=%.0f ns/op (%.2fx)\n",
+		single.NsPerOp, parallel.NsPerOp, parallel.NsPerOp/single.NsPerOp)
+	if churn := a.find("LookupChurn"); churn != nil {
+		fmt.Printf("benchgate: churn resolve=%.0f ns/op (%.0f registrations/s in background)\n",
+			churn.NsPerOp, churn.Metrics["churn/s"])
+	}
+	if single.NsPerOp > lookupCeilingNs {
+		fail("LookupResolve %.0f ns/op exceeds the %.0f ns/op ceiling at 10^6 records; reads left the snapshot path",
+			single.NsPerOp, lookupCeilingNs)
+	}
+	if parallel.NsPerOp > lookupParallelSlack*single.NsPerOp {
+		fail("LookupResolveParallel %.0f ns/op exceeds %.2fx of single-thread %.0f ns/op; concurrent resolution is contending",
+			parallel.NsPerOp, lookupParallelSlack, single.NsPerOp)
+	}
+	gateAllocs(a, "snapshot resolution", "LookupResolve", "LookupResolveParallel")
 }
 
 func main() {
@@ -55,64 +172,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	var results []result
-	if err := json.Unmarshal(data, &results); err != nil {
+	a := &artifact{path: os.Args[1]}
+	if err := json.Unmarshal(data, &a.results); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	find := func(bench string) *result {
-		for i := range results {
-			// Bench names may carry a -GOMAXPROCS suffix depending on how
-			// the artifact was produced; match on the base name.
-			name := results[i].Name
-			if j := strings.LastIndex(name, "-"); j > 0 {
-				if base := name[:j]; strings.HasSuffix(base, bench) {
-					name = base
-				}
-			}
-			if strings.HasSuffix(name, bench) {
-				return &results[i]
-			}
-		}
-		return nil
-	}
-	single := find("Figure2_FullFastPath")
-	parallel := find("Figure2_FullFastPathParallel")
-	if single == nil || parallel == nil || single.Metrics["pps"] == 0 || parallel.Metrics["pps"] == 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: missing full-fast-path results in %s\n", os.Args[1])
+	switch {
+	case a.find("Figure2_FullFastPath") != nil && a.find("Figure2_FullFastPathParallel") != nil:
+		gateFastPath(a)
+	case a.find("LookupResolve") != nil && a.find("LookupResolveParallel") != nil:
+		gateLookup(a)
+	default:
+		fmt.Fprintf(os.Stderr, "benchgate: %s contains no recognized benchmark suite\n", a.path)
 		os.Exit(2)
-	}
-	fmt.Printf("benchgate: single=%.0f pps (%.0f ns/op), parallel=%.0f pps (%.0f ns/op, %.2fx)\n",
-		single.Metrics["pps"], single.NsPerOp, parallel.Metrics["pps"], parallel.NsPerOp,
-		parallel.Metrics["pps"]/single.Metrics["pps"])
-	if parallel.Metrics["pps"] < single.Metrics["pps"] {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL — parallel fast path (%.0f pps) is slower than single (%.0f pps); egress batching regressed\n",
-			parallel.Metrics["pps"], single.Metrics["pps"])
-		os.Exit(1)
-	}
-	if single.NsPerOp > 0 && parallel.NsPerOp > parallelRatchet*single.NsPerOp {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL — parallel %.0f ns/op exceeds %.2fx of single %.0f ns/op; the batch pipeline stopped amortizing\n",
-			parallel.NsPerOp, parallelRatchet, single.NsPerOp)
-		os.Exit(1)
-	}
-	if parallel.NsPerOp > parallelCeilingNs {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL — parallel %.0f ns/op exceeds the %.0f ns/op ceiling (BENCH_6 ratchet)\n",
-			parallel.NsPerOp, parallelCeilingNs)
-		os.Exit(1)
-	}
-	for _, bench := range []string{"Figure2_FullFastPath", "Figure2_FullFastPathParallel"} {
-		r := find(bench)
-		allocs, ok := r.Metrics["allocs/op"]
-		if !ok {
-			fmt.Printf("benchgate: %s has no allocs/op (artifact built without -benchmem); skipping alloc gate\n", bench)
-			continue
-		}
-		fmt.Printf("benchgate: %s allocs/op=%g\n", bench, allocs)
-		if allocs > 0 {
-			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s allocates %g/op; the fast path must stay allocation-free\n",
-				bench, allocs)
-			os.Exit(1)
-		}
 	}
 	fmt.Println("benchgate: OK")
 }

@@ -75,28 +75,45 @@ run "fuzz smoke: wire datagram decode" \
 	go test -run '^$' -fuzz 'FuzzDatagramDecode' -fuzztime 5s ./internal/wire/
 run "fuzz smoke: PSP open" \
 	go test -run '^$' -fuzz 'FuzzPSPOpen' -fuzztime 5s ./internal/psp/
+run "fuzz smoke: signed address-record registration" \
+	go test -run '^$' -fuzz 'FuzzAddrRecordRegistration' -fuzztime 5s ./internal/lookup/
 
-# Benchmark output goes through a temp file, not a pipeline: a pipeline's
-# exit status is its last command's, which would swallow a bench failure.
-echo "==> benchmark smoke run (Figure 2 pipeline)"
-BENCH_TMP="$(mktemp)"
-if go test -run '^$' -bench Figure2 -benchtime 20000x -benchmem . >"$BENCH_TMP"; then
-	if BENCHJSON_OUT=BENCH_6.json go run ./scripts/benchjson <"$BENCH_TMP"; then
-		echo "==> wrote BENCH_6.json"
-		run "benchmark gate (batch pipeline ratchet; fast path stays zero-alloc)" \
-			go run ./scripts/benchgate BENCH_6.json
+run "rescache interleaving property suite (race-detected, fixed seeds)" \
+	go test -race -count=1 -timeout 180s ./internal/lookup/rescache/
+
+# bench_suite <label> <out.json> <pkg> <bench-regex>: run one benchmark
+# suite, convert to a JSON artifact, and gate it. Benchmark output goes
+# through a temp file, not a pipeline: a pipeline's exit status is its
+# last command's, which would swallow a bench failure.
+bench_suite() {
+	bs_label="$1"
+	bs_out="$2"
+	bs_pkg="$3"
+	bs_regex="$4"
+	echo "==> benchmark smoke run ($bs_label)"
+	BENCH_TMP="$(mktemp)"
+	if go test -run '^$' -bench "$bs_regex" -benchtime 20000x -benchmem "$bs_pkg" >"$BENCH_TMP"; then
+		if BENCHJSON_OUT="$bs_out" go run ./scripts/benchjson <"$BENCH_TMP"; then
+			echo "==> wrote $bs_out"
+			run "benchmark gate ($bs_label)" \
+				go run ./scripts/benchgate "$bs_out"
+		else
+			FAILURES=$((FAILURES + 1))
+			FAILED_SUITES="$FAILED_SUITES
+  FAIL: benchjson conversion ($bs_out)"
+		fi
 	else
 		FAILURES=$((FAILURES + 1))
 		FAILED_SUITES="$FAILED_SUITES
-  FAIL: benchjson conversion"
+  FAIL: benchmark smoke run ($bs_label)"
+		cat "$BENCH_TMP"
 	fi
-else
-	FAILURES=$((FAILURES + 1))
-	FAILED_SUITES="$FAILED_SUITES
-  FAIL: benchmark smoke run"
-	cat "$BENCH_TMP"
-fi
-rm -f "$BENCH_TMP"
+	rm -f "$BENCH_TMP"
+}
+
+bench_suite "Figure 2 pipeline" BENCH_6.json . Figure2
+bench_suite "planet-scale lookup read path" BENCH_8.json ./internal/lookup/ \
+	'BenchmarkLookupResolve|BenchmarkLookupChurn|BenchmarkWatchFanout'
 
 if [ "$FAILURES" -ne 0 ]; then
 	echo ""
