@@ -59,17 +59,20 @@ type Core struct {
 	sns      map[wire.Addr]struct{}
 	groups   map[GroupID]*coreGroup
 	resolver *rescache.Cache
+	ringst   ringState
 }
 
 // New creates a core for the given edomain backed by the global lookup
 // service.
 func New(id ID, global *lookup.Service) *Core {
-	return &Core{
+	c := &Core{
 		id:     id,
 		global: global,
 		sns:    make(map[wire.Addr]struct{}),
 		groups: make(map[GroupID]*coreGroup),
 	}
+	c.ringst.init()
+	return c
 }
 
 // ID returns the edomain's identifier.
@@ -131,11 +134,21 @@ func (c *Core) Close() {
 	}
 }
 
-// RegisterSN adds an SN to the edomain.
+// RegisterSN adds an SN to the edomain, active for placement.
 func (c *Core) RegisterSN(addr wire.Addr) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if _, ok := c.sns[addr]; ok {
+		c.mu.Unlock()
+		return
+	}
 	c.sns[addr] = struct{}{}
+	// setSNState no-ops on same-state transitions, and a fresh map entry
+	// already reads as SNActive; seed it as Down first so registration is
+	// always a real Down→Active ring change.
+	c.ringst.states[addr] = SNDown
+	ev, watchers := c.setSNState(addr, SNActive)
+	c.mu.Unlock()
+	notifyRing(watchers, ev)
 }
 
 // SNs returns the edomain's registered SNs.
@@ -470,9 +483,18 @@ func (c *Core) Restore(data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sns = make(map[wire.Addr]struct{})
+	c.ringst.states = make(map[wire.Addr]SNState)
+	active := make([]wire.Addr, 0, len(snap.SNs))
 	for _, s := range snap.SNs {
-		c.sns[wire.MustAddr(s)] = struct{}{}
+		a := wire.MustAddr(s)
+		c.sns[a] = struct{}{}
+		c.ringst.states[a] = SNActive
+		active = append(active, a)
 	}
+	sort.Slice(active, func(i, j int) bool { return active[i].Less(active[j]) })
+	c.ringst.ring.Store(buildRing(active))
+	c.ringst.gen.Add(1)
+	c.ringst.changes.Add(1)
 	c.groups = make(map[GroupID]*coreGroup)
 	for g, sg := range snap.Groups {
 		cg := c.group(g)

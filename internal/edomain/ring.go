@@ -1,0 +1,285 @@
+package edomain
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"interedge/internal/wire"
+)
+
+// SNState tracks one SN's availability for host placement.
+type SNState int
+
+const (
+	// SNActive SNs take placements.
+	SNActive SNState = iota
+	// SNDraining SNs keep serving established pipes while their state
+	// migrates, but receive no new placements.
+	SNDraining
+	// SNDown SNs are out of rotation entirely: drained out, or declared
+	// dead by dead-peer detection.
+	SNDown
+)
+
+// String renders the state for logs.
+func (s SNState) String() string {
+	switch s {
+	case SNActive:
+		return "active"
+	case SNDraining:
+		return "draining"
+	case SNDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// RingEvent announces one placement-ring change. Gen is the ring
+// generation after the change; SN and State describe what moved.
+type RingEvent struct {
+	Gen   uint64
+	SN    wire.Addr
+	State SNState
+}
+
+// ringVNodes is the number of virtual nodes each SN contributes to the
+// consistent-hash ring. 64 keeps the per-SN load spread within a few
+// percent at fleet sizes the lab runs while the ring stays tiny.
+const ringVNodes = 64
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash uint64
+	sn   wire.Addr
+}
+
+// hashRing is an immutable consistent-hash ring over active SNs. Readers
+// get it via an atomic pointer and never lock.
+type hashRing struct {
+	points []ringPoint
+}
+
+// addrHash is FNV-1a over the 16-byte address form plus a salt byte
+// sequence, the same hash family the RX-worker/cache sharding uses
+// (wire.ShardIndex), so placement is deterministic across processes.
+func addrHash(a wire.Addr, salt uint32) uint64 {
+	const (
+		offset = uint64(14695981039346656037)
+		prime  = uint64(1099511628211)
+	)
+	h := offset
+	b := a.As16()
+	for _, c := range b {
+		h = (h ^ uint64(c)) * prime
+	}
+	for i := 0; i < 4; i++ {
+		h = (h ^ uint64(byte(salt>>(8*i)))) * prime
+	}
+	// Finalize with a murmur3-style avalanche: raw FNV of near-identical
+	// addresses (cluster addressing plans differ in a byte or two) yields
+	// hash points in arithmetic progression, which collapses the ring into
+	// structured arcs and hot-spots one SN.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+func buildRing(sns []wire.Addr) *hashRing {
+	r := &hashRing{points: make([]ringPoint, 0, len(sns)*ringVNodes)}
+	for _, sn := range sns {
+		for v := 0; v < ringVNodes; v++ {
+			r.points = append(r.points, ringPoint{hash: addrHash(sn, uint32(v)), sn: sn})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].sn.Less(r.points[j].sn)
+	})
+	return r
+}
+
+// owner returns the SN owning key on the circle: the first point clockwise
+// from the key's hash.
+func (r *hashRing) owner(key wire.Addr) (wire.Addr, bool) {
+	if len(r.points) == 0 {
+		return wire.Addr{}, false
+	}
+	h := addrHash(key, 0)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].sn, true
+}
+
+// ringState is the Core's placement machinery, embedded behind Core.mu for
+// writes with lock-free reads through the atomic ring pointer.
+type ringState struct {
+	ring     atomic.Pointer[hashRing]
+	gen      atomic.Uint64
+	changes  atomic.Uint64
+	states   map[wire.Addr]SNState
+	watchers map[int]chan RingEvent
+	nextW    int
+}
+
+func (rs *ringState) init() {
+	rs.states = make(map[wire.Addr]SNState)
+	rs.watchers = make(map[int]chan RingEvent)
+	rs.ring.Store(buildRing(nil))
+}
+
+// PlaceHost returns the SN that should serve host under the current ring.
+// Lock-free; safe from packet paths. ok is false when the edomain has no
+// active SN.
+func (c *Core) PlaceHost(host wire.Addr) (wire.Addr, bool) {
+	return c.ringst.ring.Load().owner(host)
+}
+
+// RingGen returns the current placement-ring generation. It advances on
+// every membership or state change.
+func (c *Core) RingGen() uint64 { return c.ringst.gen.Load() }
+
+// RingChanges returns the number of ring changes since the core was
+// created (the edomain_ring_changes_total telemetry source).
+func (c *Core) RingChanges() uint64 { return c.ringst.changes.Load() }
+
+// SNStateOf reports an SN's placement state. Unregistered SNs report
+// SNDown.
+func (c *Core) SNStateOf(sn wire.Addr) SNState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.sns[sn]; !ok {
+		return SNDown
+	}
+	return c.ringst.states[sn]
+}
+
+// ActiveSNs returns the SNs currently taking placements, sorted.
+func (c *Core) ActiveSNs() []wire.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]wire.Addr, 0, len(c.sns))
+	for a := range c.sns {
+		if c.ringst.states[a] == SNActive {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// WatchRing returns the current generation and a channel of subsequent
+// ring changes. Events are delivered best-effort (a slow watcher loses
+// events, not correctness: consumers re-place against the current ring,
+// not against the event payload). cancel releases the watch.
+func (c *Core) WatchRing() (uint64, <-chan RingEvent, func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.ringst.nextW
+	c.ringst.nextW++
+	ch := make(chan RingEvent, 64)
+	c.ringst.watchers[id] = ch
+	cancel := func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if w, ok := c.ringst.watchers[id]; ok {
+			delete(c.ringst.watchers, id)
+			close(w)
+		}
+	}
+	return c.ringst.gen.Load(), ch, cancel
+}
+
+// setSNState transitions an SN and rebuilds the ring if placement
+// changed. Must be called with c.mu held; returns the watchers to notify
+// (nil when the transition was a no-op).
+func (c *Core) setSNState(sn wire.Addr, st SNState) (RingEvent, []chan RingEvent) {
+	if _, ok := c.sns[sn]; !ok {
+		return RingEvent{}, nil
+	}
+	if c.ringst.states[sn] == st {
+		return RingEvent{}, nil
+	}
+	c.ringst.states[sn] = st
+	var active []wire.Addr
+	for a := range c.sns {
+		if c.ringst.states[a] == SNActive {
+			active = append(active, a)
+		}
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i].Less(active[j]) })
+	c.ringst.ring.Store(buildRing(active))
+	gen := c.ringst.gen.Add(1)
+	c.ringst.changes.Add(1)
+	ev := RingEvent{Gen: gen, SN: sn, State: st}
+	watchers := make([]chan RingEvent, 0, len(c.ringst.watchers))
+	for _, w := range c.ringst.watchers {
+		watchers = append(watchers, w)
+	}
+	return ev, watchers
+}
+
+func notifyRing(watchers []chan RingEvent, ev RingEvent) {
+	for _, w := range watchers {
+		select {
+		case w <- ev:
+		default:
+		}
+	}
+}
+
+// BeginDrain takes an SN out of placement while it keeps serving: new
+// hosts go elsewhere, established pipes migrate via handoff.
+func (c *Core) BeginDrain(sn wire.Addr) error {
+	c.mu.Lock()
+	if _, ok := c.sns[sn]; !ok {
+		c.mu.Unlock()
+		return ErrUnknownSN
+	}
+	ev, watchers := c.setSNState(sn, SNDraining)
+	c.mu.Unlock()
+	notifyRing(watchers, ev)
+	return nil
+}
+
+// FinishDrain marks a drain complete: the SN is fully out of rotation
+// (SNDown) until ReactivateSN. Draining→Down does not change placement
+// (the SN already took none), but watchers still see the transition so
+// controllers can hand remaining state off.
+func (c *Core) FinishDrain(sn wire.Addr) {
+	c.mu.Lock()
+	ev, watchers := c.setSNState(sn, SNDown)
+	c.mu.Unlock()
+	notifyRing(watchers, ev)
+}
+
+// ReportSNDown records an unannounced SN death as a ring change: dead-peer
+// detection at a sibling feeds this, re-placement follows from the ring
+// event exactly as for a drain — except the pipes are gone, so successors
+// are reached by full re-establishment.
+func (c *Core) ReportSNDown(sn wire.Addr) {
+	c.mu.Lock()
+	ev, watchers := c.setSNState(sn, SNDown)
+	c.mu.Unlock()
+	notifyRing(watchers, ev)
+}
+
+// ReactivateSN returns a drained or recovered SN to placement.
+func (c *Core) ReactivateSN(sn wire.Addr) error {
+	c.mu.Lock()
+	if _, ok := c.sns[sn]; !ok {
+		c.mu.Unlock()
+		return ErrUnknownSN
+	}
+	ev, watchers := c.setSNState(sn, SNActive)
+	c.mu.Unlock()
+	notifyRing(watchers, ev)
+	return nil
+}

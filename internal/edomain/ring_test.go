@@ -1,0 +1,158 @@
+package edomain
+
+import (
+	"fmt"
+	"testing"
+
+	"interedge/internal/lookup"
+	"interedge/internal/wire"
+)
+
+func ringCore(t *testing.T, nSNs int) (*Core, []wire.Addr) {
+	t.Helper()
+	c := New("ed-ring", lookup.New())
+	sns := make([]wire.Addr, nSNs)
+	for i := range sns {
+		sns[i] = wire.MustAddr(fmt.Sprintf("fd00::a:%d", i+1))
+		c.RegisterSN(sns[i])
+	}
+	return c, sns
+}
+
+func hostAddr(i int) wire.Addr {
+	return wire.MustAddr(fmt.Sprintf("fd00::1:%d", i+1))
+}
+
+// TestRingPlacementDeterministicAndSpread: same inputs always place the
+// same way, every active SN gets a share, and placement only uses active
+// SNs.
+func TestRingPlacementDeterministicAndSpread(t *testing.T) {
+	c, sns := ringCore(t, 4)
+	c2, _ := ringCore(t, 4)
+	counts := make(map[wire.Addr]int)
+	const hosts = 512
+	for i := 0; i < hosts; i++ {
+		h := hostAddr(i)
+		sn, ok := c.PlaceHost(h)
+		if !ok {
+			t.Fatalf("no placement for %v", h)
+		}
+		sn2, _ := c2.PlaceHost(h)
+		if sn != sn2 {
+			t.Fatalf("placement not deterministic for %v: %v vs %v", h, sn, sn2)
+		}
+		counts[sn]++
+	}
+	for _, sn := range sns {
+		if counts[sn] == 0 {
+			t.Fatalf("SN %v received no placements: %v", sn, counts)
+		}
+		if counts[sn] > hosts/2 {
+			t.Fatalf("SN %v hot-spotted with %d/%d placements", sn, counts[sn], hosts)
+		}
+	}
+}
+
+// TestRingDrainMovesOnlyDrainedHosts: taking one SN out moves exactly the
+// hosts it owned; everyone else stays put (the consistent-hash property
+// the whole drain design leans on).
+func TestRingDrainMovesOnlyDrainedHosts(t *testing.T) {
+	c, sns := ringCore(t, 4)
+	const hosts = 256
+	before := make(map[wire.Addr]wire.Addr, hosts)
+	for i := 0; i < hosts; i++ {
+		h := hostAddr(i)
+		before[h], _ = c.PlaceHost(h)
+	}
+	victim := sns[1]
+	if err := c.BeginDrain(victim); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.SNStateOf(victim); st != SNDraining {
+		t.Fatalf("state %v, want draining", st)
+	}
+	moved := 0
+	for h, old := range before {
+		now, ok := c.PlaceHost(h)
+		if !ok {
+			t.Fatalf("no placement for %v after drain", h)
+		}
+		if now == victim {
+			t.Fatalf("host %v placed on draining SN", h)
+		}
+		if old == victim {
+			moved++
+		} else if now != old {
+			t.Fatalf("host %v moved %v -> %v though its SN never changed state", h, old, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("victim owned no hosts; test has no power")
+	}
+	// Reactivation restores the original placement exactly.
+	if err := c.ReactivateSN(victim); err != nil {
+		t.Fatal(err)
+	}
+	for h, old := range before {
+		if now, _ := c.PlaceHost(h); now != old {
+			t.Fatalf("host %v did not return to %v after reactivation (got %v)", h, old, now)
+		}
+	}
+}
+
+// TestRingEventsAndGenerations pins the watch/generation contract used by
+// the placement controller.
+func TestRingEventsAndGenerations(t *testing.T) {
+	c, sns := ringCore(t, 3)
+	gen0, ch, cancel := c.WatchRing()
+	defer cancel()
+	if gen0 != c.RingGen() {
+		t.Fatalf("WatchRing gen %d != RingGen %d", gen0, c.RingGen())
+	}
+	changes0 := c.RingChanges()
+
+	if err := c.BeginDrain(sns[0]); err != nil {
+		t.Fatal(err)
+	}
+	ev := <-ch
+	if ev.SN != sns[0] || ev.State != SNDraining || ev.Gen != gen0+1 {
+		t.Fatalf("drain event %+v, want sn=%v draining gen=%d", ev, sns[0], gen0+1)
+	}
+	// Same-state transition is a no-op: no event, no gen bump.
+	if err := c.BeginDrain(sns[0]); err != nil {
+		t.Fatal(err)
+	}
+	c.ReportSNDown(sns[1])
+	ev = <-ch
+	if ev.SN != sns[1] || ev.State != SNDown || ev.Gen != gen0+2 {
+		t.Fatalf("down event %+v, want sn=%v down gen=%d", ev, sns[1], gen0+2)
+	}
+	c.FinishDrain(sns[0])
+	ev = <-ch
+	if ev.SN != sns[0] || ev.State != SNDown {
+		t.Fatalf("finish-drain event %+v, want sn=%v down", ev, sns[0])
+	}
+	if got := c.RingChanges() - changes0; got != 3 {
+		t.Fatalf("RingChanges advanced by %d, want 3", got)
+	}
+	if active := c.ActiveSNs(); len(active) != 1 || active[0] != sns[2] {
+		t.Fatalf("active SNs %v, want just %v", active, sns[2])
+	}
+	// Placement falls entirely onto the survivor.
+	if sn, ok := c.PlaceHost(hostAddr(0)); !ok || sn != sns[2] {
+		t.Fatalf("placement %v/%v, want %v", sn, ok, sns[2])
+	}
+	// Everything down: placement reports no owner rather than lying.
+	c.ReportSNDown(sns[2])
+	<-ch
+	if _, ok := c.PlaceHost(hostAddr(0)); ok {
+		t.Fatal("placement succeeded with zero active SNs")
+	}
+	// Unknown SNs are rejected/ignored.
+	if err := c.BeginDrain(wire.MustAddr("fd00::ff")); err != ErrUnknownSN {
+		t.Fatalf("drain of unknown SN err=%v, want ErrUnknownSN", err)
+	}
+	if st := c.SNStateOf(wire.MustAddr("fd00::ff")); st != SNDown {
+		t.Fatalf("unknown SN state %v, want down", st)
+	}
+}

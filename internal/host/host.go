@@ -69,6 +69,21 @@ type Config struct {
 	Direct DirectPolicy
 	// InvokeTimeout bounds control-protocol invocations (default 3s).
 	InvokeTimeout time.Duration
+	// KeepaliveInterval enables pipe liveness probes with dead-peer
+	// detection (see pipe.Config.KeepaliveInterval); 0 disables them. A
+	// host uses this to notice an unannounced first-hop SN death: the dead
+	// SN is disassociated and OnPeerDown fires so the association layer can
+	// re-place the host onto a live SN.
+	KeepaliveInterval time.Duration
+	// DeadAfter is the idle window before a peer is declared dead
+	// (default 4×KeepaliveInterval).
+	DeadAfter time.Duration
+	// OnPeerDown is notified after a dead first-hop SN has been
+	// disassociated. Optional.
+	OnPeerDown pipe.PeerDownHandler
+	// OnPipeMoved is notified after a first-hop SN announced its drain
+	// successor (SvcPipeMove) and the pipe was rebound to it. Optional.
+	OnPipeMoved func(old, successor wire.Addr)
 	// Logf receives diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -123,11 +138,14 @@ func New(cfg Config) (*Host, error) {
 	}
 	h.nextConn.Store(1)
 	mgr, err := pipe.New(pipe.Config{
-		Transport: cfg.Transport,
-		Identity:  cfg.Identity,
-		Clock:     cfg.Clock,
-		Handler:   h.handlePacket,
-		Authorize: cfg.Authorize,
+		Transport:         cfg.Transport,
+		Identity:          cfg.Identity,
+		Clock:             cfg.Clock,
+		Handler:           h.handlePacket,
+		Authorize:         cfg.Authorize,
+		KeepaliveInterval: cfg.KeepaliveInterval,
+		DeadAfter:         cfg.DeadAfter,
+		OnPeerDown:        h.onPeerDown,
 	})
 	if err != nil {
 		return nil, err
@@ -229,6 +247,10 @@ func (h *Host) handlePacket(_ pipe.Sender, src wire.Addr, hdr wire.ILPHeader, _ 
 		h.handleControlReply(hdr.Conn, msg.Payload)
 		return
 	}
+	if hdr.Service == wire.SvcPipeMove {
+		h.handlePipeMove(src, msg.Payload)
+		return
+	}
 	h.mu.Lock()
 	if c, ok := h.conns[connKey{hdr.Service, hdr.Conn}]; ok {
 		h.mu.Unlock()
@@ -269,6 +291,75 @@ func (h *Host) handleControlReply(conn wire.ConnectionID, payload []byte) {
 		return
 	}
 	ch <- ControlResult{Data: resp.Data}
+}
+
+// handlePipeMove reacts to a draining first-hop SN announcing its
+// successor. The notice arrives over the sealed pipe from the SN itself,
+// so only the node currently holding our keys can move its own pipe. The
+// pipe is rebound in place — same master secret, TX epoch rotated — and
+// every first-hop record and pinned connection pointing at the old SN is
+// repointed, so traffic continues without a re-handshake.
+func (h *Host) handlePipeMove(src wire.Addr, payload []byte) {
+	succ, err := wire.DecodePipeMove(payload)
+	if err != nil {
+		h.cfg.Logf("host %s: malformed pipe-move from %s: %v", h.Addr(), src, err)
+		return
+	}
+	if err := h.mgr.RebindPeer(src, succ); err != nil {
+		if errors.Is(err, pipe.ErrPeerExists) {
+			// A full handshake with the successor raced the move and won;
+			// its keys are fresher, so just drop the stale pipe.
+			h.mgr.DropPeer(src)
+		} else {
+			h.cfg.Logf("host %s: pipe-move %s→%s failed: %v", h.Addr(), src, succ, err)
+			return
+		}
+	}
+	h.Repoint(src, succ)
+	h.cfg.Logf("host %s: first-hop pipe moved %s→%s", h.Addr(), src, succ)
+	if h.cfg.OnPipeMoved != nil {
+		h.cfg.OnPipeMoved(src, succ)
+	}
+}
+
+// Repoint redirects every first-hop record and pinned connection from old
+// to succ without touching the pipes themselves. The drain path calls it
+// after rebinding the pipe in place; the association layer calls it after
+// a failover re-association, where the pipe to succ is freshly established
+// but pinned connections would otherwise keep addressing the dead SN.
+func (h *Host) Repoint(old, succ wire.Addr) {
+	h.mu.Lock()
+	replaced := false
+	for i, a := range h.firstHops {
+		if a == succ {
+			replaced = true
+		}
+		if a == old {
+			h.firstHops[i] = succ
+			replaced = true
+		}
+	}
+	if !replaced {
+		h.firstHops = append(h.firstHops, succ)
+	}
+	for _, c := range h.conns {
+		if c.via == old {
+			c.via = succ
+		}
+	}
+	h.mu.Unlock()
+}
+
+// onPeerDown reacts to dead-peer detection on a first-hop pipe: the dead
+// SN is disassociated so FirstHop never hands out a corpse, then the
+// configured handler (typically the association layer's re-placement
+// logic) is notified.
+func (h *Host) onPeerDown(addr wire.Addr, identity ed25519.PublicKey) {
+	h.Disassociate(addr)
+	h.cfg.Logf("host %s: first-hop pipe to %s died", h.Addr(), addr)
+	if h.cfg.OnPeerDown != nil {
+		h.cfg.OnPeerDown(addr, identity)
+	}
 }
 
 // OnService registers client-side logic for a service ID.
@@ -400,14 +491,19 @@ func (c *Conn) Service() wire.ServiceID { return c.svc }
 // ID returns the connection ID.
 func (c *Conn) ID() wire.ConnectionID { return c.id }
 
-// Via returns the first-hop SN this connection uses.
-func (c *Conn) Via() wire.Addr { return c.via }
+// Via returns the first-hop SN this connection uses. Guarded by the host
+// lock because a pipe move (drain) repoints pinned connections in place.
+func (c *Conn) Via() wire.Addr {
+	c.host.mu.Lock()
+	defer c.host.mu.Unlock()
+	return c.via
+}
 
 // Send transmits payload with optional service-specific header data. Per
 // §4, the header data may differ per packet within a connection.
 func (c *Conn) Send(svcData, payload []byte) error {
 	hdr := wire.ILPHeader{Service: c.svc, Conn: c.id, Data: svcData}
-	return c.host.mgr.Send(c.via, &hdr, payload)
+	return c.host.mgr.Send(c.Via(), &hdr, payload)
 }
 
 // SendVia transmits through an explicit SN (e.g. a pass-through SN chain).

@@ -6,6 +6,7 @@
 package lab
 
 import (
+	"crypto/ed25519"
 	"fmt"
 
 	"interedge/internal/clock"
@@ -144,8 +145,23 @@ func (t *Topology) AddEdomain(id edomain.ID, numSNs int, setup SNSetup) (*Edomai
 	// created later (NewNodeResolver) chain through it.
 	ed.Core.NewResolver(rescache.Config{Clock: t.Clock})
 	t.closers = append(t.closers, func() error { ed.Core.Close(); return nil })
+	core := ed.Core
 	for i := 0; i < numSNs; i++ {
-		node, err := t.NewSN()
+		node, err := t.NewSN(func(c *sn.Config) {
+			// Pipe handoffs are only accepted from sibling SNs of this
+			// edomain, and a sibling found dead by pipe keepalives is
+			// reported to the core as an unannounced ring change.
+			c.AcceptHandoff = core.HasSN
+			prev := c.OnPeerDown
+			c.OnPeerDown = func(addr wire.Addr, identity ed25519.PublicKey) {
+				if core.HasSN(addr) {
+					core.ReportSNDown(addr)
+				}
+				if prev != nil {
+					prev(addr, identity)
+				}
+			}
+		})
 		if err != nil {
 			return nil, err
 		}

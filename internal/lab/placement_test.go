@@ -1,0 +1,300 @@
+package lab
+
+import (
+	"testing"
+	"time"
+
+	"interedge/internal/host"
+	"interedge/internal/services/echo"
+	"interedge/internal/sn"
+	"interedge/internal/wire"
+)
+
+// placementRig builds a numSNs-SN edomain running echo on every node, with
+// its placement controller and n ring-placed hosts.
+func placementRig(t *testing.T, topo *Topology, numSNs, n int) (*Edomain, *Placement, []*host.Host) {
+	t.Helper()
+	ed, err := topo.AddEdomain("ed-ring", numSNs, func(node *sn.SN, ed *Edomain) error {
+		return node.Register(echo.New())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Mesh(); err != nil {
+		t.Fatal(err)
+	}
+	p := topo.NewPlacement(ed)
+	hosts := make([]*host.Host, n)
+	for i := range hosts {
+		h, err := topo.NewPlacedHost(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[i] = h
+	}
+	return ed, p, hosts
+}
+
+// hostsOn returns the adopted hosts currently placed on snAddr.
+func hostsOn(p *Placement, hosts []*host.Host, snAddr wire.Addr) []*host.Host {
+	var out []*host.Host
+	for _, h := range hosts {
+		if on, ok := p.PlacedOn(h.Addr()); ok && on == snAddr {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// echoRoundTrip sends one payload on the connection and waits for the echo.
+func echoRoundTrip(t *testing.T, conn *host.Conn, payload string) {
+	t.Helper()
+	if err := conn.Send(nil, []byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-conn.Receive():
+		if string(msg.Payload) != payload {
+			t.Fatalf("echo %q, want %q", msg.Payload, payload)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatalf("timeout awaiting echo of %q", payload)
+	}
+}
+
+// TestPlacementDrainMovesHostsLive drains one SN of a 4-SN edomain and
+// checks the whole contract: hosts move to ring successors by live
+// handoff (pipes survive, no re-handshake), lookup records repoint
+// immediately, and reactivation migrates hosts back.
+func TestPlacementDrainMovesHostsLive(t *testing.T) {
+	topo := New()
+	defer topo.Close()
+	_, p, hosts := placementRig(t, topo, 4, 8)
+
+	// Find a victim SN actually serving hosts.
+	var victim wire.Addr
+	for _, h := range hosts {
+		if on, ok := p.PlacedOn(h.Addr()); ok {
+			victim = on
+			break
+		}
+	}
+	affected := hostsOn(p, hosts, victim)
+	if len(affected) == 0 {
+		t.Fatal("no hosts on victim SN")
+	}
+	// Warm a connection through the victim so the drain moves live state.
+	conn, err := affected[0].NewConn(wire.SvcEcho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	echoRoundTrip(t, conn, "before")
+
+	if err := p.DrainSN(victim); err != nil {
+		t.Fatalf("DrainSN: %v", err)
+	}
+
+	for _, h := range affected {
+		on, ok := p.PlacedOn(h.Addr())
+		if !ok || on == victim {
+			t.Fatalf("host %s still placed on drained SN", h.Addr())
+		}
+		// The published mapping must already point at the successor.
+		rec, err := topo.Global.ResolveAddress(h.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.SNs) != 1 || rec.SNs[0] != on {
+			t.Fatalf("lookup record for %s points at %v, want [%s]", h.Addr(), rec.SNs, on)
+		}
+	}
+	// The handed-off pipes arrive at their importers asynchronously (the
+	// sealed state is in flight when DrainSN returns): poll the counters.
+	ed, _ := topo.Edomain("ed-ring")
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		var handoffs uint64
+		for _, node := range ed.SNs {
+			handoffs += node.Telemetry().Counter("sn_handoff_pipes_total").Load()
+		}
+		if handoffs >= uint64(len(affected)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sn_handoff_pipes_total = %d, want >= %d", handoffs, len(affected))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	victimNode, err := topo.snByAddr(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := victimNode.Telemetry().Counter("sn_drain_completed_total").Load(); got != 1 {
+		t.Fatalf("sn_drain_completed_total = %d, want 1", got)
+	}
+
+	// The host's pinned connection kept working across the move — it now
+	// rides the rebound pipe through the successor.
+	deadline = time.Now().Add(3 * time.Second)
+	for {
+		if via := conn.Via(); via != victim {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("connection never repointed off the drained SN")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	echoRoundTrip(t, conn, "after-drain")
+
+	// Reactivation returns the ring to its old shape; the same hosts
+	// migrate back by live handoff (the watch-driven sweep).
+	if err := p.Reactivate(victim); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(3 * time.Second)
+	for {
+		if len(hostsOn(p, hosts, victim)) == len(affected) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hosts did not return after reactivation: %d/%d", len(hostsOn(p, hosts, victim)), len(affected))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	echoRoundTrip(t, conn, "after-reactivate")
+}
+
+// TestPlacementFailoverSurvivesSNLoss kills an SN without warning: sibling
+// dead-peer detection reports the loss as a ring change, hosts re-place
+// onto successors by full re-establishment, and the failover counter
+// records the absorption.
+func TestPlacementFailoverSurvivesSNLoss(t *testing.T) {
+	topo := New(WithSNConfig(func(c *sn.Config) {
+		c.KeepaliveInterval = 20 * time.Millisecond
+		c.HandshakeTimeout = 100 * time.Millisecond
+		c.HandshakeRetries = 2
+	}))
+	defer topo.Close()
+	ed, p, hosts := placementRig(t, topo, 4, 8)
+
+	var victim wire.Addr
+	for _, h := range hosts {
+		if on, ok := p.PlacedOn(h.Addr()); ok {
+			victim = on
+			break
+		}
+	}
+	affected := hostsOn(p, hosts, victim)
+	if len(affected) == 0 {
+		t.Fatal("no hosts on victim SN")
+	}
+	victimNode, err := topo.snByAddr(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringBefore := ed.Core.RingChanges()
+
+	// Unannounced death: no drain, no goodbye.
+	if err := victimNode.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sibling keepalives detect the corpse and feed the ring; the sweep
+	// re-places every affected host by full re-establishment.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if len(hostsOn(p, hosts, victim)) == 0 {
+			allMoved := true
+			for _, h := range affected {
+				fh, err := h.FirstHop()
+				if err != nil || fh == victim {
+					allMoved = false
+					break
+				}
+			}
+			if allMoved {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hosts still on dead SN after 5s: %d", len(hostsOn(p, hosts, victim)))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := ed.Core.RingChanges(); got <= ringBefore {
+		t.Fatalf("ring changes %d, want > %d", got, ringBefore)
+	}
+	var failovers uint64
+	for _, node := range ed.SNs {
+		if node.Addr() == victim {
+			continue
+		}
+		failovers += node.Telemetry().Counter("sn_failovers_total").Load()
+	}
+	if failovers < uint64(len(affected)) {
+		t.Fatalf("sn_failovers_total = %d, want >= %d", failovers, len(affected))
+	}
+
+	// New mapping is live: a fresh connection from a failed-over host
+	// round-trips through its successor.
+	conn, err := affected[0].NewConn(wire.SvcEcho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	echoRoundTrip(t, conn, "after-failover")
+}
+
+// TestRingChangePropagatesBeforeLeaseExpiry is the regression for the
+// stale-mapping window: an SN-tier resolution cache that resolved a host
+// must serve the post-ring-change mapping within one publish, not after
+// its (30s-default) lease expires.
+func TestRingChangePropagatesBeforeLeaseExpiry(t *testing.T) {
+	topo := New()
+	defer topo.Close()
+	ed, p, hosts := placementRig(t, topo, 2, 4)
+
+	h := hosts[0]
+	before, ok := p.PlacedOn(h.Addr())
+	if !ok {
+		t.Fatal("host not placed")
+	}
+	// The SN-tier cache lives on the survivor.
+	var survivor *sn.SN
+	for _, node := range ed.SNs {
+		if node.Addr() != before {
+			survivor = node
+		}
+	}
+	rc := topo.NewNodeResolver(ed, survivor)
+	rec, err := rc.ResolveAddress(h.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.SNs) != 1 || rec.SNs[0] != before {
+		t.Fatalf("cached mapping %v, want [%s]", rec.SNs, before)
+	}
+
+	if err := p.DrainSN(before); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := p.PlacedOn(h.Addr())
+	if after == before {
+		t.Fatal("drain did not move the host")
+	}
+
+	// Well inside the lease: the watch-applied update must already serve.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rec, err := rc.ResolveAddress(h.Addr())
+		if err == nil && len(rec.SNs) == 1 && rec.SNs[0] == after {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("SN-tier cache still serves %v, want [%s] — stale until lease expiry", rec.SNs, after)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

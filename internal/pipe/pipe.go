@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"interedge/internal/clock"
+	"interedge/internal/cryptutil"
 	"interedge/internal/handshake"
 	"interedge/internal/netsim"
 	"interedge/internal/psp"
@@ -190,6 +191,13 @@ type peer struct {
 	identity ed25519.PublicKey
 	crypto   *psp.PipeCrypto
 	up       time.Time
+
+	// Handshake-derived key material, retained so the pipe can be exported
+	// to a sibling node during a drain (ExportPeer) without a fresh
+	// handshake. Immutable after establish/import.
+	master    cryptutil.Key
+	initiator bool
+	baseSPI   uint32
 
 	txPackets atomic.Uint64
 	rxPackets atomic.Uint64
@@ -683,10 +691,13 @@ func (m *Manager) establish(addr wire.Addr, res *handshake.Result) {
 		return
 	}
 	p := &peer{
-		addr:     addr,
-		identity: res.PeerIdentity,
-		crypto:   crypto,
-		up:       m.cfg.Clock.Now(),
+		addr:      addr,
+		identity:  res.PeerIdentity,
+		crypto:    crypto,
+		up:        m.cfg.Clock.Now(),
+		master:    res.Master,
+		initiator: res.Initiator,
+		baseSPI:   res.BaseSPI,
 	}
 	p.lastRx.Store(p.up.UnixNano())
 	m.mu.Lock()

@@ -126,6 +126,21 @@ func NewTX(master cryptutil.Key, dir Direction, baseSPI uint32) (*TX, error) {
 	return &TX{master: master, dir: dir, baseSPI: baseSPI, aead: aead}, nil
 }
 
+// NewTXAt creates sending state resuming at a given epoch with a fresh IV
+// space. Used when pipe state migrates between SNs: the importer resumes
+// one epoch above the exporter's, so the IV sequence the exporter consumed
+// is never reused under the same key.
+func NewTXAt(master cryptutil.Key, dir Direction, baseSPI, epoch uint32) (*TX, error) {
+	if baseSPI&epochMask != 0 {
+		return nil, fmt.Errorf("psp: baseSPI low byte must be zero, got %#x", baseSPI)
+	}
+	aead, err := epochKey(master, dir, epoch)
+	if err != nil {
+		return nil, err
+	}
+	return &TX{master: master, dir: dir, baseSPI: baseSPI, epoch: epoch, aead: aead}, nil
+}
+
 // Rotate advances to the next key epoch. Packets already sealed remain
 // decryptable by receivers until they rotate twice.
 func (t *TX) Rotate() error {
@@ -298,6 +313,39 @@ func NewRX(master cryptutil.Key, dir Direction, baseSPI uint32) (*RX, error) {
 	}, nil
 }
 
+// NewRXAt creates receiving state resuming at a given epoch. Earlier
+// epochs are rejected exactly as if the receiver had rotated past them; the
+// replay window for the resumed epoch starts empty, so an importer must
+// resume at the epoch the peer currently sends on (duplicates of packets
+// the exporter already consumed will be re-accepted once — callers that
+// need exactly-once semantics handle duplication above the pipe, as the
+// substrate can duplicate datagrams anyway).
+func NewRXAt(master cryptutil.Key, dir Direction, baseSPI, epoch uint32) (*RX, error) {
+	if baseSPI&epochMask != 0 {
+		return nil, fmt.Errorf("psp: baseSPI low byte must be zero, got %#x", baseSPI)
+	}
+	aead, err := epochKey(master, dir, epoch)
+	if err != nil {
+		return nil, err
+	}
+	return &RX{
+		master:      master,
+		dir:         dir,
+		baseSPI:     baseSPI,
+		epoch:       epoch,
+		aeads:       map[uint32]cipher.AEAD{epoch: aead},
+		windows:     map[uint32]*replayWindow{epoch: {}},
+		replayCheck: true,
+	}, nil
+}
+
+// Epoch returns the highest receive epoch observed so far.
+func (r *RX) Epoch() uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
 // SetReplayCheck enables or disables anti-replay enforcement. It is on by
 // default; benchmarks that replay a single sealed packet disable it.
 func (r *RX) SetReplayCheck(on bool) {
@@ -452,15 +500,23 @@ type PipeCrypto struct {
 // schedule and receives on r2i; the responder is the mirror image. baseSPI
 // must match on both ends.
 func NewPipeCrypto(master cryptutil.Key, initiator bool, baseSPI uint32) (*PipeCrypto, error) {
+	return NewPipeCryptoAt(master, initiator, baseSPI, 0, 0)
+}
+
+// NewPipeCryptoAt derives pipe crypto resuming at explicit epochs, for an
+// endpoint importing established pipe state during a drain handoff. The
+// peer keeps accepting because receivers admit any newer TX epoch without
+// coordination.
+func NewPipeCryptoAt(master cryptutil.Key, initiator bool, baseSPI, txEpoch, rxEpoch uint32) (*PipeCrypto, error) {
 	txDir, rxDir := DirInitiatorToResponder, DirResponderToInitiator
 	if !initiator {
 		txDir, rxDir = rxDir, txDir
 	}
-	tx, err := NewTX(master, txDir, baseSPI)
+	tx, err := NewTXAt(master, txDir, baseSPI, txEpoch)
 	if err != nil {
 		return nil, err
 	}
-	rx, err := NewRX(master, rxDir, baseSPI)
+	rx, err := NewRXAt(master, rxDir, baseSPI, rxEpoch)
 	if err != nil {
 		return nil, err
 	}

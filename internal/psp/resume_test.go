@@ -1,0 +1,109 @@
+package psp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"interedge/internal/cryptutil"
+)
+
+// TestResumeAtEpoch models a drain handoff: SN A holds an established pipe
+// with host H, exports its epochs, and SN B resumes one TX epoch above.
+// H's receiver must accept B's packets with no coordination, B's receiver
+// must accept H's in-flight packets on the old epoch, and H's subsequent
+// rotation must keep working.
+func TestResumeAtEpoch(t *testing.T) {
+	var master cryptutil.Key
+	for i := range master {
+		master[i] = byte(i * 7)
+	}
+	const baseSPI = 0xDEADBE00
+
+	// SN side was the initiator; the host is the responder.
+	snA, err := NewPipeCrypto(master, true, baseSPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := NewPipeCrypto(master, false, baseSPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Traffic both ways, plus a rotation on each side, to move epochs off 0.
+	exchange := func(tag string, tx *TX, rx *RX) {
+		pkt, err := tx.Seal(nil, []byte("hdr-"+tag), []byte("pay"))
+		if err != nil {
+			t.Fatalf("%s seal: %v", tag, err)
+		}
+		hdr, _, err := rx.Open(pkt)
+		if err != nil {
+			t.Fatalf("%s open: %v", tag, err)
+		}
+		if !bytes.Equal(hdr, []byte("hdr-"+tag)) {
+			t.Fatalf("%s header mismatch", tag)
+		}
+	}
+	exchange("a1", snA.TX, host.RX)
+	exchange("h1", host.TX, snA.RX)
+	if err := snA.TX.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := host.TX.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	exchange("a2", snA.TX, host.RX)
+	exchange("h2", host.TX, snA.RX)
+
+	txE, rxE := snA.TX.Epoch(), snA.RX.Epoch()
+	if txE != 1 || rxE != 1 {
+		t.Fatalf("exported epochs tx=%d rx=%d, want 1/1", txE, rxE)
+	}
+
+	// SN B imports: TX resumes one epoch above A's, RX at the host's
+	// current sending epoch.
+	snB, err := NewPipeCryptoAt(master, true, baseSPI, txE+1, rxE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snB.TX.Epoch() != txE+1 {
+		t.Fatalf("imported TX epoch %d, want %d", snB.TX.Epoch(), txE+1)
+	}
+
+	// B -> H on the bumped epoch: host accepts without any signal.
+	exchange("b1", snB.TX, host.RX)
+	// H -> B still on the host's current epoch.
+	exchange("h3", host.TX, snB.RX)
+	// Host rotates (it does so on rebind); B keeps up.
+	if err := host.TX.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	exchange("h4", host.TX, snB.RX)
+
+	// B's receiver must reject epochs older than previous, like any
+	// receiver that rotated past them.
+	stale, err := NewTXAt(master, DirResponderToInitiator, baseSPI, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance B's RX view to epoch 2 first (h4 committed epoch 2).
+	pkt, err := stale.Seal(nil, []byte("old"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := snB.RX.Open(pkt); !errors.Is(err, ErrBadEpoch) {
+		t.Fatalf("stale-epoch open err=%v, want ErrBadEpoch", err)
+	}
+}
+
+// TestResumeBaseSPIValidation pins the low-byte-zero invariant on the
+// resume constructors.
+func TestResumeBaseSPIValidation(t *testing.T) {
+	var master cryptutil.Key
+	if _, err := NewTXAt(master, DirInitiatorToResponder, 0x01, 5); err == nil {
+		t.Fatal("NewTXAt accepted nonzero SPI low byte")
+	}
+	if _, err := NewRXAt(master, DirInitiatorToResponder, 0x01, 5); err == nil {
+		t.Fatal("NewRXAt accepted nonzero SPI low byte")
+	}
+}

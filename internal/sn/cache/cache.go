@@ -21,6 +21,7 @@ package cache
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -335,6 +336,36 @@ func (c *Cache) InvalidateDest(dst wire.Addr) {
 		}
 		s.mu.Unlock()
 	}
+}
+
+// CollectDest returns up to max flow keys whose cached action forwards to
+// dst — the cache-warmth hints a draining SN ships to its successor so the
+// moved host's flows keep hitting instead of each taking a cold miss.
+// Entries most recently used come first within each shard; max <= 0 means
+// no limit. Like Snapshot, the result is per-shard consistent, not one cut.
+func (c *Cache) CollectDest(dst wire.Addr, max int) []wire.FlowKey {
+	var out []wire.FlowKey
+	for _, s := range c.shards {
+		s.mu.Lock()
+		var keys []wire.FlowKey
+		for key, i := range s.index {
+			for _, fwd := range s.slots[i].action.Forward {
+				if fwd == dst {
+					keys = append(keys, key)
+					break
+				}
+			}
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			return s.slots[s.index[keys[a]]].lastUsed.After(s.slots[s.index[keys[b]]].lastUsed)
+		})
+		s.mu.Unlock()
+		out = append(out, keys...)
+		if max > 0 && len(out) >= max {
+			return out[:max]
+		}
+	}
+	return out
 }
 
 // HitCount returns the entry's hit counter — the Appendix B.2 API

@@ -1,0 +1,51 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"interedge/internal/wire"
+)
+
+func TestCollectDest(t *testing.T) {
+	c := NewSharded(64, 4)
+	now := time.Unix(0, 0)
+	c.SetNowFunc(func() time.Time { return now })
+	hostA := wire.MustAddr("fd00::1:1")
+	hostB := wire.MustAddr("fd00::1:2")
+
+	keys := make([]wire.FlowKey, 6)
+	for i := range keys {
+		keys[i] = wire.FlowKey{Src: wire.MustAddr("fd00::2:1"), Service: wire.SvcIPFwd, Conn: wire.ConnectionID(i)}
+		dst := hostA
+		if i >= 4 {
+			dst = hostB
+		}
+		now = now.Add(time.Second)
+		c.Add(keys[i], Action{Forward: []wire.Addr{dst}})
+	}
+
+	got := c.CollectDest(hostA, 0)
+	if len(got) != 4 {
+		t.Fatalf("collected %d keys for hostA, want 4: %v", len(got), got)
+	}
+	seen := make(map[wire.FlowKey]bool)
+	for _, k := range got {
+		seen[k] = true
+	}
+	for i := 0; i < 4; i++ {
+		if !seen[keys[i]] {
+			t.Fatalf("missing key %v in %v", keys[i], got)
+		}
+	}
+	if seen[keys[4]] || seen[keys[5]] {
+		t.Fatalf("hostB keys leaked into hostA collection: %v", got)
+	}
+
+	if capped := c.CollectDest(hostA, 2); len(capped) != 2 {
+		t.Fatalf("cap ignored: got %d keys, want 2", len(capped))
+	}
+	if none := c.CollectDest(wire.MustAddr("fd00::ff"), 0); len(none) != 0 {
+		t.Fatalf("collected %d keys for unknown dest, want 0", len(none))
+	}
+}

@@ -1,0 +1,258 @@
+package sn
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"interedge/internal/handshake"
+	"interedge/internal/host"
+	"interedge/internal/netsim"
+	"interedge/internal/pipe"
+	"interedge/internal/wire"
+)
+
+// newTestHost builds a full host stack (not the raw pipe client) so drain
+// tests exercise the SvcPipeMove handling end to end.
+func newTestHost(t *testing.T, net *netsim.Network, addr string, firstHop wire.Addr) *host.Host {
+	t.Helper()
+	tr, err := net.Attach(wire.MustAddr(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := handshake.NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := host.New(host.Config{
+		Transport: tr,
+		Identity:  id,
+		FirstHops: []wire.Addr{firstHop},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	return h
+}
+
+// acceptOnly returns an AcceptHandoff policy admitting exactly the given
+// sibling addresses.
+func acceptOnly(sibs ...string) func(src wire.Addr) bool {
+	set := make(map[wire.Addr]bool, len(sibs))
+	for _, s := range sibs {
+		set[wire.MustAddr(s)] = true
+	}
+	return func(src wire.Addr) bool { return set[src] }
+}
+
+// TestDrainHandsOffPipeEndToEnd drains one host pipe from snA to snB and
+// checks the full contract: the host rebinds without a re-handshake (the
+// pipe keeps the identity verified against snA), the warmth hints keep the
+// flow on snB's fast path even though snB has no service module, and snA
+// retains no state for the host.
+func TestDrainHandsOffPipeEndToEnd(t *testing.T) {
+	net := netsim.NewNetwork()
+	snA := newTestSN(t, net, "fd00::a:1", func(c *Config) { c.AcceptHandoff = acceptOnly("fd00::a:2") })
+	snB := newTestSN(t, net, "fd00::a:2", func(c *Config) { c.AcceptHandoff = acceptOnly("fd00::a:1") })
+	if err := snA.Register(&echoModule{installRule: true}); err != nil {
+		t.Fatal(err)
+	}
+	h := newTestHost(t, net, "fd00::beef:1", snA.Addr())
+
+	conn, err := h.NewConn(wire.SvcEcho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First packet takes the slow path (echo reverses) and installs the
+	// forward-to-host rule; the second proves the fast path is warm.
+	if err := conn.Send(nil, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	awaitConn(t, conn, []byte("cba"))
+	if err := conn.Send(nil, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	awaitConn(t, conn, []byte("warm"))
+
+	idA, ok := h.SNIdentity(snA.Addr())
+	if !ok {
+		t.Fatal("host has no identity for snA")
+	}
+
+	if err := snA.HandoffPipe(h.Addr(), snB.Addr()); err != nil {
+		t.Fatalf("HandoffPipe: %v", err)
+	}
+
+	// The move notice travels the sealed pipe asynchronously.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		fh, err := h.FirstHop()
+		if err == nil && fh == snB.Addr() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("host never rebound: first hop %v, err %v", fh, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if via := conn.Via(); via != snB.Addr() {
+		t.Fatalf("pinned connection not repointed: via %s", via)
+	}
+	// No re-handshake: the rebound pipe still carries the identity the host
+	// verified against the exporter.
+	if idB, ok := h.SNIdentity(snB.Addr()); !ok || !bytes.Equal(idA, idB) {
+		t.Fatalf("rebound pipe identity changed (ok=%v)", ok)
+	}
+	if got := snB.Telemetry().Counter("sn_handoff_pipes_total").Load(); got != 1 {
+		t.Fatalf("sn_handoff_pipes_total = %d, want 1", got)
+	}
+	if _, err := snA.Pipes().ExportPeer(h.Addr()); !errors.Is(err, pipe.ErrNoPipe) {
+		t.Fatalf("snA still holds the host pipe: %v", err)
+	}
+
+	// snB has no echo module: only the migrated warmth rule can serve this —
+	// the flow stays on the fast path across the handoff.
+	if err := conn.Send(nil, []byte("moved")); err != nil {
+		t.Fatal(err)
+	}
+	awaitConn(t, conn, []byte("moved"))
+	if hits := snB.Telemetry().Counter("sn_fastpath_hits_total").Load(); hits == 0 {
+		t.Fatal("post-handoff packet did not hit snB's fast path")
+	}
+}
+
+// TestDrainAbortsWhenTargetDead is the chaos case: the drain target is
+// unreachable, so the handoff fails, the drain reports aborted, and the
+// affected host falls back to a full re-establishment — each packet
+// delivered exactly once afterwards.
+func TestDrainAbortsWhenTargetDead(t *testing.T) {
+	net := netsim.NewNetwork()
+	snA := newTestSN(t, net, "fd00::a:1", func(c *Config) {
+		c.HandshakeTimeout = 50 * time.Millisecond
+		c.HandshakeRetries = 1
+	})
+	if err := snA.Register(&echoModule{installRule: true}); err != nil {
+		t.Fatal(err)
+	}
+	cl := newClient(t, net, "fd00::beef:1")
+	if err := cl.mgr.Connect(snA.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	dead := wire.MustAddr("fd00::a:dead")
+	err := snA.Drain(func(peer wire.Addr) (wire.Addr, bool) { return dead, peer == cl.addr })
+	if err == nil {
+		t.Fatal("drain to a dead target reported success")
+	}
+	tl := snA.Telemetry()
+	if got := tl.Counter("sn_drain_started_total").Load(); got != 1 {
+		t.Fatalf("sn_drain_started_total = %d, want 1", got)
+	}
+	if got := tl.Counter("sn_drain_aborted_total").Load(); got != 1 {
+		t.Fatalf("sn_drain_aborted_total = %d, want 1", got)
+	}
+	if got := tl.Counter("sn_drain_completed_total").Load(); got != 0 {
+		t.Fatalf("sn_drain_completed_total = %d, want 0", got)
+	}
+	if _, err := snA.Pipes().ExportPeer(cl.addr); !errors.Is(err, pipe.ErrNoPipe) {
+		t.Fatalf("aborted drain left the host pipe in place: %v", err)
+	}
+
+	// Fallback: full re-establishment (a redial, since the host's stale
+	// pipe state must be discarded too), then exactly-once delivery.
+	if err := cl.mgr.Redial(snA.Addr()); err != nil {
+		t.Fatalf("re-establishment after aborted drain: %v", err)
+	}
+	hdr := wire.ILPHeader{Service: wire.SvcEcho, Conn: 7}
+	if err := cl.mgr.Send(snA.Addr(), &hdr, []byte("once")); err != nil {
+		t.Fatal(err)
+	}
+	first := cl.await(t)
+	if string(first.payload) != "ecno" { // echo reverses "once"
+		t.Fatalf("unexpected echo payload %q", first.payload)
+	}
+	select {
+	case dup := <-cl.rx:
+		t.Fatalf("double delivery after fallback: %q", dup.payload)
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+// TestDrainMidHandshakeSingleKeyEpoch is the seeded property: when a
+// handoff import races a full handshake for the same host at the target,
+// the pipe converges to exactly one live key schedule — whichever path
+// loses changes nothing — and traffic flows afterwards. Three substrate
+// seeds vary the interleaving.
+func TestDrainMidHandshakeSingleKeyEpoch(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			net := netsim.NewNetwork(netsim.WithSeed(seed))
+			snA := newTestSN(t, net, "fd00::a:1")
+			snB := newTestSN(t, net, "fd00::a:2", func(c *Config) { c.AcceptHandoff = acceptOnly("fd00::a:1") })
+			if err := snB.Register(&echoModule{}); err != nil {
+				t.Fatal(err)
+			}
+			cl := newClient(t, net, "fd00::beef:1")
+			if err := cl.mgr.Connect(snA.Addr()); err != nil {
+				t.Fatal(err)
+			}
+			state, err := snA.Pipes().ExportPeer(cl.addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Race the import (drain path) against a full handshake (the
+			// host re-established on its own, e.g. a retransmitted msg1
+			// still in flight).
+			importDone := make(chan error, 1)
+			dialDone := make(chan error, 1)
+			go func() { importDone <- snB.Pipes().ImportPeer(state) }()
+			go func() { dialDone <- cl.mgr.Connect(snB.Addr()) }()
+			impErr := <-importDone
+			if err := <-dialDone; err != nil {
+				t.Fatalf("seed %d: host handshake failed: %v", seed, err)
+			}
+			if impErr != nil && !errors.Is(impErr, pipe.ErrPeerExists) {
+				t.Fatalf("seed %d: import failed: %v", seed, impErr)
+			}
+
+			// Exactly one peer entry per side for this pipe.
+			var n int
+			for _, p := range snB.Pipes().Peers() {
+				if p.Addr == cl.addr {
+					n++
+				}
+			}
+			if n != 1 {
+				t.Fatalf("seed %d: snB holds %d peer entries for the host", seed, n)
+			}
+
+			// The surviving schedule must carry traffic both ways.
+			hdr := wire.ILPHeader{Service: wire.SvcEcho, Conn: 3}
+			if err := cl.mgr.Send(snB.Addr(), &hdr, []byte("live")); err != nil {
+				t.Fatalf("seed %d: send: %v", seed, err)
+			}
+			got := cl.await(t)
+			if string(got.payload) != "evil" {
+				t.Fatalf("seed %d: echo reply %q, want %q", seed, got.payload, "evil")
+			}
+		})
+	}
+}
+
+// awaitConn waits for one message on a host connection and checks its
+// payload.
+func awaitConn(t *testing.T, c *host.Conn, want []byte) {
+	t.Helper()
+	select {
+	case msg := <-c.Receive():
+		if !bytes.Equal(msg.Payload, want) {
+			t.Fatalf("payload %q, want %q", msg.Payload, want)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatalf("timeout awaiting %q", want)
+	}
+}

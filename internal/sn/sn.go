@@ -69,6 +69,11 @@ type Config struct {
 	DeadAfter time.Duration
 	// OnPeerDown is notified after dead-peer cache invalidation. Optional.
 	OnPeerDown pipe.PeerDownHandler
+	// AcceptHandoff authorizes inbound pipe handoffs (SvcHandoff): only
+	// state arriving from an src it approves — in practice, a sibling SN of
+	// the same edomain — is imported. Nil rejects all handoffs, so a node
+	// never accepts migrated key material unless explicitly configured to.
+	AcceptHandoff func(src wire.Addr) bool
 	// RequeueDepth bounds the per-destination queue of forwarded packets
 	// held while a pipe (re-)establishes instead of dropping them
 	// (default 1024).
@@ -198,6 +203,14 @@ type SN struct {
 	requeueDrops  *telemetry.Counter
 	peersLost     *telemetry.Counter
 	fastPathNs    *telemetry.Histogram
+
+	// Drain/handoff/failover instruments (see drain.go).
+	drainStarted   *telemetry.Counter
+	drainCompleted *telemetry.Counter
+	drainAborted   *telemetry.Counter
+	handoffPipes   *telemetry.Counter
+	failovers      *telemetry.Counter
+	drainNs        *telemetry.Histogram
 }
 
 // queuedSend is one forward held back while its destination pipe
@@ -272,6 +285,13 @@ func New(cfg Config) (*SN, error) {
 		requeueDrops:  reg.Counter("sn_requeue_drops_total"),
 		peersLost:     reg.Counter("sn_peers_lost_total"),
 		fastPathNs:    reg.Histogram("sn_fastpath_service_ns", telemetry.LatencyBuckets),
+
+		drainStarted:   reg.Counter("sn_drain_started_total"),
+		drainCompleted: reg.Counter("sn_drain_completed_total"),
+		drainAborted:   reg.Counter("sn_drain_aborted_total"),
+		handoffPipes:   reg.Counter("sn_handoff_pipes_total"),
+		failovers:      reg.Counter("sn_failovers_total"),
+		drainNs:        reg.Histogram("sn_drain_duration_ns", telemetry.LatencyBuckets),
 	}
 	s.cache.RegisterTelemetry(reg)
 	if rt, ok := cfg.Transport.(telemetry.Registrable); ok {
@@ -625,6 +645,10 @@ func (s *SN) handleBatch(tx pipe.Sender, src wire.Addr, pkts []pipe.RxPacket) {
 func (s *SN) handleMiss(src wire.Addr, hdr wire.ILPHeader, payload []byte) {
 	if hdr.Service == wire.SvcControl {
 		s.handleControl(src, hdr, payload)
+		return
+	}
+	if hdr.Service == wire.SvcHandoff {
+		s.handleHandoff(src, payload)
 		return
 	}
 

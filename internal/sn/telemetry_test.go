@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"interedge/internal/cryptutil"
+	"interedge/internal/edomain"
 	"interedge/internal/lookup"
 	"interedge/internal/netsim"
 	"interedge/internal/telemetry"
@@ -74,6 +75,62 @@ func TestControlMetricsOp(t *testing.T) {
 	// The snapshot renders as valid exposition text.
 	if s := snap.String(); !strings.Contains(s, "# TYPE sn_rx_packets_total counter") {
 		t.Errorf("exposition text missing TYPE line:\n%s", s)
+	}
+}
+
+// TestControlMetricsOpPinsDrainInstruments pins the names of the
+// placement/drain/failover instruments: every operator dashboard and soak
+// gate addresses them by name through the control-plane "metrics" op, so a
+// rename is a breaking change this test catches. The ring-change counter
+// is sourced from an edomain core the way lab.NewPlacement registers it
+// on the gateway node.
+func TestControlMetricsOpPinsDrainInstruments(t *testing.T) {
+	network := netsim.NewNetwork()
+	node := newTestSN(t, network, "fd00::5")
+	core := edomain.New("ed-pin", lookup.New())
+	core.RegisterSN(node.Addr())
+	if err := node.Telemetry().Register(
+		telemetry.NewCounterFunc("edomain_ring_changes_total", core.RingChanges)); err != nil {
+		t.Fatal(err)
+	}
+
+	cl := newClient(t, network, "fd00::1")
+	if err := cl.mgr.Connect(node.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := json.Marshal(ControlRequest{Target: wire.SvcNone, Op: "metrics"})
+	if err := cl.mgr.Send(node.Addr(), &wire.ILPHeader{Service: wire.SvcControl, Conn: 9}, req); err != nil {
+		t.Fatal(err)
+	}
+	got := cl.await(t)
+	var resp ControlResponse
+	if err := json.Unmarshal(got.payload, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("metrics op error: %s", resp.Error)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(resp.Data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"edomain_ring_changes_total",
+		"sn_drain_started_total",
+		"sn_drain_completed_total",
+		"sn_drain_aborted_total",
+		"sn_handoff_pipes_total",
+		"sn_failovers_total",
+		"sn_drain_duration_ns",
+	} {
+		if _, ok := snap.Get(name); !ok {
+			t.Errorf("metrics op snapshot missing %s", name)
+		}
+	}
+	// The ring-change counter reads through to the core: registration
+	// already counted one Down→Active transition.
+	if v := snap.Value("edomain_ring_changes_total"); v < 1 {
+		t.Errorf("edomain_ring_changes_total = %v, want >= 1", v)
 	}
 }
 

@@ -226,6 +226,11 @@ func runScenario(sc Scenario, seed int64, ro *runOpts) (*runOutcome, error) {
 	if err := topo.Mesh(); err != nil {
 		return nil, fmt.Errorf("soak: mesh: %w", err)
 	}
+	if sc.RingPlaced {
+		for _, ed := range w.Eds {
+			w.Places = append(w.Places, topo.NewPlacement(ed))
+		}
+	}
 	type churnTarget struct {
 		h        *host.Host
 		firstHop wire.Addr
@@ -234,12 +239,23 @@ func runScenario(sc Scenario, seed int64, ro *runOpts) (*runOutcome, error) {
 	for e, ed := range w.Eds {
 		var hosts []*host.Host
 		for hIdx := 0; hIdx < sc.HostsPerEdomain; hIdx++ {
-			h, err := topo.NewHost(ed, hIdx%sc.SNsPerEdomain)
+			var h *host.Host
+			var fh wire.Addr
+			var err error
+			if sc.RingPlaced {
+				h, err = topo.NewPlacedHost(w.Places[e])
+				if err == nil {
+					fh, _ = w.Places[e].PlacedOn(h.Addr())
+				}
+			} else {
+				h, err = topo.NewHost(ed, hIdx%sc.SNsPerEdomain)
+				fh = ed.SNs[hIdx%sc.SNsPerEdomain].Addr()
+			}
 			if err != nil {
 				return nil, fmt.Errorf("soak: host %d/%d: %w", e, hIdx, err)
 			}
 			hosts = append(hosts, h)
-			churnTargets = append(churnTargets, churnTarget{h, ed.SNs[hIdx%sc.SNsPerEdomain].Addr()})
+			churnTargets = append(churnTargets, churnTarget{h, fh})
 		}
 		w.Hosts = append(w.Hosts, hosts)
 	}

@@ -115,6 +115,13 @@ type Scenario struct {
 	// (see ChurnSpec).
 	Churn *ChurnSpec
 
+	// RingPlaced, if set, places hosts on their edomain's consistent-hash
+	// ring (one lab.Placement controller per edomain) instead of
+	// round-robin by SN index. Scenario events can then take SNs in and
+	// out of rotation via World.DrainSN / ReactivateSN / CrashBusiestSN,
+	// and the controllers re-place the affected hosts live.
+	RingPlaced bool
+
 	// DefaultFaults applies a baseline fault profile to every link.
 	DefaultFaults netsim.FaultProfile
 
@@ -197,6 +204,8 @@ type World struct {
 	Eds   []*lab.Edomain
 	// Hosts[e][h] is host h of edomain e.
 	Hosts [][]*host.Host
+	// Places[e] is edomain e's placement controller (RingPlaced only).
+	Places []*lab.Placement
 
 	flaky []*flakyModule
 }
@@ -206,6 +215,44 @@ func (w *World) GatewayAddr(e int) wire.Addr { return w.Eds[e].Gateway().Addr() 
 
 // SNAddr returns the address of SN s in edomain e.
 func (w *World) SNAddr(e, s int) wire.Addr { return w.Eds[e].SNs[s].Addr() }
+
+// DrainSN live-drains SN s of edomain e: it leaves the placement ring,
+// hands every established host pipe to its ring successor without a
+// re-handshake, and finishes out of rotation (RingPlaced scenarios only).
+func (w *World) DrainSN(e, s int) error {
+	return w.Places[e].DrainSN(w.SNAddr(e, s))
+}
+
+// ReactivateSN returns a drained SN of edomain e to placement; hosts it
+// owns again migrate back by live handoff (RingPlaced scenarios only).
+func (w *World) ReactivateSN(e, s int) error {
+	return w.Places[e].Reactivate(w.SNAddr(e, s))
+}
+
+// CrashBusiestSN kills the non-gateway SN of edomain e currently serving
+// the most ring-placed hosts — no drain, no goodbye — so the crash is
+// guaranteed to orphan established pipes. Sibling dead-peer detection
+// must notice and report the death as a ring change; the placement
+// controller then re-places the orphans by full re-establishment. The
+// victim's index is returned (RingPlaced scenarios only).
+func (w *World) CrashBusiestSN(e int) int {
+	p := w.Places[e]
+	victim, most := -1, -1
+	for s := 1; s < len(w.Eds[e].SNs); s++ {
+		addr := w.SNAddr(e, s)
+		served := 0
+		for _, h := range w.Hosts[e] {
+			if on, ok := p.PlacedOn(h.Addr()); ok && on == addr {
+				served++
+			}
+		}
+		if served > most {
+			victim, most = s, served
+		}
+	}
+	_ = w.Eds[e].SNs[victim].Close()
+	return victim
+}
 
 // SetFlakyMode switches every registered flaky module to mode. Usable
 // from FaultEvent closures; safe under concurrent packet handling.

@@ -29,6 +29,8 @@ func Scenarios() map[string]Scenario {
 		DegradeRecover(),
 		BreakerStorm(),
 		BurstMix(),
+		DrainRolling(),
+		CrashFailover(),
 	}
 	m := make(map[string]Scenario, len(list))
 	for _, sc := range list {
@@ -198,6 +200,103 @@ func BreakerStorm() Scenario {
 			CounterMin("sn_module_breaker_trips_total", 2),
 			CounterMin("sn_module_breaker_recoveries_total", 2),
 			CounterMin("sn_module_panics_total", 1),
+		),
+	}
+}
+
+// DrainRolling rolls a live drain across every SN of a 4-SN edomain
+// under diurnal load: each SN leaves the placement ring, hands its
+// established pipes to ring successors without a re-handshake, sits out
+// five minutes, and is reactivated (migrating its hosts back, again by
+// handoff) before the next drain begins. Every drain must complete, no
+// handoff may fall back to re-establishment, the requeue budget must
+// never be breached, and each drain must finish inside the SLO.
+func DrainRolling() Scenario {
+	return Scenario{
+		Name:            "sn-drain-rolling",
+		SimDuration:     time.Hour,
+		Edomains:        2,
+		SNsPerEdomain:   4,
+		HostsPerEdomain: 8,
+		RingPlaced:      true,
+		Load: []LoadPhase{
+			{Dur: 15 * time.Minute, FromPPS: 3, ToPPS: 8},
+			{Dur: 15 * time.Minute, FromPPS: 8, ToPPS: 8},
+			{Dur: 15 * time.Minute, FromPPS: 8, ToPPS: 2},
+			{Dur: 15 * time.Minute, FromPPS: 2, ToPPS: 2},
+		},
+		CrossPPS:      2,
+		DefaultFaults: mildFaults,
+		Events: func(w *World) []netsim.FaultEvent {
+			var evs []netsim.FaultEvent
+			for s := 0; s < 4; s++ {
+				s := s
+				at := time.Duration(8+12*s) * time.Minute
+				evs = append(evs,
+					netsim.FaultEvent{At: at, Do: func(*netsim.Network) { _ = w.DrainSN(0, s) }},
+					netsim.FaultEvent{At: at + 5*time.Minute, Do: func(*netsim.Network) { _ = w.ReactivateSN(0, s) }},
+				)
+			}
+			return evs
+		},
+		Gates: append(BaselineGates(),
+			DeliveryRatioMin(0.97),
+			CounterMin("sn_drain_started_total", 4),
+			CounterMin("sn_drain_completed_total", 4),
+			CounterMax("sn_drain_aborted_total", 0),
+			// Each of ed0's 8 hosts is handed off at least twice: away when
+			// its SN drains, back when it reactivates.
+			CounterMin("sn_handoff_pipes_total", 8),
+			// 4 registrations per edomain seed the ring; each drain cycle is
+			// draining -> down -> active.
+			CounterMin("edomain_ring_changes_total", 20),
+			CounterMax("sn_requeue_drops_total", 0),
+			QuantileMaxNs("sn_drain_duration_ns", 0.99, 500*time.Millisecond),
+		),
+	}
+}
+
+// CrashFailover takes a 4-SN edomain through planned maintenance (one
+// live drain and reactivation, proving handoff under load), then kills
+// the busiest non-gateway SN mid-burst with no warning. Sibling
+// dead-peer detection must report the death as a ring change, the
+// orphaned hosts must re-establish against their ring successors, and
+// the re-establishment count must stay bounded — no handshake storm.
+func CrashFailover() Scenario {
+	return Scenario{
+		Name:            "sn-crash-failover",
+		SimDuration:     time.Hour,
+		Edomains:        2,
+		SNsPerEdomain:   4,
+		HostsPerEdomain: 8,
+		RingPlaced:      true,
+		Load: []LoadPhase{
+			{Dur: time.Hour, FromPPS: 6, ToPPS: 6,
+				Burst: &BurstSpec{On: 20 * time.Second, Off: 40 * time.Second}},
+		},
+		CrossPPS:      2,
+		DefaultFaults: mildFaults,
+		Events: func(w *World) []netsim.FaultEvent {
+			return []netsim.FaultEvent{
+				{At: 10 * time.Minute, Do: func(*netsim.Network) { _ = w.DrainSN(0, 1) }},
+				{At: 15 * time.Minute, Do: func(*netsim.Network) { _ = w.ReactivateSN(0, 1) }},
+				// 30min+10s is inside a burst On window (cycle 60s, on 20s).
+				{At: 30*time.Minute + 10*time.Second, Do: func(*netsim.Network) { w.CrashBusiestSN(0) }},
+			}
+		},
+		Gates: append(BaselineGates(),
+			DeliveryRatioMin(0.95),
+			CounterMin("sn_handoff_pipes_total", 1),
+			CounterMin("sn_drain_completed_total", 1),
+			CounterMax("sn_drain_aborted_total", 0),
+			CounterMin("sn_failovers_total", 1),
+			// Every meshed survivor notices the corpse.
+			CounterMin("sn_peers_lost_total", 3),
+			// Bounded re-establishment: background redial loops against the
+			// corpse never succeed, and failover handshakes are one per
+			// orphaned host — far below a storm.
+			CounterMax("pipe_reestablished_total", 24),
+			CounterMin("edomain_ring_changes_total", 12),
 		),
 	}
 }

@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// HandoffState is the serialized pipe state one SN transfers to a sibling
+// during a live drain (service SvcHandoff). It carries everything the
+// importing SN needs to resume the host's established pipe without a fresh
+// handshake — the master secret and both key epochs — plus cache-warmth
+// hints: decision-cache rules that were forwarding toward the host, so the
+// new SN starts warm instead of taking a miss per flow.
+//
+// The state travels only over the sealed inter-SN pipe; the codec itself
+// provides no confidentiality.
+//
+// Wire layout (big-endian):
+//
+//	version(1) flags(1) host(16) identity(32) master(32)
+//	baseSPI(4) txEpoch(4) rxEpoch(4)
+//	hintCount(2) then hintCount * { src(16) service(4) conn(8) }
+type HandoffState struct {
+	// Host is the pipe peer whose state is moving.
+	Host Addr
+	// Identity is the host's ed25519 public key, pinned at handshake time.
+	Identity [32]byte
+	// Master is the pipe's master secret from the original handshake.
+	Master [32]byte
+	// Initiator reports whether the exporting SN was the handshake
+	// initiator; key-derivation directions depend on it.
+	Initiator bool
+	// BaseSPI is the pipe's base Security Parameter Index (low byte zero).
+	BaseSPI uint32
+	// TxEpoch and RxEpoch are the exporting SN's current key epochs. The
+	// importer resumes TX at TxEpoch+1 (fresh IV space, no reuse) and RX at
+	// RxEpoch (the host may still be sending on it).
+	TxEpoch uint32
+	RxEpoch uint32
+	// Warmth lists flow keys whose cached decisions forwarded to Host; the
+	// importer pre-installs forward-to-host rules for them.
+	Warmth []FlowKey
+}
+
+const (
+	handoffVersion = 1
+
+	handoffFlagInitiator = 0x01
+
+	handoffFixedSize = 1 + 1 + 16 + 32 + 32 + 4 + 4 + 4 + 2
+	handoffHintSize  = 16 + 4 + 8
+
+	// MaxHandoffWarmth caps the warmth hints carried per handoff so the
+	// state always fits one datagram; anything beyond warms up via misses.
+	MaxHandoffWarmth = 64
+)
+
+// Errors specific to the handoff codec.
+var (
+	ErrHandoffVersion  = errors.New("wire: unsupported handoff version")
+	ErrHandoffTooLarge = errors.New("wire: too many handoff warmth hints")
+)
+
+// EncodedSize returns the number of bytes SerializeTo will write.
+func (h *HandoffState) EncodedSize() int {
+	return handoffFixedSize + len(h.Warmth)*handoffHintSize
+}
+
+// SerializeTo writes the state into buf and returns bytes written.
+func (h *HandoffState) SerializeTo(buf []byte) (int, error) {
+	if len(h.Warmth) > MaxHandoffWarmth {
+		return 0, ErrHandoffTooLarge
+	}
+	n := h.EncodedSize()
+	if len(buf) < n {
+		return 0, fmt.Errorf("wire: buffer too small for handoff state: %d < %d", len(buf), n)
+	}
+	buf[0] = handoffVersion
+	var flags byte
+	if h.Initiator {
+		flags |= handoffFlagInitiator
+	}
+	buf[1] = flags
+	host16 := h.Host.As16()
+	copy(buf[2:18], host16[:])
+	copy(buf[18:50], h.Identity[:])
+	copy(buf[50:82], h.Master[:])
+	binary.BigEndian.PutUint32(buf[82:86], h.BaseSPI)
+	binary.BigEndian.PutUint32(buf[86:90], h.TxEpoch)
+	binary.BigEndian.PutUint32(buf[90:94], h.RxEpoch)
+	binary.BigEndian.PutUint16(buf[94:96], uint16(len(h.Warmth)))
+	off := handoffFixedSize
+	for _, k := range h.Warmth {
+		src16 := k.Src.As16()
+		copy(buf[off:off+16], src16[:])
+		binary.BigEndian.PutUint32(buf[off+16:off+20], uint32(k.Service))
+		binary.BigEndian.PutUint64(buf[off+20:off+28], uint64(k.Conn))
+		off += handoffHintSize
+	}
+	return n, nil
+}
+
+// Encode returns a freshly allocated serialization of the state.
+func (h *HandoffState) Encode() ([]byte, error) {
+	buf := make([]byte, h.EncodedSize())
+	if _, err := h.SerializeTo(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// DecodeFromBytes parses the state and returns bytes consumed. All fields
+// are copied; nothing aliases the input.
+func (h *HandoffState) DecodeFromBytes(data []byte) (int, error) {
+	if len(data) < handoffFixedSize {
+		return 0, ErrTruncated
+	}
+	if data[0] != handoffVersion {
+		return 0, ErrHandoffVersion
+	}
+	h.Initiator = data[1]&handoffFlagInitiator != 0
+	var host16 [16]byte
+	copy(host16[:], data[2:18])
+	h.Host = netip.AddrFrom16(host16).Unmap()
+	copy(h.Identity[:], data[18:50])
+	copy(h.Master[:], data[50:82])
+	h.BaseSPI = binary.BigEndian.Uint32(data[82:86])
+	h.TxEpoch = binary.BigEndian.Uint32(data[86:90])
+	h.RxEpoch = binary.BigEndian.Uint32(data[90:94])
+	count := int(binary.BigEndian.Uint16(data[94:96]))
+	if count > MaxHandoffWarmth {
+		return 0, ErrHandoffTooLarge
+	}
+	n := handoffFixedSize + count*handoffHintSize
+	if len(data) < n {
+		return 0, ErrTruncated
+	}
+	if count > 0 {
+		h.Warmth = make([]FlowKey, count)
+		off := handoffFixedSize
+		for i := range h.Warmth {
+			var src16 [16]byte
+			copy(src16[:], data[off:off+16])
+			h.Warmth[i] = FlowKey{
+				Src:     netip.AddrFrom16(src16).Unmap(),
+				Service: ServiceID(binary.BigEndian.Uint32(data[off+16 : off+20])),
+				Conn:    ConnectionID(binary.BigEndian.Uint64(data[off+20 : off+28])),
+			}
+			off += handoffHintSize
+		}
+	} else {
+		h.Warmth = nil
+	}
+	return n, nil
+}
+
+// PipeMoveSize is the payload size of a SvcPipeMove notice: the 16-byte
+// successor SN address.
+const PipeMoveSize = 16
+
+// EncodePipeMove serializes a drain notice naming the successor SN.
+func EncodePipeMove(successor Addr) []byte {
+	buf := make([]byte, PipeMoveSize)
+	a16 := successor.As16()
+	copy(buf, a16[:])
+	return buf
+}
+
+// DecodePipeMove parses a SvcPipeMove payload.
+func DecodePipeMove(data []byte) (Addr, error) {
+	if len(data) < PipeMoveSize {
+		return Addr{}, ErrTruncated
+	}
+	var a16 [16]byte
+	copy(a16[:], data[:16])
+	return netip.AddrFrom16(a16).Unmap(), nil
+}

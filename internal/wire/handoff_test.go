@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func sampleHandoff() HandoffState {
+	h := HandoffState{
+		Host:      MustAddr("fd00::1:1"),
+		Initiator: true,
+		BaseSPI:   0xAABBCC00,
+		TxEpoch:   3,
+		RxEpoch:   2,
+		Warmth: []FlowKey{
+			{Src: MustAddr("fd00::2:1"), Service: SvcIPFwd, Conn: 77},
+			{Src: MustAddr("192.0.2.9"), Service: SvcEcho, Conn: 1},
+		},
+	}
+	for i := range h.Identity {
+		h.Identity[i] = byte(i)
+	}
+	for i := range h.Master {
+		h.Master[i] = byte(0xF0 ^ i)
+	}
+	return h
+}
+
+func TestHandoffRoundTrip(t *testing.T) {
+	h := sampleHandoff()
+	enc, err := h.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(enc) != h.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(enc), h.EncodedSize())
+	}
+	var got HandoffState
+	n, err := got.DecodeFromBytes(enc)
+	if err != nil {
+		t.Fatalf("DecodeFromBytes: %v", err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", n, len(enc))
+	}
+	if !reflect.DeepEqual(got, h) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+}
+
+func TestHandoffNoWarmth(t *testing.T) {
+	h := sampleHandoff()
+	h.Warmth = nil
+	h.Initiator = false
+	enc, err := h.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(enc) != handoffFixedSize {
+		t.Fatalf("encoded %d bytes, want fixed %d", len(enc), handoffFixedSize)
+	}
+	var got HandoffState
+	if _, err := got.DecodeFromBytes(enc); err != nil {
+		t.Fatalf("DecodeFromBytes: %v", err)
+	}
+	if !reflect.DeepEqual(got, h) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+}
+
+func TestHandoffTruncated(t *testing.T) {
+	h := sampleHandoff()
+	enc, err := h.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for cut := 0; cut < len(enc); cut++ {
+		var got HandoffState
+		if _, err := got.DecodeFromBytes(enc[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: err=%v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestHandoffBadVersion(t *testing.T) {
+	h := sampleHandoff()
+	enc, _ := h.Encode()
+	enc[0] = 0x7F
+	var got HandoffState
+	if _, err := got.DecodeFromBytes(enc); !errors.Is(err, ErrHandoffVersion) {
+		t.Fatalf("err=%v, want ErrHandoffVersion", err)
+	}
+}
+
+func TestHandoffWarmthCap(t *testing.T) {
+	h := sampleHandoff()
+	h.Warmth = make([]FlowKey, MaxHandoffWarmth+1)
+	if _, err := h.Encode(); !errors.Is(err, ErrHandoffTooLarge) {
+		t.Fatalf("encode err=%v, want ErrHandoffTooLarge", err)
+	}
+	h.Warmth = h.Warmth[:MaxHandoffWarmth]
+	enc, err := h.Encode()
+	if err != nil {
+		t.Fatalf("Encode at cap: %v", err)
+	}
+	if enc[94] != byte(MaxHandoffWarmth>>8) || enc[95] != byte(MaxHandoffWarmth&0xFF) {
+		t.Fatalf("hint count field %x%x, want %d", enc[94], enc[95], MaxHandoffWarmth)
+	}
+	// A forged over-cap count must be rejected, not allocated.
+	enc[94], enc[95] = 0xFF, 0xFF
+	var got HandoffState
+	if _, err := got.DecodeFromBytes(enc); !errors.Is(err, ErrHandoffTooLarge) {
+		t.Fatalf("decode err=%v, want ErrHandoffTooLarge", err)
+	}
+}
+
+func TestHandoffFitsOneDatagram(t *testing.T) {
+	h := sampleHandoff()
+	h.Warmth = make([]FlowKey, MaxHandoffWarmth)
+	if h.EncodedSize() > MTU-DatagramHeaderSize-PSPHeaderSize-ILPHeaderFixedSize-64 {
+		t.Fatalf("max handoff state %d bytes cannot ride one sealed datagram", h.EncodedSize())
+	}
+	if h.EncodedSize() > MaxServiceData {
+		t.Fatalf("max handoff state %d bytes exceeds MaxServiceData %d", h.EncodedSize(), MaxServiceData)
+	}
+}
+
+func TestPipeMoveRoundTrip(t *testing.T) {
+	succ := MustAddr("fd00::a:2")
+	enc := EncodePipeMove(succ)
+	if len(enc) != PipeMoveSize {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), PipeMoveSize)
+	}
+	got, err := DecodePipeMove(enc)
+	if err != nil {
+		t.Fatalf("DecodePipeMove: %v", err)
+	}
+	if got != succ {
+		t.Fatalf("got %v, want %v", got, succ)
+	}
+	if _, err := DecodePipeMove(enc[:PipeMoveSize-1]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated err=%v, want ErrTruncated", err)
+	}
+}
+
+func FuzzHandoffDecode(f *testing.F) {
+	h := sampleHandoff()
+	if enc, err := h.Encode(); err == nil {
+		f.Add(enc)
+	}
+	h.Warmth = nil
+	if enc, err := h.Encode(); err == nil {
+		f.Add(enc)
+	}
+	f.Add(make([]byte, handoffFixedSize-1))
+	over := make([]byte, handoffFixedSize)
+	over[0] = handoffVersion
+	over[94], over[95] = 0xFF, 0xFF
+	f.Add(over)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h HandoffState
+		n, err := h.DecodeFromBytes(data)
+		if err != nil {
+			return
+		}
+		if n < handoffFixedSize || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		if len(h.Warmth) > MaxHandoffWarmth {
+			t.Fatalf("decoded %d warmth hints, cap is %d", len(h.Warmth), MaxHandoffWarmth)
+		}
+		enc, err := h.Encode()
+		if err != nil {
+			t.Fatalf("re-encode of decoded state failed: %v", err)
+		}
+		if !bytes.Equal(enc, data[:n]) {
+			// Addr.Unmap makes v4-mapped forms non-canonical; decode again
+			// and require a fixed point instead of byte equality.
+			var h2 HandoffState
+			if _, err := h2.DecodeFromBytes(enc); err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if !reflect.DeepEqual(h2, h) {
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", h2, h)
+			}
+		}
+	})
+}

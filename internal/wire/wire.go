@@ -83,6 +83,14 @@ const (
 	// never reach a PacketHandler.
 	SvcPipeProbe    ServiceID = 0x03
 	SvcPipeProbeAck ServiceID = 0x04
+	// SvcPipeMove tells a host, over its existing sealed pipe, that its
+	// serving SN is draining and names the successor. The host rebinds the
+	// pipe to the new address (keeping its keys, rotating its TX epoch)
+	// instead of tearing it down.
+	SvcPipeMove ServiceID = 0x05
+	// SvcHandoff carries serialized pipe state (HandoffState) between
+	// sibling SNs over their sealed inter-SN pipe during a drain.
+	SvcHandoff ServiceID = 0x06
 
 	SvcNull      ServiceID = 0x100
 	SvcIPFwd     ServiceID = 0x101
@@ -124,6 +132,8 @@ var serviceNames = map[ServiceID]string{
 	SvcPeering:      "peering",
 	SvcPipeProbe:    "pipe-probe",
 	SvcPipeProbeAck: "pipe-probe-ack",
+	SvcPipeMove:     "pipe-move",
+	SvcHandoff:      "handoff",
 	SvcNull:         "null",
 	SvcIPFwd:        "ipfwd",
 	SvcPubSub:       "pubsub",

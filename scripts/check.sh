@@ -46,7 +46,7 @@ run "compressed-time soak suite (full scenario x seed matrix, SLO gates)" \
 	go test -count=1 -timeout 600s ./internal/soak/
 
 run "soak capacity reports (fast subset; writes SOAK_*.json, fails on SLO breach)" \
-	go run ./cmd/interedge-lab -soak -soak-scenarios steady-diurnal,gateway-flap-storm -soak-seeds 1 -soak-out .
+	go run ./cmd/interedge-lab -soak -soak-scenarios steady-diurnal,gateway-flap-storm,sn-drain-rolling,sn-crash-failover -soak-seeds 1 -soak-out .
 
 run "telemetry registry suite (race-detected + zero-alloc pins)" \
 	go test -race -count=1 -run 'TestRegistryConcurrency|TestSharedInstrument' ./internal/telemetry/
@@ -73,6 +73,8 @@ run "fuzz smoke: wire ILP header decode" \
 	go test -run '^$' -fuzz 'FuzzILPHeaderDecode' -fuzztime 5s ./internal/wire/
 run "fuzz smoke: wire datagram decode" \
 	go test -run '^$' -fuzz 'FuzzDatagramDecode' -fuzztime 5s ./internal/wire/
+run "fuzz smoke: drain/handoff state decode" \
+	go test -run '^$' -fuzz 'FuzzHandoffDecode' -fuzztime 5s ./internal/wire/
 run "fuzz smoke: PSP open" \
 	go test -run '^$' -fuzz 'FuzzPSPOpen' -fuzztime 5s ./internal/psp/
 run "fuzz smoke: signed address-record registration" \

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"time"
 
@@ -107,6 +108,41 @@ func main() {
 		}
 	}
 
+	// Handoff states ride sealed SvcHandoff frames between SNs, so like
+	// the ILP headers they cannot be lifted from the wire; rebuild the
+	// shapes a live drain produces — hosts and warmth sources drawn from
+	// the captured addresses, key epochs and SPIs varied per seed.
+	addrList := make([]wire.Addr, 0, len(addrs))
+	for a := range addrs {
+		addrList = append(addrList, a)
+	}
+	sort.Slice(addrList, func(i, j int) bool { return addrList[i].Less(addrList[j]) })
+	var handoffs [][]byte
+	for i := 0; i < perTarget && i < len(addrList); i++ {
+		hs := wire.HandoffState{
+			Host:      addrList[i],
+			Initiator: i%2 == 0,
+			BaseSPI:   uint32(i+1) << 8,
+			TxEpoch:   uint32(i * 3),
+			RxEpoch:   uint32(i),
+		}
+		for j := range hs.Identity {
+			hs.Identity[j] = byte(i + j)
+			hs.Master[j] = byte(i*7 + j + 1)
+		}
+		// Warmth counts span empty through several flows per host.
+		for w := 0; w < i && w < wire.MaxHandoffWarmth; w++ {
+			hs.Warmth = append(hs.Warmth, wire.FlowKey{
+				Src:     addrList[(i+w+1)%len(addrList)],
+				Service: wire.SvcEcho,
+				Conn:    wire.ConnectionID(w + 1),
+			})
+		}
+		if enc, err := hs.Encode(); err == nil {
+			handoffs = append(handoffs, enc)
+		}
+	}
+
 	write := func(dir string, seeds [][]byte) {
 		full := filepath.Join(*root, dir)
 		if err := os.MkdirAll(full, 0o755); err != nil {
@@ -123,6 +159,7 @@ func main() {
 	}
 	write("internal/wire/testdata/fuzz/FuzzDatagramDecode", datagrams)
 	write("internal/wire/testdata/fuzz/FuzzILPHeaderDecode", ilpHdrs)
+	write("internal/wire/testdata/fuzz/FuzzHandoffDecode", handoffs)
 	write("internal/psp/testdata/fuzz/FuzzPSPOpen", pspPkts)
 }
 
