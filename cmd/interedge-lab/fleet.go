@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"interedge/internal/soak"
+)
+
+// runFleet builds the weightless host fleet and drives the million-host
+// scenario against its SLO gates, writing SOAK_million-host.json under
+// outDir. The flag defaults are the paper-scale shape — 100 SNs, 10^6
+// lite hosts — which takes tens of minutes of wall clock on one core
+// (almost all of it the adoption wave's real handshakes); -fleet-hosts
+// trims it for smaller machines. On breach the per-gate diff and the
+// registry dump print so the failure is diagnosable from CI output alone.
+func runFleet(sns, hosts, rounds int, seed int64, outDir string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("create fleet output dir: %v", err)
+	}
+	cfg := soak.FleetConfig{
+		SNs:    sns,
+		Hosts:  hosts,
+		Rounds: rounds,
+		Seed:   seed,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("fleet: "+format+"\n", args...)
+		},
+	}
+	res, err := soak.RunFleet(cfg)
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+	fmt.Printf("fleet %-20s seed=%-3d wall=%6.1fs sent=%-8d delivered=%-8d pass=%v\n",
+		"million-host", seed, st.WallSeconds, st.Sent, st.Delivered, res.Passed())
+	if !res.Passed() {
+		fmt.Printf("SLO breach in million-host fleet:\n%s", res.FailureDiff())
+		fmt.Println(res.DumpRegistries())
+	}
+	rp := soak.NewReport("million-host")
+	rp.AddRun(res)
+	path, err := rp.WriteFile(outDir)
+	if err != nil {
+		return fmt.Errorf("write fleet report: %v", err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	if !res.Passed() {
+		return fmt.Errorf("SLO gates breached: million-host/seed%d", seed)
+	}
+	return nil
+}

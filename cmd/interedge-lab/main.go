@@ -36,7 +36,20 @@ func main() {
 	soakScenarios := flag.String("soak-scenarios", "all", "comma-separated soak scenario names, or all")
 	soakSeeds := flag.String("soak-seeds", "1,7,42", "comma-separated substrate seeds for soak runs")
 	soakOut := flag.String("soak-out", ".", "directory for SOAK_<scenario>.json capacity reports")
+	fleetMode := flag.Bool("fleet", false, "build the weightless host fleet and run the million-host soak instead of the tour")
+	fleetSNs := flag.Int("fleet-sns", 100, "fleet service-node count")
+	fleetHosts := flag.Int("fleet-hosts", 1_000_000, "fleet lite-host count")
+	fleetRounds := flag.Int("fleet-rounds", 5, "full-fleet send sweeps in the fleet run")
+	fleetSeed := flag.Int64("fleet-seed", 1, "substrate seed for the fleet run")
+	fleetOut := flag.String("fleet-out", ".", "directory for the SOAK_million-host.json report")
 	flag.Parse()
+
+	if *fleetMode {
+		if err := runFleet(*fleetSNs, *fleetHosts, *fleetRounds, *fleetSeed, *fleetOut); err != nil {
+			fail("fleet: %v", err)
+		}
+		return
+	}
 
 	if *soakMode {
 		if err := runSoak(*soakScenarios, *soakSeeds, *soakOut); err != nil {

@@ -148,7 +148,7 @@ func (c *Core) RegisterSN(addr wire.Addr) {
 	c.ringst.states[addr] = SNDown
 	ev, watchers := c.setSNState(addr, SNActive)
 	c.mu.Unlock()
-	notifyRing(watchers, ev)
+	c.notifyRing(watchers, ev)
 }
 
 // SNs returns the edomain's registered SNs.

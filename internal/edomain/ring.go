@@ -121,12 +121,13 @@ func (r *hashRing) owner(key wire.Addr) (wire.Addr, bool) {
 // ringState is the Core's placement machinery, embedded behind Core.mu for
 // writes with lock-free reads through the atomic ring pointer.
 type ringState struct {
-	ring     atomic.Pointer[hashRing]
-	gen      atomic.Uint64
-	changes  atomic.Uint64
-	states   map[wire.Addr]SNState
-	watchers map[int]chan RingEvent
-	nextW    int
+	ring       atomic.Pointer[hashRing]
+	gen        atomic.Uint64
+	changes    atomic.Uint64
+	watchDrops atomic.Uint64
+	states     map[wire.Addr]SNState
+	watchers   map[int]chan RingEvent
+	nextW      int
 }
 
 func (rs *ringState) init() {
@@ -149,6 +150,13 @@ func (c *Core) RingGen() uint64 { return c.ringst.gen.Load() }
 // RingChanges returns the number of ring changes since the core was
 // created (the edomain_ring_changes_total telemetry source).
 func (c *Core) RingChanges() uint64 { return c.ringst.changes.Load() }
+
+// RingWatchDrops returns the number of ring events dropped because a
+// watcher's channel was full (the edomain_ring_watch_dropped_total
+// telemetry source). Drops are benign for correctness — consumers re-place
+// against the current ring, not the event payload — but a rising rate
+// means a controller is falling behind ring churn.
+func (c *Core) RingWatchDrops() uint64 { return c.ringst.watchDrops.Load() }
 
 // SNStateOf reports an SN's placement state. Unregistered SNs report
 // SNDown.
@@ -226,11 +234,15 @@ func (c *Core) setSNState(sn wire.Addr, st SNState) (RingEvent, []chan RingEvent
 	return ev, watchers
 }
 
-func notifyRing(watchers []chan RingEvent, ev RingEvent) {
+// notifyRing delivers ev to each watcher best-effort: a full channel loses
+// the event (counted in edomain_ring_watch_dropped_total), never blocks
+// the ring writer.
+func (c *Core) notifyRing(watchers []chan RingEvent, ev RingEvent) {
 	for _, w := range watchers {
 		select {
 		case w <- ev:
 		default:
+			c.ringst.watchDrops.Add(1)
 		}
 	}
 }
@@ -245,7 +257,7 @@ func (c *Core) BeginDrain(sn wire.Addr) error {
 	}
 	ev, watchers := c.setSNState(sn, SNDraining)
 	c.mu.Unlock()
-	notifyRing(watchers, ev)
+	c.notifyRing(watchers, ev)
 	return nil
 }
 
@@ -257,7 +269,7 @@ func (c *Core) FinishDrain(sn wire.Addr) {
 	c.mu.Lock()
 	ev, watchers := c.setSNState(sn, SNDown)
 	c.mu.Unlock()
-	notifyRing(watchers, ev)
+	c.notifyRing(watchers, ev)
 }
 
 // ReportSNDown records an unannounced SN death as a ring change: dead-peer
@@ -268,7 +280,7 @@ func (c *Core) ReportSNDown(sn wire.Addr) {
 	c.mu.Lock()
 	ev, watchers := c.setSNState(sn, SNDown)
 	c.mu.Unlock()
-	notifyRing(watchers, ev)
+	c.notifyRing(watchers, ev)
 }
 
 // ReactivateSN returns a drained or recovered SN to placement.
@@ -280,6 +292,6 @@ func (c *Core) ReactivateSN(sn wire.Addr) error {
 	}
 	ev, watchers := c.setSNState(sn, SNActive)
 	c.mu.Unlock()
-	notifyRing(watchers, ev)
+	c.notifyRing(watchers, ev)
 	return nil
 }

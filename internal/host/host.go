@@ -53,8 +53,12 @@ type DirectPolicy func(dst wire.Addr) bool
 
 // Config configures a Host.
 type Config struct {
-	// Transport attaches the host to the substrate. Required.
+	// Transport attaches the host to the substrate. Required for New;
+	// ignored by NewOnEngine (the engine owns the transport).
 	Transport netsim.Transport
+	// Addr is the host's address. Required for NewOnEngine, where there is
+	// no per-host transport to read it from; ignored by New.
+	Addr wire.Addr
 	// Identity is the host's signing identity. Required.
 	Identity handshake.Identity
 	// Clock defaults to the real clock.
@@ -84,14 +88,41 @@ type Config struct {
 	// OnPipeMoved is notified after a first-hop SN announced its drain
 	// successor (SvcPipeMove) and the pipe was rebound to it. Optional.
 	OnPipeMoved func(old, successor wire.Addr)
+	// FastHandler, when set, receives every inbound data packet (anything
+	// that is not control-plane traffic) WITHOUT the copy the normal
+	// demultiplexer makes: hdr.Data and payload alias pipe-internal buffers
+	// and are only valid for the duration of the call. Connections and
+	// OnService handlers are bypassed. This is the weightless-fleet receive
+	// path: a million lite hosts cannot afford two allocations per packet.
+	FastHandler func(src wire.Addr, hdr wire.ILPHeader, payload []byte)
 	// Logf receives diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
 
+// pipeBackend is the pipe surface a Host needs, factored out so a host can
+// ride either its own pipe.Manager (New — dedicated transport, RX workers,
+// keepalive loop) or a shared pipe.Engine endpoint (NewOnEngine — pure
+// state, no goroutines). pipe.Manager satisfies it directly; engineBinding
+// adapts an Engine by currying the host's local address into the
+// (local, remote)-keyed engine API.
+type pipeBackend interface {
+	LocalAddr() wire.Addr
+	Identity() handshake.Identity
+	Connect(addr wire.Addr) error
+	Redial(addr wire.Addr) error
+	DropPeer(addr wire.Addr)
+	RebindPeer(oldAddr, newAddr wire.Addr) error
+	PeerIdentity(addr wire.Addr) (ed25519.PublicKey, bool)
+	Send(dst wire.Addr, hdr *wire.ILPHeader, payload []byte) error
+	SendHeaderBytes(dst wire.Addr, hdrBytes, payload []byte) error
+	Close() error
+}
+
 // Host is one InterEdge-enabled endpoint.
 type Host struct {
-	cfg Config
-	mgr *pipe.Manager
+	cfg   Config
+	pipes pipeBackend
+	mgr   *pipe.Manager // non-nil only for New-built hosts; see Pipes
 
 	mu        sync.Mutex
 	firstHops []wire.Addr
@@ -151,9 +182,10 @@ func New(cfg Config) (*Host, error) {
 		return nil, err
 	}
 	h.mgr = mgr
+	h.pipes = mgr
 	for _, sn := range cfg.FirstHops {
 		if err := h.Associate(sn); err != nil {
-			h.mgr.Close()
+			h.pipes.Close()
 			return nil, fmt.Errorf("host: associate with %s: %w", sn, err)
 		}
 	}
@@ -161,19 +193,20 @@ func New(cfg Config) (*Host, error) {
 }
 
 // Addr returns the host's address.
-func (h *Host) Addr() wire.Addr { return h.mgr.LocalAddr() }
+func (h *Host) Addr() wire.Addr { return h.pipes.LocalAddr() }
 
 // Identity returns the host's identity.
-func (h *Host) Identity() handshake.Identity { return h.mgr.Identity() }
+func (h *Host) Identity() handshake.Identity { return h.pipes.Identity() }
 
-// Pipes exposes the pipe manager for tests.
+// Pipes exposes the pipe manager for tests. It is nil for engine-backed
+// hosts (NewOnEngine), which have no manager of their own.
 func (h *Host) Pipes() *pipe.Manager { return h.mgr }
 
 // Associate establishes a pipe to a first-hop SN and records it. The
 // paper's discovery mechanisms (configuration, anycast, lookup) all end
 // here with a concrete SN address.
 func (h *Host) Associate(sn wire.Addr) error {
-	if err := h.mgr.Connect(sn); err != nil {
+	if err := h.pipes.Connect(sn); err != nil {
 		return err
 	}
 	h.mu.Lock()
@@ -193,7 +226,7 @@ func (h *Host) Associate(sn wire.Addr) error {
 // recovered from"). Service-level state is reconstructed by clients
 // (e.g. pubsub.Client.Reestablish).
 func (h *Host) Reassociate(sn wire.Addr) error {
-	if err := h.mgr.Redial(sn); err != nil {
+	if err := h.pipes.Redial(sn); err != nil {
 		return err
 	}
 	return h.Associate(sn)
@@ -231,25 +264,34 @@ func (h *Host) FirstHops() []wire.Addr {
 
 // SNIdentity returns the verified identity of an associated SN.
 func (h *Host) SNIdentity(sn wire.Addr) (ed25519.PublicKey, bool) {
-	return h.mgr.PeerIdentity(sn)
+	return h.pipes.PeerIdentity(sn)
 }
 
 // handlePacket demultiplexes inbound packets: control replies, open
 // connections, then service handlers. It may run concurrently for packets
 // from different pipe peers; everything it delivers is copied first.
 func (h *Host) handlePacket(_ pipe.Sender, src wire.Addr, hdr wire.ILPHeader, _ []byte, payload []byte) {
+	// Control-plane traffic is handled regardless of FastHandler: control
+	// replies complete Invoke waiters and SvcPipeMove drives drain rebinds,
+	// so lite fleet hosts still exercise the real drain/failover machinery.
+	if hdr.Service == wire.SvcControl {
+		h.handleControlReply(hdr.Conn, append([]byte(nil), payload...))
+		return
+	}
+	if hdr.Service == wire.SvcPipeMove {
+		h.handlePipeMove(src, payload)
+		return
+	}
+	if h.cfg.FastHandler != nil {
+		// Zero-copy delivery: hdr.Data and payload alias pipe buffers and
+		// are only valid until return (see Config.FastHandler).
+		h.cfg.FastHandler(src, hdr, payload)
+		return
+	}
 	msg := Message{
 		Src:     src,
 		Hdr:     wire.ILPHeader{Service: hdr.Service, Conn: hdr.Conn, Data: append([]byte(nil), hdr.Data...)},
 		Payload: append([]byte(nil), payload...),
-	}
-	if hdr.Service == wire.SvcControl {
-		h.handleControlReply(hdr.Conn, msg.Payload)
-		return
-	}
-	if hdr.Service == wire.SvcPipeMove {
-		h.handlePipeMove(src, msg.Payload)
-		return
 	}
 	h.mu.Lock()
 	if c, ok := h.conns[connKey{hdr.Service, hdr.Conn}]; ok {
@@ -305,11 +347,11 @@ func (h *Host) handlePipeMove(src wire.Addr, payload []byte) {
 		h.cfg.Logf("host %s: malformed pipe-move from %s: %v", h.Addr(), src, err)
 		return
 	}
-	if err := h.mgr.RebindPeer(src, succ); err != nil {
+	if err := h.pipes.RebindPeer(src, succ); err != nil {
 		if errors.Is(err, pipe.ErrPeerExists) {
 			// A full handshake with the successor raced the move and won;
 			// its keys are fresher, so just drop the stale pipe.
-			h.mgr.DropPeer(src)
+			h.pipes.DropPeer(src)
 		} else {
 			h.cfg.Logf("host %s: pipe-move %s→%s failed: %v", h.Addr(), src, succ, err)
 			return
@@ -403,7 +445,7 @@ func (h *Host) Invoke(sn wire.Addr, target wire.ServiceID, op string, args any) 
 		h.mu.Unlock()
 	}()
 
-	if err := h.mgr.Send(sn, &wire.ILPHeader{Service: wire.SvcControl, Conn: conn}, body); err != nil {
+	if err := h.pipes.Send(sn, &wire.ILPHeader{Service: wire.SvcControl, Conn: conn}, body); err != nil {
 		return nil, err
 	}
 	select {
@@ -412,6 +454,14 @@ func (h *Host) Invoke(sn wire.Addr, target wire.ServiceID, op string, args any) 
 	case <-h.cfg.Clock.After(h.cfg.InvokeTimeout):
 		return nil, ErrInvokeTimeout
 	}
+}
+
+// SendHeaderBytes sends an already-encoded ILP header with payload over
+// the pipe to sn. This is the load-generator fast path: a fleet driver
+// pre-encodes each flow's header once and sends with zero per-packet
+// allocations (the pipe layer seals in pooled buffers).
+func (h *Host) SendHeaderBytes(sn wire.Addr, hdrBytes, payload []byte) error {
+	return h.pipes.SendHeaderBytes(sn, hdrBytes, payload)
 }
 
 // InvokeFirstHop is Invoke against the default first-hop SN.
@@ -472,7 +522,7 @@ func (h *Host) NewConn(svc wire.ServiceID, opts ...ConnOption) (*Conn, error) {
 		}
 		c.via = fh
 	}
-	if err := h.mgr.Connect(c.via); err != nil {
+	if err := h.pipes.Connect(c.via); err != nil {
 		return nil, err
 	}
 	c.rx = make(chan Message, c.bufDepth)
@@ -503,16 +553,16 @@ func (c *Conn) Via() wire.Addr {
 // §4, the header data may differ per packet within a connection.
 func (c *Conn) Send(svcData, payload []byte) error {
 	hdr := wire.ILPHeader{Service: c.svc, Conn: c.id, Data: svcData}
-	return c.host.mgr.Send(c.Via(), &hdr, payload)
+	return c.host.pipes.Send(c.Via(), &hdr, payload)
 }
 
 // SendVia transmits through an explicit SN (e.g. a pass-through SN chain).
 func (c *Conn) SendVia(sn wire.Addr, svcData, payload []byte) error {
-	if err := c.host.mgr.Connect(sn); err != nil {
+	if err := c.host.pipes.Connect(sn); err != nil {
 		return err
 	}
 	hdr := wire.ILPHeader{Service: c.svc, Conn: c.id, Data: svcData}
-	return c.host.mgr.Send(sn, &hdr, payload)
+	return c.host.pipes.Send(sn, &hdr, payload)
 }
 
 // Receive returns the connection's inbound message channel. It is closed
@@ -543,11 +593,11 @@ func (h *Host) SendDirect(dst wire.Addr, svc wire.ServiceID, conn wire.Connectio
 	if h.cfg.Direct == nil || !h.cfg.Direct(dst) {
 		return ErrDirectDenied
 	}
-	if err := h.mgr.Connect(dst); err != nil {
+	if err := h.pipes.Connect(dst); err != nil {
 		return err
 	}
 	hdr := wire.ILPHeader{Service: svc, Conn: conn, Data: svcData}
-	return h.mgr.Send(dst, &hdr, payload)
+	return h.pipes.Send(dst, &hdr, payload)
 }
 
 // Close shuts the host down.
@@ -559,9 +609,13 @@ func (h *Host) Close() error {
 	}
 	h.closed = true
 	h.mu.Unlock()
-	// Stop the pipe manager first: its Close waits for every RX worker,
-	// so once it returns no handlePacket can race a conn-channel close.
-	err := h.mgr.Close()
+	// Stop the pipe backend first. A manager's Close waits for every RX
+	// worker, so once it returns no handlePacket can race a conn-channel
+	// close. An engine binding only unregisters the endpoint (the engine
+	// keeps running for its other hosts); its peers are removed atomically,
+	// so no NEW packet dispatches here afterwards — see NewOnEngine for the
+	// residual in-flight-handler caveat.
+	err := h.pipes.Close()
 	h.mu.Lock()
 	conns := make([]*Conn, 0, len(h.conns))
 	for _, c := range h.conns {

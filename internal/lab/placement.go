@@ -43,12 +43,44 @@ func (t *Topology) NewPlacement(ed *Edomain) *Placement {
 	// same edomain reuses the gateway's existing instrument.
 	_ = ed.Gateway().Telemetry().Register(
 		telemetry.NewCounterFunc("edomain_ring_changes_total", ed.Core.RingChanges))
+	_ = ed.Gateway().Telemetry().Register(
+		telemetry.NewCounterFunc("edomain_ring_watch_dropped_total", ed.Core.RingWatchDrops))
+	_ = ed.Gateway().Telemetry().Register(
+		telemetry.NewGaugeFunc("edomain_placement_balance_x1000", p.balanceX1000))
 	_, ch, cancel := ed.Core.WatchRing()
 	p.cancel = cancel
 	p.done = make(chan struct{})
 	go p.watch(ch)
 	t.closers = append(t.closers, func() error { p.Close(); return nil })
 	return p
+}
+
+// balanceX1000 is the placement-balance gauge source: max hosts-per-SN
+// over mean hosts-per-active-SN, scaled by 1000 (registries are integer).
+// A perfectly even fleet reads 1000; 2000 means the hottest SN carries
+// twice the mean. An empty fleet or ring reads 1000 so an idle gauge never
+// trips a balance gate.
+func (p *Placement) balanceX1000() int64 {
+	active := p.ed.Core.ActiveSNs()
+	p.mu.Lock()
+	counts := make(map[wire.Addr]int, len(active))
+	total := 0
+	for _, sn := range p.placed {
+		counts[sn]++
+		total++
+	}
+	p.mu.Unlock()
+	if len(active) == 0 || total == 0 {
+		return 1000
+	}
+	maxPerSN := 0
+	for _, c := range counts {
+		if c > maxPerSN {
+			maxPerSN = c
+		}
+	}
+	mean := float64(total) / float64(len(active))
+	return int64(float64(maxPerSN) / mean * 1000)
 }
 
 // Close releases the ring watch.

@@ -247,6 +247,105 @@ func TestPlacementFailoverSurvivesSNLoss(t *testing.T) {
 	echoRoundTrip(t, conn, "after-failover")
 }
 
+// TestPlacementDownReaddRebalances covers the Down -> Active re-add cycle
+// as pure ring arithmetic: an SN reported dead sheds every host to ring
+// successors by failover, and re-adding it pulls its ring share back, with
+// placement converged to the ring (no orphans, no double placement) and
+// the balance gauge restored on the gateway registry.
+func TestPlacementDownReaddRebalances(t *testing.T) {
+	topo := New()
+	defer topo.Close()
+	ed, p, hosts := placementRig(t, topo, 5, 20)
+
+	converged := func() bool {
+		for _, h := range hosts {
+			on, ok := p.PlacedOn(h.Addr())
+			if !ok {
+				return false
+			}
+			want, ok := ed.Core.PlaceHost(h.Addr())
+			if !ok || on != want {
+				return false
+			}
+		}
+		return true
+	}
+	waitConverged := func(step string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !converged() {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: placement never converged to the ring", step)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	var victim wire.Addr
+	for _, h := range hosts {
+		if on, ok := p.PlacedOn(h.Addr()); ok {
+			victim = on
+			break
+		}
+	}
+	before := hostsOn(p, hosts, victim)
+	if len(before) == 0 {
+		t.Fatal("no hosts on victim SN")
+	}
+
+	// Unannounced death report (the node itself stays up — this is the
+	// ring's view, as sibling dead-peer detection would feed it).
+	p.ReportDown(victim)
+	waitConverged("after down")
+	if n := len(hostsOn(p, hosts, victim)); n != 0 {
+		t.Fatalf("%d hosts still placed on down SN", n)
+	}
+
+	// Re-add: the recovered SN rejoins placement and reclaims exactly its
+	// ring share — the same hosts it owned before, since ring ownership is
+	// deterministic in (ring members, host address).
+	if err := p.Reactivate(victim); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged("after re-add")
+	after := hostsOn(p, hosts, victim)
+	if len(after) != len(before) {
+		t.Fatalf("recovered SN serves %d hosts, want its ring share %d", len(after), len(before))
+	}
+
+	// No orphans, no double placement: every host is placed exactly once
+	// and its published lookup record points at that SN.
+	seen := make(map[wire.Addr]wire.Addr)
+	for _, h := range hosts {
+		on, ok := p.PlacedOn(h.Addr())
+		if !ok {
+			t.Fatalf("host %s orphaned after re-add", h.Addr())
+		}
+		if prev, dup := seen[h.Addr()]; dup {
+			t.Fatalf("host %s placed twice: %s and %s", h.Addr(), prev, on)
+		}
+		seen[h.Addr()] = on
+		rec, err := topo.Global.ResolveAddress(h.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.SNs) != 1 || rec.SNs[0] != on {
+			t.Fatalf("lookup record for %s points at %v, placed on %s", h.Addr(), rec.SNs, on)
+		}
+	}
+
+	// The balance gauge on the gateway registry reflects the restored
+	// spread; 20 hosts on a 5-SN ring never legitimately reads as one SN
+	// carrying 3x the mean.
+	snap := ed.Gateway().Telemetry().Snapshot()
+	if _, ok := snap.Get("edomain_placement_balance_x1000"); !ok {
+		t.Fatal("edomain_placement_balance_x1000 missing from gateway registry")
+	}
+	if bal := snap.Value("edomain_placement_balance_x1000"); bal < 1000 || bal > 3000 {
+		t.Fatalf("edomain_placement_balance_x1000 = %v, want within [1000, 3000]", bal)
+	}
+}
+
 // TestRingChangePropagatesBeforeLeaseExpiry is the regression for the
 // stale-mapping window: an SN-tier resolution cache that resolved a host
 // must serve the post-ring-change mapping within one publish, not after

@@ -63,6 +63,12 @@ type Config struct {
 	// the resolution analogue of the SN's bounded per-destination
 	// requeue. Defaults to 256.
 	FillQueue int
+	// MaxFills bounds the cache's concurrent fill goroutines across
+	// distinct addresses. Defaults to 8. Cold addresses beyond the bound
+	// queue FIFO and fill as slots free up: a fleet-wide cold sweep (10^5
+	// flows resolving for the first time) costs O(MaxFills) goroutines,
+	// not O(addresses), at the price of fill latency under the storm.
+	MaxFills int
 	// OnEvent, when set, observes every watch event after the cache
 	// has applied it (e.g. to invalidate decision-cache rules for the
 	// address). Called from the watch goroutine.
@@ -84,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FillQueue <= 0 {
 		c.FillQueue = 256
+	}
+	if c.MaxFills <= 0 {
+		c.MaxFills = 8
 	}
 	return c
 }
@@ -120,9 +129,14 @@ type Cache struct {
 	// flushes; readers load the pointer once per lookup.
 	entries atomic.Pointer[sync.Map]
 
-	mu     sync.Mutex
-	fills  map[wire.Addr]*fill
-	closed bool
+	mu       sync.Mutex
+	fills    map[wire.Addr]*fill
+	fillPend []wire.Addr // cold addresses waiting for a fill slot
+	closed   bool
+
+	// fillSlots is the fill-concurrency semaphore (cap MaxFills): a
+	// worker holds a slot from spawn until the pending queue drains.
+	fillSlots chan struct{}
 
 	watchCancel func()
 	watchDone   chan struct{}
@@ -149,9 +163,10 @@ func New(cfg Config) *Cache {
 	}
 	cfg = cfg.withDefaults()
 	c := &Cache{
-		cfg:   cfg,
-		clk:   cfg.Clock,
-		fills: make(map[wire.Addr]*fill),
+		cfg:       cfg,
+		clk:       cfg.Clock,
+		fills:     make(map[wire.Addr]*fill),
+		fillSlots: make(chan struct{}, cfg.MaxFills),
 
 		hits:           telemetry.NewStripedCounter("lookup_cache_hits_total", 64),
 		misses:         telemetry.NewStripedCounter("lookup_cache_misses_total", 64),
@@ -291,9 +306,46 @@ func (c *Cache) ResolveAsync(addr wire.Addr, cb func(lookup.AddrRecord, error)) 
 	}
 	f := &fill{cbs: []func(lookup.AddrRecord, error){cb}}
 	c.fills[addr] = f
-	c.mu.Unlock()
-	go c.runFill(addr, f)
+	select {
+	case c.fillSlots <- struct{}{}:
+		c.mu.Unlock()
+		go c.fillWorker(addr, f)
+	default:
+		// Every slot busy: park the address; a running worker picks it
+		// up before releasing its slot.
+		c.fillPend = append(c.fillPend, addr)
+		c.mu.Unlock()
+	}
 	return true
+}
+
+// fillWorker runs fills until the pending queue is empty, then releases
+// its slot. Only runFill deletes a fills entry and pended addresses have
+// not run yet, so every pended address still has its fill registered.
+func (c *Cache) fillWorker(addr wire.Addr, f *fill) {
+	for {
+		c.runFill(addr, f)
+		c.mu.Lock()
+		var next *fill
+		for next == nil && len(c.fillPend) > 0 {
+			addr = c.fillPend[0]
+			c.fillPend = c.fillPend[1:]
+			next = c.fills[addr]
+		}
+		if next == nil {
+			c.fillPend = nil
+			// Release the slot under the mutex: ResolveAsync parks
+			// addresses under the same mutex when every slot is busy, so
+			// a park and this release cannot interleave into a stranded
+			// queue entry. The receive cannot block — it takes back this
+			// worker's own token.
+			<-c.fillSlots
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		f = next
+	}
 }
 
 // runFill performs one backend resolution, caches the outcome (positive

@@ -619,7 +619,10 @@ type simTransport struct {
 	net  *Network
 	addr wire.Addr
 	rx   chan wire.Datagram
-	mu   sync.Mutex
+	// shared marks a Mux port: rx belongs to the Mux and is shared with
+	// other ports, so Close must not close it.
+	shared bool
+	mu     sync.Mutex
 	// closed is guarded by mu; deliver() checks it before sending on rx so
 	// Close can safely close the channel.
 	closed bool
@@ -673,10 +676,26 @@ func (t *simTransport) Close() error {
 		return nil
 	}
 	t.closed = true
-	close(t.rx)
+	if !t.shared {
+		close(t.rx)
+	}
 	t.mu.Unlock()
 	t.net.detach(t.addr)
 	return nil
+}
+
+// attachShared registers a port at addr whose inbound traffic lands on the
+// caller-owned shared queue rx; used by Mux. Caller closes rx, never the
+// port.
+func (n *Network) attachShared(addr wire.Addr, rx chan wire.Datagram) (*simTransport, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.nodes[addr]; exists {
+		return nil, fmt.Errorf("netsim: address %s already attached", addr)
+	}
+	t := &simTransport{net: n, addr: addr, rx: rx, shared: true}
+	n.nodes[addr] = t
+	return t, nil
 }
 
 // AddrAllocator hands out sequential unique-local addresses for building

@@ -93,6 +93,10 @@ func TestControlMetricsOpPinsDrainInstruments(t *testing.T) {
 		telemetry.NewCounterFunc("edomain_ring_changes_total", core.RingChanges)); err != nil {
 		t.Fatal(err)
 	}
+	if err := node.Telemetry().Register(
+		telemetry.NewCounterFunc("edomain_ring_watch_dropped_total", core.RingWatchDrops)); err != nil {
+		t.Fatal(err)
+	}
 
 	cl := newClient(t, network, "fd00::1")
 	if err := cl.mgr.Connect(node.Addr()); err != nil {
@@ -116,6 +120,7 @@ func TestControlMetricsOpPinsDrainInstruments(t *testing.T) {
 	}
 	for _, name := range []string{
 		"edomain_ring_changes_total",
+		"edomain_ring_watch_dropped_total",
 		"sn_drain_started_total",
 		"sn_drain_completed_total",
 		"sn_drain_aborted_total",

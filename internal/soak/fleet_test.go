@@ -1,0 +1,43 @@
+package soak
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestFleetScale stands up the weightless fleet and holds the
+// million-host scenario gates end to end: every host is an engine-backed
+// lite host adopted under ring placement with a real handshake, the load
+// generator sweeps partner traffic through ipfwd, a rolling drain moves
+// placed hosts by live handoff mid-run, and the steady-state goroutine
+// gate proves the world is O(SNs + engine workers) — no Hosts term.
+//
+// -short (the tier-1 race sweep) runs a reduced fleet; the full run is
+// the acceptance shape: 100 SNs, 10^5 lite hosts. The 10^6-host build is
+// the interedge-lab -fleet default, not a test.
+func TestFleetScale(t *testing.T) {
+	cfg := FleetConfig{Logf: t.Logf}
+	if testing.Short() {
+		cfg.SNs = 12
+		cfg.Hosts = 2400
+		cfg.Rounds = 5
+		cfg.DrainSNs = 2
+		cfg.RatePPS = 4000 * float64(runtime.GOMAXPROCS(0))
+	} else {
+		cfg.SNs = 100
+		cfg.Hosts = 100_000
+		cfg.Rounds = 5
+		cfg.DrainSNs = 3
+	}
+	res, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Errorf("SLO breach:\n%s", res.FailureDiff())
+		t.Logf("all gates:\n%s", res.GateSummary())
+	}
+	st := res.Stats
+	t.Logf("fleet: sent=%d delivered=%d wall=%.1fs goro %d -> %d",
+		st.Sent, st.Delivered, st.WallSeconds, st.GoroutineBase, st.GoroutineEnd)
+}

@@ -37,6 +37,17 @@
 //     throughput (and exceed it on multicore machines); a mutex on the
 //     read path shows up here first.
 //
+// Fleet suite (FleetRxFanout benchmark, BENCH_10.json):
+//
+//   - FleetRxFanout must report 0 allocs/op: the engine's shared receive
+//     path (seal → (dst, src) demux → open → deliver, round-robined over
+//     256 endpoints) is what every packet of a 10^6-host fleet crosses,
+//     so one allocation here is one allocation per packet per host;
+//   - absolute ceiling: FleetRxFanout must stay under fleetFanoutCeilingNs
+//     per op (~710 ns/op measured on the reference machine; the ceiling
+//     leaves headroom for noise but catches a lock or copy landing on the
+//     sharded peer-table path).
+//
 // Usage: go run ./scripts/benchgate <BENCH_*.json>
 package main
 
@@ -66,6 +77,10 @@ const lookupCeilingNs = 1500.0
 // on multicore, lock-free reads come in well under 1.0x. A read path
 // that reacquired a lock would blow through this on any parallel machine.
 const lookupParallelSlack = 1.15
+
+// fleetFanoutCeilingNs is the absolute per-op budget for FleetRxFanout
+// (~710 ns/op measured, ~2.5x headroom).
+const fleetFanoutCeilingNs = 1800.0
 
 type result struct {
 	Name    string             `json:"name"`
@@ -162,6 +177,16 @@ func gateLookup(a *artifact) {
 	gateAllocs(a, "snapshot resolution", "LookupResolve", "LookupResolveParallel")
 }
 
+func gateFleet(a *artifact) {
+	fanout := a.find("FleetRxFanout")
+	fmt.Printf("benchgate: fleet fan-out=%.0f ns/op\n", fanout.NsPerOp)
+	if fanout.NsPerOp > fleetFanoutCeilingNs {
+		fail("FleetRxFanout %.0f ns/op exceeds the %.0f ns/op ceiling; the shared engine receive path regressed",
+			fanout.NsPerOp, fleetFanoutCeilingNs)
+	}
+	gateAllocs(a, "the fleet receive path", "FleetRxFanout")
+}
+
 func main() {
 	if len(os.Args) != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchgate <bench.json>")
@@ -182,6 +207,8 @@ func main() {
 		gateFastPath(a)
 	case a.find("LookupResolve") != nil && a.find("LookupResolveParallel") != nil:
 		gateLookup(a)
+	case a.find("FleetRxFanout") != nil:
+		gateFleet(a)
 	default:
 		fmt.Fprintf(os.Stderr, "benchgate: %s contains no recognized benchmark suite\n", a.path)
 		os.Exit(2)

@@ -42,8 +42,8 @@ go build ./... || exit 1
 run "go test -race -short ./..." \
 	go test -race -short -timeout 900s ./...
 
-run "compressed-time soak suite (full scenario x seed matrix, SLO gates)" \
-	go test -count=1 -timeout 600s ./internal/soak/
+run "compressed-time soak suite (full scenario x seed matrix, SLO gates, full-scale fleet)" \
+	go test -count=1 -timeout 900s ./internal/soak/
 
 run "soak capacity reports (fast subset; writes SOAK_*.json, fails on SLO breach)" \
 	go run ./cmd/interedge-lab -soak -soak-scenarios steady-diurnal,gateway-flap-storm,sn-drain-rolling,sn-crash-failover -soak-seeds 1 -soak-out .
@@ -116,6 +116,8 @@ bench_suite() {
 bench_suite "Figure 2 pipeline" BENCH_6.json . Figure2
 bench_suite "planet-scale lookup read path" BENCH_8.json ./internal/lookup/ \
 	'BenchmarkLookupResolve|BenchmarkLookupChurn|BenchmarkWatchFanout'
+bench_suite "fleet RX fan-out (shared engine)" BENCH_10.json ./internal/pipe/ \
+	BenchmarkFleetRxFanout
 
 if [ "$FAILURES" -ne 0 ]; then
 	echo ""
